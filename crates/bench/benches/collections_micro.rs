@@ -1,0 +1,200 @@
+//! Criterion micro-benchmarks: validate on real hardware the operation-
+//! cost *orderings* the deterministic cost model assumes (§2.2 — "in the
+//! realm of small sizes, constants matter"):
+//!
+//! * `ArrayMap` beats `HashMap` on small maps and loses on large ones;
+//! * `LinkedList.get(i)` degrades with position, `ArrayList.get(i)` not;
+//! * `ArraySet.contains` beats hash sets when tiny;
+//! * context capture dominates allocation cost (the §5.4 bottleneck);
+//! * parallel marking scales against sequential marking.
+
+use chameleon_collections::factory::{CaptureConfig, CaptureMethod, CollectionFactory};
+use chameleon_collections::list::{ArrayListImpl, LinkedListImpl, ListImpl};
+use chameleon_collections::map::{ArrayMapImpl, HashMapImpl, MapImpl};
+use chameleon_collections::set::{ArraySetImpl, HashSetImpl, SetImpl};
+use chameleon_collections::Runtime;
+use chameleon_heap::{GcConfig, Heap, HeapConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn rt() -> Runtime {
+    Runtime::new(Heap::new())
+}
+
+fn bench_map_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_get");
+    for size in [4i64, 16, 64] {
+        let runtime = rt();
+        let mut array_map: ArrayMapImpl<i64, i64> =
+            ArrayMapImpl::new(&runtime, Some(size as u32), None);
+        let mut hash_map: HashMapImpl<i64, i64> = HashMapImpl::new(&runtime, None, None);
+        for k in 0..size {
+            array_map.put(k, k);
+            hash_map.put(k, k);
+        }
+        group.bench_with_input(BenchmarkId::new("ArrayMap", size), &size, |b, &n| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 7) % n;
+                black_box(array_map.get(&k))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HashMap", size), &size, |b, &n| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 7) % n;
+                black_box(hash_map.get(&k))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_build_and_drop");
+    group.sample_size(30);
+    for size in [4i64, 16] {
+        group.bench_with_input(BenchmarkId::new("ArrayMap", size), &size, |b, &n| {
+            let runtime = rt();
+            b.iter(|| {
+                let mut m: ArrayMapImpl<i64, i64> = ArrayMapImpl::new(&runtime, None, None);
+                for k in 0..n {
+                    m.put(k, k);
+                }
+                black_box(m.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HashMap", size), &size, |b, &n| {
+            let runtime = rt();
+            b.iter(|| {
+                let mut m: HashMapImpl<i64, i64> = HashMapImpl::new(&runtime, None, None);
+                for k in 0..n {
+                    m.put(k, k);
+                }
+                black_box(m.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_get_random");
+    let runtime = rt();
+    let n = 500i64;
+    let mut array_list: ArrayListImpl<i64> = ArrayListImpl::new(&runtime, Some(n as u32), None);
+    let mut linked_list: LinkedListImpl<i64> = LinkedListImpl::new(&runtime, None);
+    for k in 0..n {
+        array_list.add(k);
+        linked_list.add(k);
+    }
+    group.bench_function("ArrayList", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 37) % n as usize;
+            black_box(array_list.get(i))
+        })
+    });
+    group.bench_function("LinkedList", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 37) % n as usize;
+            black_box(linked_list.get(i))
+        })
+    });
+    group.finish();
+}
+
+fn bench_set_contains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_contains");
+    for size in [4i64, 64] {
+        let runtime = rt();
+        let mut array_set: ArraySetImpl<i64> = ArraySetImpl::new(&runtime, Some(size as u32), None);
+        let mut hash_set: HashSetImpl<i64> = HashSetImpl::new(&runtime, None, None);
+        for k in 0..size {
+            array_set.add(k);
+            hash_set.add(k);
+        }
+        group.bench_with_input(BenchmarkId::new("ArraySet", size), &size, |b, &n| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 3) % n;
+                black_box(array_set.contains(&k))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HashSet", size), &size, |b, &n| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 3) % n;
+                black_box(hash_set.contains(&k))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context_capture");
+    group.sample_size(30);
+    for (name, method) in [
+        ("none", CaptureMethod::None),
+        ("jvmti", CaptureMethod::Jvmti),
+        ("throwable", CaptureMethod::Throwable),
+    ] {
+        group.bench_function(name, |b| {
+            let factory = CollectionFactory::with_capture(
+                rt(),
+                CaptureConfig {
+                    method,
+                    ..CaptureConfig::default()
+                },
+            );
+            let _f1 = factory.enter("Bench.outer:1");
+            let _f2 = factory.enter("Bench.inner:2");
+            b.iter(|| black_box(factory.new_list::<i64>(None)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gc_marking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_mark_sweep");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            let heap = Heap::with_config(HeapConfig {
+                gc: GcConfig {
+                    threads: t,
+                    ..GcConfig::default()
+                },
+                ..HeapConfig::default()
+            });
+            let class = heap.register_class("Node", None);
+            // 64 chains of 200 nodes each.
+            for _ in 0..64 {
+                let mut prev = heap.alloc_scalar(class, 1, 16, None);
+                heap.add_root(prev);
+                for _ in 0..200 {
+                    let n = heap.alloc_scalar(class, 1, 16, None);
+                    heap.set_ref(n, 0, Some(prev));
+                    heap.add_root(n);
+                    heap.remove_root(prev);
+                    prev = n;
+                }
+            }
+            b.iter(|| black_box(heap.gc().live_objects))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_map_get,
+    bench_map_build,
+    bench_list_get,
+    bench_set_contains,
+    bench_capture,
+    bench_gc_marking
+);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 3 — Combined results for the top allocation contexts in TVLA:
+//! per-context space-saving potential and operation distribution. The
+//! paper's top contexts are dominated by `get` operations, with one context
+//! also showing a small portion of `add` and `remove`; it also prints the
+//! paper's succinct suggestion messages for the top contexts.
+
+use chameleon_bench::hr;
+use chameleon_core::{Chameleon, EnvConfig};
+use chameleon_workloads::Tvla;
+
+fn main() {
+    let chameleon = Chameleon::new().with_profile_config(EnvConfig::default());
+    let report = chameleon.profile(&Tvla::default());
+
+    println!("Fig. 3 — TVLA: top allocation contexts (potential + operation mix)");
+    hr(100);
+    print!("{}", report.format_top_contexts(4));
+    hr(100);
+
+    println!("\nSuggestions (paper §2.1 message style):");
+    let suggestions = chameleon.engine().evaluate(&report);
+    for (i, s) in suggestions.iter().take(6).enumerate() {
+        println!("{}: {}", i + 1, s);
+    }
+}

@@ -1,0 +1,66 @@
+//! Table 1 — the heap and trace statistics Chameleon gathers per
+//! allocation context, printed for the TVLA run: overall live data
+//! (total/max), collection live/used/core (total/max), collection object
+//! counts, operation totals, average/deviation of operation counts and of
+//! the maximal size.
+
+use chameleon_bench::hr;
+use chameleon_core::{Env, EnvConfig};
+use chameleon_workloads::Tvla;
+
+fn main() {
+    let env = Env::new(&EnvConfig::default());
+    env.run(&Tvla::default());
+    let report = env.report();
+
+    println!("Table 1 — statistics gathered per execution (TVLA)");
+    hr(72);
+    println!("{:<42} {:>12} {:>12}", "metric", "Total", "Max");
+    hr(72);
+    let t = &report.totals;
+    println!("{:<42} {:>12} {:>12}", "Overall live data (B)", t.total_live, t.max_live);
+    println!("{:<42} {:>12} {:>12}", "Collection live data (B)", t.total.live, t.max.live);
+    println!("{:<42} {:>12} {:>12}", "Collection used data (B)", t.total.used, t.max.used);
+    println!("{:<42} {:>12} {:>12}", "Collection core data (B)", t.total.core, t.max.core);
+    println!("{:<42} {:>12} {:>12}", "Collection object number", t.total.count, t.max.count);
+    hr(72);
+
+    println!("\nPer-context aggregation (top 4 by potential):");
+    hr(96);
+    println!(
+        "{:<44} {:>6} {:>9} {:>9} {:>9} {:>8}",
+        "context", "insts", "#allOps", "avgMaxSz", "stdMaxSz", "pot(B)"
+    );
+    hr(96);
+    for c in report.top(4) {
+        println!(
+            "{:<44} {:>6} {:>9} {:>9.2} {:>9.2} {:>8}",
+            truncate(&c.label, 44),
+            c.trace.instances,
+            c.trace.all_ops_total(),
+            c.trace.max_size_avg(),
+            c.trace.max_size_std(),
+            c.potential_bytes,
+        );
+    }
+    hr(96);
+
+    println!("\nOperation-count averages and deviations for the top context:");
+    let top = &report.contexts[0];
+    for (op, _) in top.trace.op_distribution() {
+        println!(
+            "  #{:<22} avg {:>8.2}  std {:>8.2}",
+            op,
+            top.trace.op_avg(op),
+            top.trace.op_std(op)
+        );
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal, dependency-free argument parsing for the `chameleon` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed invocation: a subcommand path, positional operands, and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Invocation {
+    /// Subcommand words before the first operand (e.g. `["rules", "check"]`).
+    pub command: Vec<String>,
+    /// Positional operands.
+    pub positional: Vec<String>,
+    /// `--key value` options (flags map to `"true"`).
+    pub options: HashMap<String, String>,
+}
+
+/// Option keys that take no value.
+const FLAGS: &[&str] = &["help", "manual-lazy", "throwable"];
+
+/// Parses raw arguments (without the binary name).
+///
+/// # Errors
+///
+/// Returns a message when a value-taking option has no value.
+pub fn parse(args: &[String]) -> Result<Invocation, String> {
+    let mut inv = Invocation::default();
+    let mut i = 0;
+    let mut seen_positional = false;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if FLAGS.contains(&key) {
+                inv.options.insert(key.to_owned(), "true".to_owned());
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("option --{key} requires a value"))?;
+                inv.options.insert(key.to_owned(), value.clone());
+                i += 1;
+            }
+        } else if !seen_positional && inv.command.len() < 2 && is_command_word(a) {
+            inv.command.push(a.clone());
+        } else {
+            seen_positional = true;
+            inv.positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok(inv)
+}
+
+fn is_command_word(a: &str) -> bool {
+    matches!(
+        a,
+        "profile" | "optimize" | "online" | "rules" | "check" | "eval" | "list-workloads" | "help"
+    )
+}
+
+impl Invocation {
+    /// Numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn num(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key} expects a number, got `{v}`")),
+        }
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Invocation {
+        let args: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        parse(&args).expect("parses")
+    }
+
+    #[test]
+    fn subcommands_and_positionals() {
+        let inv = p("profile tvla");
+        assert_eq!(inv.command, vec!["profile"]);
+        assert_eq!(inv.positional, vec!["tvla"]);
+
+        let inv = p("rules check my.rules");
+        assert_eq!(inv.command, vec!["rules", "check"]);
+        assert_eq!(inv.positional, vec!["my.rules"]);
+    }
+
+    #[test]
+    fn options_and_flags() {
+        let inv = p("profile tvla --depth 3 --top 5 --throwable");
+        assert_eq!(inv.options["depth"], "3");
+        assert_eq!(inv.num("depth", 2).unwrap(), 3);
+        assert_eq!(inv.num("top", 4).unwrap(), 5);
+        assert_eq!(inv.num("sample", 1).unwrap(), 1);
+        assert!(inv.flag("throwable"));
+        assert!(!inv.flag("manual-lazy"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let args = vec!["profile".to_owned(), "tvla".to_owned(), "--depth".to_owned()];
+        assert!(parse(&args).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let inv = p("profile tvla --depth x");
+        assert!(inv.num("depth", 2).is_err());
+    }
+
+    #[test]
+    fn command_words_after_positionals_are_positional() {
+        let inv = p("rules eval custom.rules tvla");
+        assert_eq!(inv.command, vec!["rules", "eval"]);
+        assert_eq!(inv.positional, vec!["custom.rules", "tvla"]);
+    }
+}

@@ -1,0 +1,284 @@
+//! `chameleon` — command-line front end to the Chameleon reproduction.
+//!
+//! ```text
+//! chameleon list-workloads
+//! chameleon profile <workload> [--depth N] [--sample N] [--top K] [--throwable]
+//! chameleon optimize <workload> [--top K] [--manual-lazy]
+//! chameleon online <workload> [--eval-every N]
+//! chameleon rules check <file.rules>
+//! chameleon rules eval <file.rules> <workload>
+//! ```
+
+mod args;
+
+use args::Invocation;
+use chameleon_collections::factory::{CaptureConfig, CaptureMethod};
+use chameleon_core::{run_online, Chameleon, EnvConfig, OnlineConfig, Workload};
+use chameleon_rules::{parse_rules, RuleEngine};
+use chameleon_workloads::{Bloat, Findbugs, Fop, Pmd, Soot, Synthetic, Tvla};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+chameleon — adaptive selection of collections (PLDI 2009 reproduction)
+
+USAGE:
+  chameleon list-workloads
+  chameleon profile  <workload> [--depth N] [--sample N] [--top K] [--throwable]
+  chameleon optimize <workload> [--top K] [--manual-lazy]
+  chameleon online   <workload> [--eval-every N]
+  chameleon rules check <file.rules>
+  chameleon rules eval  <file.rules> <workload>
+
+WORKLOADS:
+  tvla, bloat, fop, findbugs, pmd, soot, synthetic
+
+OPTIONS:
+  --depth N       partial allocation-context depth (default 2)
+  --sample N      capture one allocation context in every N (default 1)
+  --throwable     use the expensive Throwable-based capture
+  --top K         show/apply only the top-K suggestions
+  --eval-every N  online mode: re-evaluate rules every N deaths (default 64)
+  --shutoff-below B  online mode: stop capturing contexts for types whose
+                  observed potential is below B bytes (§4.2)
+  --manual-lazy   bloat only: include the paper's manual lazy-allocation fix
+";
+
+fn workload(name: &str) -> Option<Box<dyn Workload>> {
+    Some(match name {
+        "tvla" => Box::new(Tvla::default()),
+        "bloat" => Box::new(Bloat::default()),
+        "fop" => Box::new(Fop::default()),
+        "findbugs" => Box::new(Findbugs::default()),
+        "pmd" => Box::new(Pmd::default()),
+        "soot" => Box::new(Soot::default()),
+        "synthetic" => Box::new(Synthetic::small_maps(5)),
+        _ => return None,
+    })
+}
+
+fn env_from(inv: &Invocation) -> Result<EnvConfig, String> {
+    Ok(EnvConfig {
+        capture: CaptureConfig {
+            method: if inv.flag("throwable") {
+                CaptureMethod::Throwable
+            } else {
+                CaptureMethod::Jvmti
+            },
+            depth: inv.num("depth", 2)? as usize,
+            sample_every: inv.num("sample", 1)? as u32,
+        },
+        ..EnvConfig::default()
+    })
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(&raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(raw: &[String]) -> Result<(), String> {
+    let inv = args::parse(raw)?;
+    if inv.flag("help") || (inv.command.is_empty() && inv.positional.is_empty()) {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    match inv.command.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["list-workloads"] => {
+            for w in chameleon_workloads::paper_benchmarks() {
+                println!("{}", w.name());
+            }
+            println!("synthetic");
+            Ok(())
+        }
+        ["profile"] => cmd_profile(&inv),
+        ["optimize"] => cmd_optimize(&inv),
+        ["online"] => cmd_online(&inv),
+        ["rules", "check"] => cmd_rules_check(&inv),
+        ["rules", "eval"] => cmd_rules_eval(&inv),
+        _ => Err(format!("unknown command; try --help\n\n{USAGE}")),
+    }
+}
+
+fn required_workload(inv: &Invocation, pos: usize) -> Result<Box<dyn Workload>, String> {
+    let name = inv
+        .positional
+        .get(pos)
+        .ok_or_else(|| "missing workload name (try list-workloads)".to_owned())?;
+    workload(name).ok_or_else(|| format!("unknown workload `{name}` (try list-workloads)"))
+}
+
+fn cmd_profile(inv: &Invocation) -> Result<(), String> {
+    let w = required_workload(inv, 0)?;
+    let top = inv.num("top", 10)? as usize;
+    let chameleon = Chameleon::new().with_profile_config(env_from(inv)?);
+    let report = chameleon.profile(w.as_ref());
+    println!(
+        "{} — {} context(s), peak live {} B",
+        w.name(),
+        report.contexts.len(),
+        report.peak_live()
+    );
+    print!("{}", report.format_top_contexts(top));
+    println!("\nsuggestions:");
+    for s in chameleon.engine().evaluate(&report).iter().take(top) {
+        println!("  {s}");
+    }
+    Ok(())
+}
+
+fn cmd_optimize(inv: &Invocation) -> Result<(), String> {
+    let name = inv
+        .positional
+        .first()
+        .ok_or_else(|| "missing workload name".to_owned())?
+        .clone();
+    let w: Box<dyn Workload> = if name == "bloat" && inv.flag("manual-lazy") {
+        Box::new(Bloat {
+            manual_lazy: true,
+            ..Bloat::default()
+        })
+    } else {
+        required_workload(inv, 0)?
+    };
+    let mut chameleon = Chameleon::new().with_profile_config(env_from(inv)?);
+    if let Some(k) = inv.options.get("top") {
+        let k: usize = k.parse().map_err(|_| "bad --top".to_owned())?;
+        chameleon = chameleon.with_top_k(k);
+    }
+    let r = chameleon.optimize(w.as_ref());
+    println!("{} — applied {} of {} suggestion(s)", r.name, r.applied.len(), r.suggestions.len());
+    println!(
+        "minimal heap : {} B -> {} B ({:.2}% saving)",
+        r.min_heap_before,
+        r.min_heap_after,
+        r.space_improvement().pct()
+    );
+    println!(
+        "running time : {} -> {} units ({:.2}% faster; GCs {} -> {})",
+        r.time_before.sim_time,
+        r.time_after.sim_time,
+        r.time_improvement().pct(),
+        r.time_before.gc_count,
+        r.time_after.gc_count
+    );
+    Ok(())
+}
+
+fn cmd_online(inv: &Invocation) -> Result<(), String> {
+    let w = required_workload(inv, 0)?;
+    let cfg = OnlineConfig {
+        env: env_from(inv)?,
+        eval_every_deaths: inv.num("eval-every", 64)?,
+        shutoff_below_potential: inv
+            .options
+            .get("shutoff-below")
+            .map(|v| v.parse::<u64>())
+            .transpose()
+            .map_err(|_| "bad --shutoff-below".to_owned())?,
+    };
+    let r = run_online(w.as_ref(), Arc::new(RuleEngine::builtin()), &cfg);
+    println!(
+        "{} — {} evaluations, {} replacement(s), {} context capture(s)",
+        w.name(),
+        r.evaluations,
+        r.replacements,
+        r.metrics.capture_count
+    );
+    println!("simulated time: {} units", r.metrics.sim_time);
+    println!("converged policy ({} update(s)):", r.converged_policy.len());
+    for u in &r.converged_policy {
+        println!("  {}:{} -> {:?}", u.src_type, u.frames.join(";"), u.kind);
+    }
+    Ok(())
+}
+
+fn cmd_rules_check(inv: &Invocation) -> Result<(), String> {
+    let path = inv
+        .positional
+        .first()
+        .ok_or_else(|| "missing rules file".to_owned())?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    match parse_rules(&src) {
+        Ok(rules) => {
+            let mut engine = RuleEngine::new();
+            engine.add_rules(&src).map_err(|e| e.render())?;
+            println!("{} rule(s) OK:", rules.len());
+            for r in rules {
+                println!("  [{}] {}", r.category(), r);
+            }
+            Ok(())
+        }
+        Err(e) => Err(e.render()),
+    }
+}
+
+fn cmd_rules_eval(inv: &Invocation) -> Result<(), String> {
+    let path = inv
+        .positional
+        .first()
+        .ok_or_else(|| "missing rules file".to_owned())?;
+    let w = required_workload(inv, 1)?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut engine = RuleEngine::new();
+    engine.add_rules(&src).map_err(|e| e.render())?;
+    let chameleon = Chameleon::new()
+        .with_engine(engine)
+        .with_profile_config(env_from(inv)?);
+    let report = chameleon.profile(w.as_ref());
+    let suggestions = chameleon.engine().evaluate(&report);
+    println!("{} suggestion(s) from {}:", suggestions.len(), path);
+    for s in &suggestions {
+        println!("  {s}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<(), String> {
+        let args: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn unknown_workload_is_reported() {
+        let err = run_str("profile nosuch").expect_err("fails");
+        assert!(err.contains("unknown workload"));
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = run_str("frobnicate").expect_err("fails");
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn list_workloads_runs() {
+        run_str("list-workloads").expect("ok");
+    }
+
+    #[test]
+    fn profile_synthetic_runs() {
+        run_str("profile synthetic --top 3").expect("ok");
+    }
+
+    #[test]
+    fn rules_check_reports_diagnostics() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("chameleon_cli_test.rules");
+        std::fs::write(&path, "HashMap : maxSize < UNBOUND -> ArrayMap").expect("write");
+        let err = run_str(&format!("rules check {}", path.display())).expect_err("unbound");
+        assert!(err.contains("unbound parameter"), "{err}");
+        std::fs::write(&path, r#"HashMap : maxSize < 8 -> ArrayMap "Space: ok""#).expect("write");
+        run_str(&format!("rules check {}", path.display())).expect("valid");
+    }
+}

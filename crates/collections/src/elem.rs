@@ -1,0 +1,94 @@
+//! Element values stored in the simulated collections.
+//!
+//! Collections in the paper store references to application objects. Here an
+//! element is any cheap Rust value implementing [`Elem`]; if the element is
+//! backed by a simulated-heap payload (an application object), `heap_ref`
+//! exposes it so collections can store the reference into their mirrored
+//! arrays/entries and the GC can trace application data *through*
+//! collections, exactly as in a real JVM heap.
+
+use chameleon_heap::ObjId;
+use std::hash::Hash;
+
+/// A value storable in the simulated collections.
+pub trait Elem: Clone + Eq + Hash + std::fmt::Debug + 'static {
+    /// The simulated-heap object this element points at, if any.
+    fn heap_ref(&self) -> Option<ObjId> {
+        None
+    }
+
+    /// Secondary heap reference, for pair elements (a map's value payload
+    /// when the key/value pair is stored as one logical element).
+    fn heap_ref2(&self) -> Option<ObjId> {
+        None
+    }
+}
+
+/// An element that is a reference to a simulated-heap application object.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::Heap;
+/// use chameleon_collections::elem::{Elem, HeapVal};
+///
+/// let heap = Heap::new();
+/// let class = heap.register_class("Payload", None);
+/// let obj = heap.alloc_scalar(class, 0, 16, None);
+/// let v = HeapVal(obj);
+/// assert_eq!(v.heap_ref(), Some(obj));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HeapVal(pub ObjId);
+
+impl Elem for HeapVal {
+    fn heap_ref(&self) -> Option<ObjId> {
+        Some(self.0)
+    }
+}
+
+macro_rules! plain_elem {
+    ($($t:ty),* $(,)?) => {
+        $(impl Elem for $t {})*
+    };
+}
+
+plain_elem!(
+    i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, bool, char, String, ()
+);
+
+impl<A: Elem, B: Elem> Elem for (A, B) {
+    fn heap_ref(&self) -> Option<ObjId> {
+        self.0.heap_ref()
+    }
+
+    fn heap_ref2(&self) -> Option<ObjId> {
+        self.1.heap_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_values_have_no_heap_ref() {
+        assert_eq!(5i64.heap_ref(), None);
+        assert_eq!("s".to_owned().heap_ref(), None);
+        assert_eq!(().heap_ref(), None);
+    }
+
+    #[test]
+    fn tuple_exposes_both_refs() {
+        use chameleon_heap::Heap;
+        let heap = Heap::new();
+        let class = heap.register_class("P", None);
+        let o = heap.alloc_scalar(class, 0, 0, None);
+        let pair = (HeapVal(o), 3i64);
+        assert_eq!(pair.heap_ref(), Some(o));
+        assert_eq!(pair.heap_ref2(), None);
+        let pair2 = (3i64, HeapVal(o));
+        assert_eq!(pair2.heap_ref(), None);
+        assert_eq!(pair2.heap_ref2(), Some(o));
+    }
+}

@@ -1,0 +1,230 @@
+//! `ArrayList` and `LazyArrayList`.
+
+use super::raw::RawArray;
+use super::ListImpl;
+use crate::elem::Elem;
+use crate::runtime::Runtime;
+use chameleon_heap::{ContextId, ElemKind};
+
+/// Java's default `ArrayList` capacity.
+pub const DEFAULT_ARRAY_LIST_CAPACITY: u32 = 10;
+
+/// Resizable-array list; `LazyArrayList` defers the backing array to the
+/// first update (§4.2).
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::Heap;
+/// use chameleon_collections::runtime::Runtime;
+/// use chameleon_collections::list::{ArrayListImpl, ListImpl};
+///
+/// let rt = Runtime::new(Heap::new());
+/// let mut l = ArrayListImpl::new(&rt, Some(4), None);
+/// l.add(1i64);
+/// l.add(2);
+/// assert_eq!(l.get(1), Some(&2));
+/// assert!(l.contains(&1));
+/// ```
+#[derive(Debug)]
+pub struct ArrayListImpl<T: Elem> {
+    raw: RawArray<T>,
+    name: &'static str,
+}
+
+impl<T: Elem> ArrayListImpl<T> {
+    /// Creates an eager array list with the given initial capacity
+    /// (default 10, as in Java).
+    pub fn new(rt: &Runtime, capacity: Option<u32>, ctx: Option<ContextId>) -> Self {
+        let c = rt.classes();
+        ArrayListImpl {
+            raw: RawArray::new(
+                rt,
+                c.array_list,
+                c.object_array,
+                ElemKind::Ref,
+                capacity.unwrap_or(DEFAULT_ARRAY_LIST_CAPACITY),
+                1,
+                false,
+                ctx,
+            ),
+            name: "ArrayList",
+        }
+    }
+
+    /// Creates a lazy array list: no backing array until the first update.
+    pub fn new_lazy(rt: &Runtime, ctx: Option<ContextId>) -> Self {
+        let c = rt.classes();
+        ArrayListImpl {
+            raw: RawArray::new(
+                rt,
+                c.lazy_array_list,
+                c.object_array,
+                ElemKind::Ref,
+                0,
+                1,
+                true,
+                ctx,
+            ),
+            name: "LazyArrayList",
+        }
+    }
+}
+
+impl<T: Elem> ListImpl<T> for ArrayListImpl<T> {
+    fn impl_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn obj(&self) -> chameleon_heap::ObjId {
+        self.raw.obj()
+    }
+
+    fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.raw.capacity() as usize
+    }
+
+    fn add(&mut self, v: T) {
+        self.raw.push(v);
+    }
+
+    fn add_at(&mut self, i: usize, v: T) {
+        self.raw.insert(i, v);
+    }
+
+    fn get(&self, i: usize) -> Option<&T> {
+        self.raw.get(i)
+    }
+
+    fn set_at(&mut self, i: usize, v: T) -> Option<T> {
+        self.raw.set(i, v)
+    }
+
+    fn remove_at(&mut self, i: usize) -> Option<T> {
+        self.raw.remove(i)
+    }
+
+    fn remove_value(&mut self, v: &T) -> bool {
+        match self.raw.index_of(v) {
+            Some(i) => {
+                self.raw.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn contains(&self, v: &T) -> bool {
+        self.raw.index_of(v).is_some()
+    }
+
+    fn clear(&mut self) {
+        self.raw.clear();
+    }
+
+    fn snapshot(&self) -> Vec<T> {
+        self.raw.snapshot()
+    }
+
+    fn dispose(&mut self) {
+        self.raw.dispose();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_heap::Heap;
+
+    fn rt() -> Runtime {
+        Runtime::new(Heap::new())
+    }
+
+    #[test]
+    fn list_semantics_match_vec_model() {
+        let rt = rt();
+        let mut l = ArrayListImpl::new(&rt, None, None);
+        let mut model: Vec<i64> = Vec::new();
+        for i in 0..30 {
+            l.add(i);
+            model.push(i);
+        }
+        l.add_at(5, 100);
+        model.insert(5, 100);
+        assert_eq!(l.remove_at(0), Some(model.remove(0)));
+        assert!(l.remove_value(&100));
+        model.remove(model.iter().position(|x| *x == 100).unwrap());
+        assert_eq!(l.snapshot(), model);
+        assert_eq!(l.len(), model.len());
+    }
+
+    #[test]
+    fn default_capacity_is_ten() {
+        let rt = rt();
+        let l: ArrayListImpl<i64> = ArrayListImpl::new(&rt, None, None);
+        assert_eq!(l.capacity(), 10);
+        assert_eq!(l.impl_name(), "ArrayList");
+    }
+
+    #[test]
+    fn lazy_defers_array() {
+        let rt = rt();
+        let mut l: ArrayListImpl<i64> = ArrayListImpl::new_lazy(&rt, None);
+        assert_eq!(l.capacity(), 0);
+        assert_eq!(l.impl_name(), "LazyArrayList");
+        l.add(1);
+        assert!(l.capacity() > 0);
+        assert_eq!(l.get(0), Some(&1));
+    }
+
+    #[test]
+    fn remove_first_and_last_defaults() {
+        let rt = rt();
+        let mut l = ArrayListImpl::new(&rt, None, None);
+        for i in 0..3i64 {
+            l.add(i);
+        }
+        assert_eq!(l.remove_first(), Some(0));
+        assert_eq!(l.remove_last(), Some(2));
+        assert_eq!(l.snapshot(), vec![1]);
+        assert_eq!(l.remove_last(), Some(1));
+        assert_eq!(l.remove_last(), None);
+        assert_eq!(l.remove_first(), None);
+    }
+
+    #[test]
+    fn set_at_replaces() {
+        let rt = rt();
+        let mut l = ArrayListImpl::new(&rt, None, None);
+        l.add(7i64);
+        assert_eq!(l.set_at(0, 9), Some(7));
+        assert_eq!(l.set_at(5, 1), None);
+        assert_eq!(l.get(0), Some(&9));
+    }
+
+    #[test]
+    fn growth_charges_time() {
+        let rt = rt();
+        let mut l = ArrayListImpl::new(&rt, Some(1), None);
+        let t0 = rt.clock().now();
+        for i in 0..100i64 {
+            l.add(i);
+        }
+        let grown = rt.clock().now() - t0;
+
+        let mut presized = ArrayListImpl::new(&rt, Some(100), None);
+        let t1 = rt.clock().now();
+        for i in 0..100i64 {
+            presized.add(i);
+        }
+        let direct = rt.clock().now() - t1;
+        assert!(
+            grown > direct,
+            "incremental resizing must cost more ({grown} vs {direct})"
+        );
+    }
+}

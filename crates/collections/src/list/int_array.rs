@@ -1,0 +1,155 @@
+//! Primitive-specialized integer list (`IntArray` in the paper's library).
+//!
+//! Stores unboxed 4-byte ints in a primitive array, eliminating the
+//! per-element reference the generic lists pay.
+
+use super::raw::RawArray;
+use super::ListImpl;
+use crate::runtime::Runtime;
+use chameleon_heap::{ContextId, ElemKind, ObjId};
+
+/// Resizable `int[]`-backed list of `i64` values (modeled at 4 bytes per
+/// element, like a Java `int`).
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::Heap;
+/// use chameleon_collections::runtime::Runtime;
+/// use chameleon_collections::list::{IntArrayImpl, ListImpl};
+///
+/// let rt = Runtime::new(Heap::new());
+/// let mut l = IntArrayImpl::new(&rt, Some(8), None);
+/// l.add(7);
+/// assert!(l.contains(&7));
+/// ```
+#[derive(Debug)]
+pub struct IntArrayImpl {
+    raw: RawArray<i64>,
+}
+
+impl IntArrayImpl {
+    /// Creates an int-array list with the given capacity (default 10).
+    pub fn new(rt: &Runtime, capacity: Option<u32>, ctx: Option<ContextId>) -> Self {
+        let c = rt.classes();
+        IntArrayImpl {
+            raw: RawArray::new(
+                rt,
+                c.int_array,
+                c.int_array_data,
+                ElemKind::Prim { bytes_per_elem: 4 },
+                capacity.unwrap_or(10),
+                1,
+                false,
+                ctx,
+            ),
+        }
+    }
+}
+
+impl ListImpl<i64> for IntArrayImpl {
+    fn impl_name(&self) -> &'static str {
+        "IntArray"
+    }
+
+    fn obj(&self) -> ObjId {
+        self.raw.obj()
+    }
+
+    fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.raw.capacity() as usize
+    }
+
+    fn add(&mut self, v: i64) {
+        self.raw.push(v);
+    }
+
+    fn add_at(&mut self, i: usize, v: i64) {
+        self.raw.insert(i, v);
+    }
+
+    fn get(&self, i: usize) -> Option<&i64> {
+        self.raw.get(i)
+    }
+
+    fn set_at(&mut self, i: usize, v: i64) -> Option<i64> {
+        self.raw.set(i, v)
+    }
+
+    fn remove_at(&mut self, i: usize) -> Option<i64> {
+        self.raw.remove(i)
+    }
+
+    fn remove_value(&mut self, v: &i64) -> bool {
+        match self.raw.index_of(v) {
+            Some(i) => {
+                self.raw.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn contains(&self, v: &i64) -> bool {
+        self.raw.index_of(v).is_some()
+    }
+
+    fn clear(&mut self) {
+        self.raw.clear();
+    }
+
+    fn snapshot(&self) -> Vec<i64> {
+        self.raw.snapshot()
+    }
+
+    fn dispose(&mut self) {
+        self.raw.dispose();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_heap::Heap;
+
+    #[test]
+    fn behaves_like_a_list() {
+        let rt = Runtime::new(Heap::new());
+        let mut l = IntArrayImpl::new(&rt, None, None);
+        for i in 0..20 {
+            l.add(i);
+        }
+        assert_eq!(l.get(5), Some(&5));
+        assert!(l.remove_value(&5));
+        assert!(!l.contains(&5));
+        assert_eq!(l.len(), 19);
+    }
+
+    #[test]
+    fn primitive_array_is_denser_than_ref_list_with_payloads() {
+        use crate::list::ArrayListImpl;
+        let rt = Runtime::new(Heap::new());
+        let heap = rt.heap().clone();
+        let b0 = heap.heap_bytes();
+        let mut ints = IntArrayImpl::new(&rt, Some(100), None);
+        for i in 0..100 {
+            ints.add(i);
+        }
+        let int_bytes = heap.heap_bytes() - b0;
+
+        let b1 = heap.heap_bytes();
+        let mut boxed: ArrayListImpl<i64> = ArrayListImpl::new(&rt, Some(100), None);
+        for i in 0..100 {
+            boxed.add(i);
+        }
+        let boxed_bytes = heap.heap_bytes() - b1;
+        // Same element count, identical fixed overhead; primitive slots are
+        // not cheaper in the 32-bit model (4 B each) but never need boxing
+        // payloads, so equal here and strictly better once payloads exist.
+        assert!(int_bytes <= boxed_bytes);
+    }
+}

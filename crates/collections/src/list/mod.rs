@@ -1,0 +1,92 @@
+//! List implementations.
+//!
+//! All implementations share the [`ListImpl`] interface so the wrapper
+//! handle (§4.1's "level of indirection") can delegate to any of them and
+//! swap them per allocation context. The provided implementations mirror
+//! the paper's library (§4.2): `ArrayList`, `LinkedList`, `LazyArrayList`
+//! ("allocate internal array on first update"), `SingletonList` and
+//! `IntArray`.
+
+mod array_list;
+mod int_array;
+mod linked_list;
+pub(crate) mod raw;
+mod singleton_list;
+
+pub use array_list::{ArrayListImpl, DEFAULT_ARRAY_LIST_CAPACITY};
+pub use int_array::IntArrayImpl;
+pub use linked_list::LinkedListImpl;
+pub use singleton_list::SingletonListImpl;
+
+use crate::elem::Elem;
+use chameleon_heap::ObjId;
+
+/// A swappable list implementation with the same logical behaviour as every
+/// other list (the paper's interchangeability requirement, §1).
+pub trait ListImpl<T: Elem>: std::fmt::Debug {
+    /// Implementation name (e.g. `"ArrayList"`).
+    fn impl_name(&self) -> &'static str;
+
+    /// The simulated-heap object backing this implementation.
+    fn obj(&self) -> ObjId;
+
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// Whether the list is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current capacity in element slots (0 when unallocated).
+    fn capacity(&self) -> usize;
+
+    /// Appends `v`.
+    fn add(&mut self, v: T);
+
+    /// Inserts `v` at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len()`.
+    fn add_at(&mut self, i: usize, v: T);
+
+    /// Positional read.
+    fn get(&self, i: usize) -> Option<&T>;
+
+    /// Replaces the element at `i`, returning the old value (`None` if out
+    /// of bounds).
+    fn set_at(&mut self, i: usize, v: T) -> Option<T>;
+
+    /// Removes and returns the element at `i` (`None` if out of bounds).
+    fn remove_at(&mut self, i: usize) -> Option<T>;
+
+    /// Removes the first occurrence of `v`; returns whether it was present.
+    fn remove_value(&mut self, v: &T) -> bool;
+
+    /// Removes and returns the first element.
+    fn remove_first(&mut self) -> Option<T> {
+        self.remove_at(0)
+    }
+
+    /// Removes and returns the last element.
+    fn remove_last(&mut self) -> Option<T> {
+        match self.len() {
+            0 => None,
+            n => self.remove_at(n - 1),
+        }
+    }
+
+    /// Membership test.
+    fn contains(&self, v: &T) -> bool;
+
+    /// Removes all elements.
+    fn clear(&mut self);
+
+    /// Copies the contents out (used by iteration and `addAll`).
+    fn snapshot(&self) -> Vec<T>;
+
+    /// Detaches the implementation from the heap root set so the GC can
+    /// reclaim it (idempotent).
+    fn dispose(&mut self);
+}

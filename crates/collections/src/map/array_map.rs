@@ -1,0 +1,229 @@
+//! `ArrayMap` and `LazyMap`: interleaved key/value array maps.
+//!
+//! The fixed cost is one small object plus one array with two reference
+//! slots per entry — no 24-byte entry objects and no 16-slot bucket array —
+//! which is why Chameleon's headline TVLA result replaces small `HashMap`s
+//! with `ArrayMap`s (§2, §5.3). Lookups are linear scans, which is exactly
+//! the time-for-space trade the rule engine must gate on `maxSize`.
+
+use super::MapImpl;
+use crate::elem::Elem;
+use crate::list::raw::RawArray;
+use crate::runtime::Runtime;
+use chameleon_heap::{ContextId, ElemKind, ObjId};
+
+/// Default `ArrayMap` capacity (entries).
+pub const DEFAULT_ARRAY_MAP_CAPACITY: u32 = 4;
+
+/// Array-backed map storing keys and values interleaved; `LazyMap` defers
+/// the array to the first `put`.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::Heap;
+/// use chameleon_collections::runtime::Runtime;
+/// use chameleon_collections::map::{ArrayMapImpl, MapImpl};
+///
+/// let rt = Runtime::new(Heap::new());
+/// let mut m = ArrayMapImpl::new(&rt, None, None);
+/// m.put(1i64, 100i64);
+/// assert_eq!(m.get(&1), Some(&100));
+/// ```
+#[derive(Debug)]
+pub struct ArrayMapImpl<K: Elem, V: Elem> {
+    raw: RawArray<(K, V)>,
+    name: &'static str,
+}
+
+impl<K: Elem, V: Elem> ArrayMapImpl<K, V> {
+    /// Creates an eager array map with `capacity` entries (default 4).
+    pub fn new(rt: &Runtime, capacity: Option<u32>, ctx: Option<ContextId>) -> Self {
+        let c = rt.classes();
+        ArrayMapImpl {
+            raw: RawArray::new(
+                rt,
+                c.array_map,
+                c.object_array,
+                ElemKind::Ref,
+                capacity.unwrap_or(DEFAULT_ARRAY_MAP_CAPACITY),
+                2,
+                false,
+                ctx,
+            ),
+            name: "ArrayMap",
+        }
+    }
+
+    /// Creates a lazy array map.
+    pub fn new_lazy(rt: &Runtime, ctx: Option<ContextId>) -> Self {
+        let c = rt.classes();
+        ArrayMapImpl {
+            raw: RawArray::new(rt, c.lazy_map, c.object_array, ElemKind::Ref, 0, 2, true, ctx),
+            name: "LazyMap",
+        }
+    }
+
+    fn position(&self, k: &K) -> Option<usize> {
+        let cost = self.raw_rt().cost();
+        let pos = self.raw.as_slice().iter().position(|(key, _)| key == k);
+        let scanned = pos.map(|p| p + 1).unwrap_or(self.raw.len());
+        self.raw_rt()
+            .charge((cost.eq_check + cost.array_access) * scanned as u64);
+        pos
+    }
+
+    fn raw_rt(&self) -> &Runtime {
+        // RawArray owns the runtime; expose it through a tiny helper.
+        self.raw.runtime()
+    }
+}
+
+impl<K: Elem, V: Elem> MapImpl<K, V> for ArrayMapImpl<K, V> {
+    fn impl_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn obj(&self) -> ObjId {
+        self.raw.obj()
+    }
+
+    fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.raw.capacity() as usize
+    }
+
+    fn put(&mut self, k: K, v: V) -> Option<V> {
+        match self.position(&k) {
+            Some(i) => {
+                let old = self.raw.set(i, (k, v)).expect("index in range");
+                Some(old.1)
+            }
+            None => {
+                self.raw.push((k, v));
+                None
+            }
+        }
+    }
+
+    fn get(&self, k: &K) -> Option<&V> {
+        let i = self.position(k)?;
+        self.raw.as_slice().get(i).map(|(_, v)| v)
+    }
+
+    fn remove(&mut self, k: &K) -> Option<V> {
+        let i = self.position(k)?;
+        self.raw.remove(i).map(|(_, v)| v)
+    }
+
+    fn contains_key(&self, k: &K) -> bool {
+        self.position(k).is_some()
+    }
+
+    fn clear(&mut self) {
+        self.raw.clear();
+    }
+
+    fn snapshot(&self) -> Vec<(K, V)> {
+        self.raw.snapshot()
+    }
+
+    fn dispose(&mut self) {
+        self.raw.dispose();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::HashMapImpl;
+    use chameleon_heap::Heap;
+
+    #[test]
+    fn semantics_match_std_map() {
+        use std::collections::HashMap as StdMap;
+        let rt = Runtime::new(Heap::new());
+        let mut a: ArrayMapImpl<i64, i64> = ArrayMapImpl::new(&rt, None, None);
+        let mut m: StdMap<i64, i64> = StdMap::new();
+        let mut x = 0xB7E15162u64;
+        for _ in 0..800 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let k = (x >> 45) as i64 % 24;
+            match x % 3 {
+                0 => assert_eq!(a.put(k, k * 3), m.insert(k, k * 3)),
+                1 => assert_eq!(a.remove(&k), m.remove(&k)),
+                _ => assert_eq!(a.get(&k), m.get(&k)),
+            }
+        }
+        let snap: StdMap<i64, i64> = a.snapshot().into_iter().collect();
+        assert_eq!(snap, m);
+    }
+
+    #[test]
+    fn far_smaller_than_hash_map_when_small() {
+        let rt = Runtime::new(Heap::new());
+        let heap = rt.heap().clone();
+        let b0 = heap.heap_bytes();
+        let mut a: ArrayMapImpl<i64, i64> = ArrayMapImpl::new(&rt, Some(4), None);
+        for i in 0..4 {
+            a.put(i, i);
+        }
+        let array_bytes = heap.heap_bytes() - b0;
+        let b1 = heap.heap_bytes();
+        let mut h: HashMapImpl<i64, i64> = HashMapImpl::new(&rt, None, None);
+        for i in 0..4 {
+            h.put(i, i);
+        }
+        let hash_bytes = heap.heap_bytes() - b1;
+        assert!(
+            array_bytes * 2 < hash_bytes,
+            "ArrayMap {array_bytes} B vs HashMap {hash_bytes} B"
+        );
+    }
+
+    #[test]
+    fn lazy_map_defers_array() {
+        let rt = Runtime::new(Heap::new());
+        let mut m: ArrayMapImpl<i64, i64> = ArrayMapImpl::new_lazy(&rt, None);
+        assert_eq!(m.capacity(), 0);
+        m.put(1, 1);
+        assert!(m.capacity() > 0);
+        assert_eq!(m.impl_name(), "LazyMap");
+    }
+
+    #[test]
+    fn payloads_traced_through_interleaved_slots() {
+        use crate::elem::HeapVal;
+        let rt = Runtime::new(Heap::new());
+        let heap = rt.heap().clone();
+        let pc = heap.register_class("P", None);
+        let kp = heap.alloc_scalar(pc, 0, 0, None);
+        let vp = heap.alloc_scalar(pc, 0, 0, None);
+        let mut m: ArrayMapImpl<HeapVal, HeapVal> = ArrayMapImpl::new(&rt, None, None);
+        m.put(HeapVal(kp), HeapVal(vp));
+        heap.gc();
+        assert!(heap.is_live(kp) && heap.is_live(vp));
+        m.remove(&HeapVal(kp));
+        heap.gc();
+        assert!(!heap.is_live(kp) && !heap.is_live(vp));
+    }
+
+    #[test]
+    fn get_cost_is_linear_in_position() {
+        let rt = Runtime::new(Heap::new());
+        let mut m: ArrayMapImpl<i64, i64> = ArrayMapImpl::new(&rt, Some(128), None);
+        for i in 0..100 {
+            m.put(i, i);
+        }
+        let t0 = rt.clock().now();
+        m.get(&99);
+        let deep = rt.clock().now() - t0;
+        let t1 = rt.clock().now();
+        m.get(&0);
+        let shallow = rt.clock().now() - t1;
+        assert!(deep > 10 * shallow.max(1));
+    }
+}

@@ -1,0 +1,158 @@
+//! `HashMap` and `LinkedHashMap` over the shared chained-hash engine.
+
+use super::MapImpl;
+use crate::elem::Elem;
+use crate::hash_core::{HashShape, RawChainedHash};
+use crate::runtime::Runtime;
+use chameleon_heap::{ContextId, ObjId};
+
+/// Chained hash map with 24-byte entry objects (32 bytes for the linked
+/// variant), the default Java-style map of §2.3.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::Heap;
+/// use chameleon_collections::runtime::Runtime;
+/// use chameleon_collections::map::{HashMapImpl, MapImpl};
+///
+/// let rt = Runtime::new(Heap::new());
+/// let mut m = HashMapImpl::new(&rt, None, None);
+/// assert_eq!(m.put(1i64, 10i64), None);
+/// assert_eq!(m.put(1, 11), Some(10));
+/// assert_eq!(m.get(&1), Some(&11));
+/// ```
+#[derive(Debug)]
+pub struct HashMapImpl<K: Elem, V: Elem> {
+    raw: RawChainedHash<K, V>,
+}
+
+impl<K: Elem, V: Elem> HashMapImpl<K, V> {
+    /// Creates a plain hash map (default capacity 16).
+    pub fn new(rt: &Runtime, capacity: Option<u32>, ctx: Option<ContextId>) -> Self {
+        let c = rt.classes();
+        HashMapImpl {
+            raw: RawChainedHash::new(
+                rt,
+                HashShape {
+                    impl_class: c.hash_map,
+                    entry_class: c.hash_map_entry,
+                    entry_refs: 3,
+                    entry_prim: 4,
+                    linked: false,
+                    name: "HashMap",
+                },
+                capacity,
+                ctx,
+            ),
+        }
+    }
+
+    /// Creates a linked (insertion-ordered) hash map.
+    pub fn new_linked(rt: &Runtime, capacity: Option<u32>, ctx: Option<ContextId>) -> Self {
+        let c = rt.classes();
+        HashMapImpl {
+            raw: RawChainedHash::new(
+                rt,
+                HashShape {
+                    impl_class: c.linked_hash_map,
+                    entry_class: c.linked_hash_map_entry,
+                    entry_refs: 3,
+                    entry_prim: 12,
+                    linked: true,
+                    name: "LinkedHashMap",
+                },
+                capacity,
+                ctx,
+            ),
+        }
+    }
+}
+
+impl<K: Elem, V: Elem> MapImpl<K, V> for HashMapImpl<K, V> {
+    fn impl_name(&self) -> &'static str {
+        self.raw.name()
+    }
+
+    fn obj(&self) -> ObjId {
+        self.raw.obj()
+    }
+
+    fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.raw.capacity()
+    }
+
+    fn put(&mut self, k: K, v: V) -> Option<V> {
+        self.raw.insert(k, v)
+    }
+
+    fn get(&self, k: &K) -> Option<&V> {
+        self.raw.get(k)
+    }
+
+    fn remove(&mut self, k: &K) -> Option<V> {
+        self.raw.remove(k)
+    }
+
+    fn contains_key(&self, k: &K) -> bool {
+        self.raw.contains(k)
+    }
+
+    fn clear(&mut self) {
+        self.raw.clear();
+    }
+
+    fn snapshot(&self) -> Vec<(K, V)> {
+        self.raw.snapshot()
+    }
+
+    fn dispose(&mut self) {
+        self.raw.dispose();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_heap::Heap;
+
+    #[test]
+    fn entry_bytes_match_paper() {
+        // §2.3: 24 bytes per entry on the 32-bit model.
+        let rt = Runtime::new(Heap::new());
+        let heap = rt.heap().clone();
+        let mut m = HashMapImpl::new(&rt, None, None);
+        let before = heap.heap_bytes();
+        m.put(1i64, 2i64);
+        assert_eq!(heap.heap_bytes() - before, 24);
+    }
+
+    #[test]
+    fn linked_map_orders_entries() {
+        let rt = Runtime::new(Heap::new());
+        let mut m = HashMapImpl::new_linked(&rt, None, None);
+        for (i, k) in [30i64, 10, 20].iter().enumerate() {
+            m.put(*k, i as i64);
+        }
+        let keys: Vec<i64> = m.snapshot().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn empty_map_fixed_cost_is_bucket_array() {
+        let rt = Runtime::new(Heap::new());
+        let heap = rt.heap().clone();
+        let before = heap.heap_bytes();
+        let _m: HashMapImpl<i64, i64> = HashMapImpl::new(&rt, None, None);
+        let bytes = heap.heap_bytes() - before;
+        let model = heap.model();
+        assert_eq!(
+            bytes,
+            u64::from(model.object_size(1, 16)) + u64::from(model.ref_array_size(16))
+        );
+    }
+}

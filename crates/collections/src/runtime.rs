@@ -1,0 +1,283 @@
+//! Collection runtime: shared heap, clock, cost model, class registrations
+//! and the death-statistics sink.
+//!
+//! Every collection implementation holds a [`Runtime`] handle. Constructing
+//! the runtime registers all collection classes (with their semantic ADT
+//! maps) on the simulated heap, mirroring how the paper's VM precomputes
+//! semantic maps for all collection types at startup (§4.3.2).
+
+use crate::cost::CostModel;
+use crate::ops::OpCounts;
+use chameleon_heap::semantic::{AdtDescriptor, CollectionKind, SemanticMap};
+use chameleon_heap::{ClassId, ContextId, Heap, SimClock};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Ids of every class the collection library allocates.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)] // field names mirror the class names they register
+pub struct ClassIds {
+    pub list_wrapper: ClassId,
+    pub set_wrapper: ClassId,
+    pub map_wrapper: ClassId,
+    pub array_list: ClassId,
+    pub lazy_array_list: ClassId,
+    pub singleton_list: ClassId,
+    pub int_array: ClassId,
+    pub linked_list: ClassId,
+    pub linked_list_entry: ClassId,
+    pub object_array: ClassId,
+    pub int_array_data: ClassId,
+    pub hash_set: ClassId,
+    pub hash_set_entry: ClassId,
+    pub linked_hash_set: ClassId,
+    pub linked_hash_set_entry: ClassId,
+    pub array_set: ClassId,
+    pub lazy_set: ClassId,
+    pub size_adapting_set: ClassId,
+    pub hash_map: ClassId,
+    pub hash_map_entry: ClassId,
+    pub linked_hash_map: ClassId,
+    pub linked_hash_map_entry: ClassId,
+    pub array_map: ClassId,
+    pub lazy_map: ClassId,
+    pub size_adapting_map: ClassId,
+    pub iterator: ClassId,
+}
+
+impl ClassIds {
+    fn register(heap: &Heap) -> Self {
+        use AdtDescriptor as D;
+        use CollectionKind as K;
+        let backing = SemanticMap::backing;
+        let arr1 = |k| backing(k, D::ArrayBacked { array_field: 0, slots_per_elem: 1 });
+        ClassIds {
+            list_wrapper: heap.register_class("Chameleon$List", Some(SemanticMap::wrapper(K::List))),
+            set_wrapper: heap.register_class("Chameleon$Set", Some(SemanticMap::wrapper(K::Set))),
+            map_wrapper: heap.register_class("Chameleon$Map", Some(SemanticMap::wrapper(K::Map))),
+            array_list: heap.register_class("ArrayList", Some(arr1(K::List))),
+            lazy_array_list: heap.register_class("LazyArrayList", Some(arr1(K::List))),
+            singleton_list: heap
+                .register_class("SingletonList", Some(backing(K::List, D::Inline))),
+            int_array: heap.register_class("IntArray", Some(arr1(K::List))),
+            linked_list: heap.register_class(
+                "LinkedList",
+                Some(backing(K::List, D::LinkedEntries { head_field: 0 })),
+            ),
+            linked_list_entry: heap.register_class("LinkedList$Entry", None),
+            object_array: heap.register_class("Object[]", None),
+            int_array_data: heap.register_class("int[]", None),
+            hash_set: heap.register_class(
+                "HashSet",
+                Some(backing(K::Set, D::ChainedHash { array_field: 0 })),
+            ),
+            hash_set_entry: heap.register_class("HashSet$Entry", None),
+            linked_hash_set: heap.register_class(
+                "LinkedHashSet",
+                Some(backing(K::Set, D::ChainedHash { array_field: 0 })),
+            ),
+            linked_hash_set_entry: heap.register_class("LinkedHashSet$Entry", None),
+            array_set: heap.register_class("ArraySet", Some(arr1(K::Set))),
+            lazy_set: heap.register_class("LazySet", Some(arr1(K::Set))),
+            size_adapting_set: heap.register_class(
+                "SizeAdaptingSet",
+                Some(backing(K::Set, D::Wrapper { impl_field: 0 })),
+            ),
+            hash_map: heap.register_class(
+                "HashMap",
+                Some(backing(K::Map, D::ChainedHash { array_field: 0 })),
+            ),
+            hash_map_entry: heap.register_class("HashMap$Entry", None),
+            linked_hash_map: heap.register_class(
+                "LinkedHashMap",
+                Some(backing(K::Map, D::ChainedHash { array_field: 0 })),
+            ),
+            linked_hash_map_entry: heap.register_class("LinkedHashMap$Entry", None),
+            array_map: heap.register_class(
+                "ArrayMap",
+                Some(backing(K::Map, D::ArrayBacked { array_field: 0, slots_per_elem: 2 })),
+            ),
+            lazy_map: heap.register_class(
+                "LazyMap",
+                Some(backing(K::Map, D::ArrayBacked { array_field: 0, slots_per_elem: 2 })),
+            ),
+            size_adapting_map: heap.register_class(
+                "SizeAdaptingMap",
+                Some(backing(K::Map, D::Wrapper { impl_field: 0 })),
+            ),
+            iterator: heap.register_class("Iterator", None),
+        }
+    }
+}
+
+/// Per-instance usage statistics, delivered to the sink when the collection
+/// dies — the analogue of the paper's `ObjectContextInfo` being folded into
+/// its `ContextInfo` by the (selectively used) finalizers (§4.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Operation counters.
+    pub ops: OpCounts,
+    /// Largest logical size the collection reached.
+    pub max_size: u64,
+    /// Logical size at death.
+    pub final_size: u64,
+    /// Initial capacity the collection was created with (0 for lazy ones).
+    pub initial_capacity: u64,
+    /// The collection type the program requested (e.g. `"HashMap"`).
+    pub requested_type: &'static str,
+    /// The implementation that actually backed it (e.g. `"ArrayMap"`).
+    pub chosen_impl: &'static str,
+}
+
+/// Receiver of per-instance statistics on collection death.
+pub trait StatsSink: Send + Sync {
+    /// Called once per collection instance, when its handle is dropped.
+    fn on_death(&self, ctx: Option<ContextId>, stats: &InstanceStats);
+}
+
+struct RuntimeInner {
+    heap: Heap,
+    clock: SimClock,
+    cost: CostModel,
+    classes: ClassIds,
+    sink: Mutex<Option<Arc<dyn StatsSink>>>,
+}
+
+/// Shared collection runtime handle.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::Heap;
+/// use chameleon_collections::runtime::Runtime;
+///
+/// let rt = Runtime::new(Heap::new());
+/// rt.charge(10);
+/// assert_eq!(rt.clock().now(), 10);
+/// ```
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("heap", &self.inner.heap)
+            .field("cost", &self.inner.cost)
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime over `heap` with a fresh clock and the calibrated
+    /// cost model, registering all collection classes.
+    pub fn new(heap: Heap) -> Self {
+        Runtime::with_cost(heap, CostModel::calibrated())
+    }
+
+    /// Creates a runtime with an explicit cost model.
+    pub fn with_cost(heap: Heap, cost: CostModel) -> Self {
+        let clock = SimClock::new();
+        heap.attach_clock(clock.clone());
+        let classes = ClassIds::register(&heap);
+        Runtime {
+            inner: Arc::new(RuntimeInner {
+                heap,
+                clock,
+                cost,
+                classes,
+                sink: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// The underlying simulated heap.
+    pub fn heap(&self) -> &Heap {
+        &self.inner.heap
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// Registered collection class ids.
+    pub fn classes(&self) -> &ClassIds {
+        &self.inner.classes
+    }
+
+    /// Charges `units` to the clock.
+    pub fn charge(&self, units: u64) {
+        self.inner.clock.charge(units);
+    }
+
+    /// Installs the death-statistics sink (normally the profiler).
+    pub fn set_sink(&self, sink: Arc<dyn StatsSink>) {
+        *self.inner.sink.lock() = Some(sink);
+    }
+
+    /// Removes the sink.
+    pub fn clear_sink(&self) {
+        *self.inner.sink.lock() = None;
+    }
+
+    /// Delivers death statistics to the sink, if any.
+    pub fn report_death(&self, ctx: Option<ContextId>, stats: &InstanceStats) {
+        if let Some(sink) = self.inner.sink.lock().as_ref() {
+            sink.on_death(ctx, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn classes_registered_once() {
+        let heap = Heap::new();
+        let rt = Runtime::new(heap.clone());
+        assert_eq!(heap.class_name(rt.classes().array_list), "ArrayList");
+        assert_eq!(heap.class_name(rt.classes().hash_map_entry), "HashMap$Entry");
+        // A second runtime over the same heap reuses registrations.
+        let rt2 = Runtime::new(heap);
+        assert_eq!(rt.classes().array_list, rt2.classes().array_list);
+    }
+
+    #[test]
+    fn sink_receives_death_reports() {
+        struct Counting(AtomicUsize);
+        impl StatsSink for Counting {
+            fn on_death(&self, _ctx: Option<ContextId>, stats: &InstanceStats) {
+                assert_eq!(stats.ops.get(Op::Add), 2);
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let rt = Runtime::new(Heap::new());
+        let sink = Arc::new(Counting(AtomicUsize::new(0)));
+        rt.set_sink(sink.clone());
+        let mut ops = OpCounts::new();
+        ops.record_n(Op::Add, 2);
+        let stats = InstanceStats {
+            ops,
+            max_size: 2,
+            final_size: 2,
+            initial_capacity: 10,
+            requested_type: "ArrayList",
+            chosen_impl: "ArrayList",
+        };
+        rt.report_death(None, &stats);
+        assert_eq!(sink.0.load(Ordering::Relaxed), 1);
+        rt.clear_sink();
+        rt.report_death(None, &stats);
+        assert_eq!(sink.0.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! `ArraySet` and `LazySet`: array-backed sets with linear membership.
+//!
+//! "Operations on a small array might be faster than on an HashSet", and the
+//! fixed overhead is a fraction of a bucket array plus entry objects
+//! (Table 2's `HashSet maxSize < X → ArraySet` rule).
+
+use super::SetImpl;
+use crate::elem::Elem;
+use crate::list::raw::RawArray;
+use crate::runtime::Runtime;
+use chameleon_heap::{ContextId, ElemKind, ObjId};
+
+/// Default `ArraySet` capacity.
+pub const DEFAULT_ARRAY_SET_CAPACITY: u32 = 4;
+
+/// Array-backed set; `LazySet` defers its array to the first update.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::Heap;
+/// use chameleon_collections::runtime::Runtime;
+/// use chameleon_collections::set::{ArraySetImpl, SetImpl};
+///
+/// let rt = Runtime::new(Heap::new());
+/// let mut s = ArraySetImpl::new(&rt, None, None);
+/// assert!(s.add(1i64));
+/// assert!(!s.add(1));
+/// ```
+#[derive(Debug)]
+pub struct ArraySetImpl<T: Elem> {
+    raw: RawArray<T>,
+    name: &'static str,
+}
+
+impl<T: Elem> ArraySetImpl<T> {
+    /// Creates an eager array set.
+    pub fn new(rt: &Runtime, capacity: Option<u32>, ctx: Option<ContextId>) -> Self {
+        let c = rt.classes();
+        ArraySetImpl {
+            raw: RawArray::new(
+                rt,
+                c.array_set,
+                c.object_array,
+                ElemKind::Ref,
+                capacity.unwrap_or(DEFAULT_ARRAY_SET_CAPACITY),
+                1,
+                false,
+                ctx,
+            ),
+            name: "ArraySet",
+        }
+    }
+
+    /// Creates a lazy array set (no array until the first add).
+    pub fn new_lazy(rt: &Runtime, ctx: Option<ContextId>) -> Self {
+        let c = rt.classes();
+        ArraySetImpl {
+            raw: RawArray::new(rt, c.lazy_set, c.object_array, ElemKind::Ref, 0, 1, true, ctx),
+            name: "LazySet",
+        }
+    }
+}
+
+impl<T: Elem> SetImpl<T> for ArraySetImpl<T> {
+    fn impl_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn obj(&self) -> ObjId {
+        self.raw.obj()
+    }
+
+    fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.raw.capacity() as usize
+    }
+
+    fn add(&mut self, v: T) -> bool {
+        if self.raw.index_of(&v).is_some() {
+            return false;
+        }
+        self.raw.push(v);
+        true
+    }
+
+    fn remove(&mut self, v: &T) -> bool {
+        match self.raw.index_of(v) {
+            Some(i) => {
+                self.raw.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn contains(&self, v: &T) -> bool {
+        self.raw.index_of(v).is_some()
+    }
+
+    fn clear(&mut self) {
+        self.raw.clear();
+    }
+
+    fn snapshot(&self) -> Vec<T> {
+        self.raw.snapshot()
+    }
+
+    fn dispose(&mut self) {
+        self.raw.dispose();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::HashSetImpl;
+    use chameleon_heap::Heap;
+
+    #[test]
+    fn no_duplicates() {
+        let rt = Runtime::new(Heap::new());
+        let mut s = ArraySetImpl::new(&rt, None, None);
+        assert!(s.add(1i64));
+        assert!(s.add(2));
+        assert!(!s.add(1));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(&1));
+        assert!(!s.remove(&1));
+        assert_eq!(s.snapshot(), vec![2]);
+    }
+
+    #[test]
+    fn lazy_variant_defers_array() {
+        let rt = Runtime::new(Heap::new());
+        let mut s: ArraySetImpl<i64> = ArraySetImpl::new_lazy(&rt, None);
+        assert_eq!(s.capacity(), 0);
+        assert_eq!(s.impl_name(), "LazySet");
+        s.add(1);
+        assert!(s.capacity() > 0);
+    }
+
+    #[test]
+    fn smaller_than_hash_set_at_small_sizes() {
+        // The Table 2 space rationale: ArraySet fixed cost is far below
+        // HashSet's bucket array + entry objects.
+        let rt = Runtime::new(Heap::new());
+        let heap = rt.heap().clone();
+        let b0 = heap.heap_bytes();
+        let mut a = ArraySetImpl::new(&rt, Some(4), None);
+        for i in 0..4i64 {
+            a.add(i);
+        }
+        let array_bytes = heap.heap_bytes() - b0;
+        let b1 = heap.heap_bytes();
+        let mut h = HashSetImpl::new(&rt, None, None);
+        for i in 0..4i64 {
+            h.add(i);
+        }
+        let hash_bytes = heap.heap_bytes() - b1;
+        assert!(
+            array_bytes * 2 < hash_bytes,
+            "ArraySet {array_bytes} B should be well under half of HashSet {hash_bytes} B"
+        );
+    }
+
+    #[test]
+    fn contains_cost_grows_linearly() {
+        let rt = Runtime::new(Heap::new());
+        let mut s = ArraySetImpl::new(&rt, Some(256), None);
+        for i in 0..200i64 {
+            s.add(i);
+        }
+        let t0 = rt.clock().now();
+        s.contains(&-1); // full scan
+        let miss = rt.clock().now() - t0;
+        let t1 = rt.clock().now();
+        s.contains(&0); // first element
+        let hit = rt.clock().now() - t1;
+        assert!(miss > 50 * hit.max(1) / 10, "miss {miss} vs early hit {hit}");
+    }
+}

@@ -1,0 +1,170 @@
+//! `HashSet` and `LinkedHashSet` over the shared chained-hash engine.
+
+use super::SetImpl;
+use crate::elem::Elem;
+use crate::hash_core::{HashShape, RawChainedHash};
+use crate::runtime::Runtime;
+use chameleon_heap::{ContextId, ObjId};
+
+/// Chained hash set; the `LinkedHashSet` variant additionally preserves
+/// insertion order at the price of two extra order links per entry.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::Heap;
+/// use chameleon_collections::runtime::Runtime;
+/// use chameleon_collections::set::{HashSetImpl, SetImpl};
+///
+/// let rt = Runtime::new(Heap::new());
+/// let mut s = HashSetImpl::new(&rt, None, None);
+/// assert!(s.add(3i64));
+/// assert!(!s.add(3));
+/// assert!(s.contains(&3));
+/// ```
+#[derive(Debug)]
+pub struct HashSetImpl<T: Elem> {
+    raw: RawChainedHash<T, ()>,
+}
+
+impl<T: Elem> HashSetImpl<T> {
+    /// Creates a plain hash set (default capacity 16).
+    pub fn new(rt: &Runtime, capacity: Option<u32>, ctx: Option<ContextId>) -> Self {
+        let c = rt.classes();
+        HashSetImpl {
+            raw: RawChainedHash::new(
+                rt,
+                HashShape {
+                    impl_class: c.hash_set,
+                    entry_class: c.hash_set_entry,
+                    entry_refs: 2,
+                    entry_prim: 4,
+                    linked: false,
+                    name: "HashSet",
+                },
+                capacity,
+                ctx,
+            ),
+        }
+    }
+
+    /// Creates a linked (insertion-ordered) hash set.
+    pub fn new_linked(rt: &Runtime, capacity: Option<u32>, ctx: Option<ContextId>) -> Self {
+        let c = rt.classes();
+        HashSetImpl {
+            raw: RawChainedHash::new(
+                rt,
+                HashShape {
+                    impl_class: c.linked_hash_set,
+                    entry_class: c.linked_hash_set_entry,
+                    entry_refs: 2,
+                    entry_prim: 12,
+                    linked: true,
+                    name: "LinkedHashSet",
+                },
+                capacity,
+                ctx,
+            ),
+        }
+    }
+}
+
+impl<T: Elem> SetImpl<T> for HashSetImpl<T> {
+    fn impl_name(&self) -> &'static str {
+        self.raw.name()
+    }
+
+    fn obj(&self) -> ObjId {
+        self.raw.obj()
+    }
+
+    fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.raw.capacity()
+    }
+
+    fn add(&mut self, v: T) -> bool {
+        self.raw.insert(v, ()).is_none()
+    }
+
+    fn remove(&mut self, v: &T) -> bool {
+        self.raw.remove(v).is_some()
+    }
+
+    fn contains(&self, v: &T) -> bool {
+        self.raw.contains(v)
+    }
+
+    fn clear(&mut self) {
+        self.raw.clear();
+    }
+
+    fn snapshot(&self) -> Vec<T> {
+        self.raw.snapshot().into_iter().map(|(k, ())| k).collect()
+    }
+
+    fn dispose(&mut self) {
+        self.raw.dispose();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_heap::Heap;
+    use std::collections::HashSet as StdSet;
+
+    #[test]
+    fn set_semantics_match_std() {
+        let rt = Runtime::new(Heap::new());
+        let mut s = HashSetImpl::new(&rt, None, None);
+        let mut m: StdSet<i64> = StdSet::new();
+        let mut x = 0x9E3779B9u64;
+        for _ in 0..1500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (x >> 40) as i64 % 50;
+            match x % 3 {
+                0 => assert_eq!(s.add(k), m.insert(k)),
+                1 => assert_eq!(s.remove(&k), m.remove(&k)),
+                _ => assert_eq!(s.contains(&k), m.contains(&k)),
+            }
+        }
+        assert_eq!(s.len(), m.len());
+        let snap: StdSet<i64> = s.snapshot().into_iter().collect();
+        assert_eq!(snap, m);
+    }
+
+    #[test]
+    fn linked_preserves_order() {
+        let rt = Runtime::new(Heap::new());
+        let mut s = HashSetImpl::new_linked(&rt, None, None);
+        for k in [9i64, 2, 7, 4] {
+            s.add(k);
+        }
+        s.remove(&7);
+        assert_eq!(s.snapshot(), vec![9, 2, 4]);
+        assert_eq!(s.impl_name(), "LinkedHashSet");
+    }
+
+    #[test]
+    fn linked_entries_cost_more_space() {
+        let rt = Runtime::new(Heap::new());
+        let heap = rt.heap().clone();
+        let b0 = heap.heap_bytes();
+        let mut plain = HashSetImpl::new(&rt, Some(16), None);
+        for i in 0..10i64 {
+            plain.add(i);
+        }
+        let plain_bytes = heap.heap_bytes() - b0;
+        let b1 = heap.heap_bytes();
+        let mut linked = HashSetImpl::new_linked(&rt, Some(16), None);
+        for i in 0..10i64 {
+            linked.add(i);
+        }
+        let linked_bytes = heap.heap_bytes() - b1;
+        assert!(linked_bytes > plain_bytes);
+    }
+}

@@ -1,0 +1,55 @@
+//! Set implementations.
+//!
+//! Mirrors the paper's library (§4.2): `HashSet` (default), `ArraySet`
+//! ("backed up by an array"), `LazySet` ("allocates internal array on first
+//! update"), `LinkedHashSet`, and `SizeAdaptingSet` ("dynamically switch
+//! underlying implementation from array to hash based on size").
+
+mod array_set;
+mod hash_set;
+mod size_adapting;
+
+pub use array_set::{ArraySetImpl, DEFAULT_ARRAY_SET_CAPACITY};
+pub use hash_set::HashSetImpl;
+pub use size_adapting::{SizeAdaptingSetImpl, DEFAULT_ADAPT_THRESHOLD};
+
+use crate::elem::Elem;
+use chameleon_heap::ObjId;
+
+/// A swappable set implementation (no duplicates).
+pub trait SetImpl<T: Elem>: std::fmt::Debug {
+    /// Implementation name (e.g. `"HashSet"`).
+    fn impl_name(&self) -> &'static str;
+
+    /// The simulated-heap object backing this implementation.
+    fn obj(&self) -> ObjId;
+
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// Whether the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current capacity (buckets or slots).
+    fn capacity(&self) -> usize;
+
+    /// Adds `v`; returns `true` if it was not already present.
+    fn add(&mut self, v: T) -> bool;
+
+    /// Removes `v`; returns whether it was present.
+    fn remove(&mut self, v: &T) -> bool;
+
+    /// Membership test.
+    fn contains(&self, v: &T) -> bool;
+
+    /// Removes all elements.
+    fn clear(&mut self);
+
+    /// Copies the contents out in iteration order.
+    fn snapshot(&self) -> Vec<T>;
+
+    /// Detaches from the heap root set (idempotent).
+    fn dispose(&mut self);
+}

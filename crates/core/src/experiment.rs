@@ -1,0 +1,201 @@
+//! The §5.2 methodology, automated end to end:
+//!
+//! 1. run the workload under the semantic profiler;
+//! 2. evaluate the selection rules over the profile;
+//! 3. apply the (auto-applicable) suggestions as a portable policy;
+//! 4. measure the minimal heap size before and after;
+//! 5. measure running time before and after, both at the *original*
+//!    minimal heap size (as Fig. 7 does).
+
+use crate::env::{portable_updates, Env, EnvConfig, PortableUpdate};
+use crate::metrics::{Improvement, RunMetrics};
+use crate::minheap::min_heap_size_with;
+use crate::workload::Workload;
+use chameleon_profiler::ProfileReport;
+use chameleon_rules::{RuleEngine, Suggestion};
+
+/// Outcome of a full before/after experiment on one workload.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Workload name.
+    pub name: &'static str,
+    /// The profiling report.
+    pub report: ProfileReport,
+    /// All suggestions the rule engine produced.
+    pub suggestions: Vec<Suggestion>,
+    /// The policy actually applied (auto-applicable suggestions only,
+    /// possibly truncated to the top-k).
+    pub applied: Vec<PortableUpdate>,
+    /// Minimal heap size with default collections.
+    pub min_heap_before: u64,
+    /// Minimal heap size with Chameleon's policy.
+    pub min_heap_after: u64,
+    /// Measured run with default collections at `min_heap_before`.
+    pub time_before: RunMetrics,
+    /// Measured run with the policy at `min_heap_before`.
+    pub time_after: RunMetrics,
+}
+
+impl ExperimentResult {
+    /// Minimal-heap improvement (Fig. 6's metric).
+    pub fn space_improvement(&self) -> Improvement {
+        Improvement::new(self.min_heap_before as f64, self.min_heap_after as f64)
+    }
+
+    /// Running-time improvement at the original minimal heap (Fig. 7's
+    /// metric).
+    pub fn time_improvement(&self) -> Improvement {
+        Improvement::new(self.time_before.sim_time as f64, self.time_after.sim_time as f64)
+    }
+
+    /// GC-count improvement (reported for PMD in §5.3).
+    pub fn gc_improvement(&self) -> Improvement {
+        Improvement::new(self.time_before.gc_count as f64, self.time_after.gc_count as f64)
+    }
+}
+
+/// Runs the full methodology on `workload`.
+///
+/// `top_k` limits how many of the highest-potential suggestions are applied
+/// (the paper modifies "the top allocation contexts"); `None` applies all.
+pub fn run_experiment(
+    workload: &dyn Workload,
+    engine: &RuleEngine,
+    profile_config: &EnvConfig,
+    top_k: Option<usize>,
+) -> ExperimentResult {
+    // Step 1: profiling run.
+    let env = Env::new(profile_config);
+    env.run(workload);
+    let report = env.report();
+
+    // Step 2: rule evaluation.
+    let suggestions = engine.evaluate(&report);
+
+    // Step 3: portable policy from the top-k applicable suggestions.
+    let applicable: Vec<Suggestion> = suggestions
+        .iter()
+        .filter(|s| s.auto_applicable())
+        .take(top_k.unwrap_or(usize::MAX))
+        .cloned()
+        .collect();
+    let applied = portable_updates(&applicable, &env.heap);
+
+    // Step 4: minimal heap before/after (under the same layout/cost model
+    // as the profiling run).
+    let hint = report.peak_live().max(64 * 1024);
+    let min_heap_before = min_heap_size_with(workload, &[], hint, profile_config);
+    let min_heap_after = min_heap_size_with(workload, &applied, hint, profile_config);
+
+    // Step 5: measured runs at the original minimal heap size. The paper
+    // finds the minimum at -Xmx granularity, which leaves slack; our search
+    // is byte-exact, so running at exactly `min_heap_before` would thrash
+    // the collector in a way no real JVM configuration does. A fixed 12.5%
+    // slack models the coarse-granularity minimum for both versions.
+    let measured = EnvConfig {
+        model: profile_config.model,
+        cost: profile_config.cost,
+        gc_threads: profile_config.gc_threads,
+        ..EnvConfig::measured(min_heap_before + min_heap_before / 8)
+    };
+    let before_env = Env::new(&measured);
+    before_env.run(workload);
+    let time_before = before_env.metrics();
+
+    let after_env = Env::new(&measured);
+    after_env.apply_policy(&applied);
+    after_env.run(workload);
+    let time_after = after_env.metrics();
+
+    ExperimentResult {
+        name: workload.name(),
+        report,
+        suggestions,
+        applied,
+        min_heap_before,
+        min_heap_after,
+        time_before,
+        time_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use chameleon_collections::CollectionFactory;
+
+    /// A TVLA-flavored miniature: many small long-lived HashMaps.
+    fn small_maps() -> impl Workload {
+        ("mini-tvla", |f: &CollectionFactory| {
+            let _g = f.enter("mini.StateFactory:31");
+            let mut states = Vec::new();
+            for s in 0..60 {
+                let mut m = f.new_map::<i64, i64>(None);
+                for i in 0..5 {
+                    m.put(i, s * 10 + i);
+                }
+                let _ = m.get(&2);
+                states.push(m);
+            }
+            // Read phase.
+            for m in &states {
+                let _ = m.get(&1);
+            }
+        })
+    }
+
+    #[test]
+    fn experiment_improves_space_and_time() {
+        let engine = RuleEngine::builtin();
+        let result = run_experiment(&small_maps(), &engine, &EnvConfig::default(), None);
+        assert!(
+            !result.applied.is_empty(),
+            "expected applicable suggestions: {:?}",
+            result.suggestions
+        );
+        let space = result.space_improvement();
+        assert!(
+            space.pct() > 20.0,
+            "sparse HashMaps -> ArrayMap should save >20% min-heap, got {:.1}% \
+             ({} -> {})",
+            space.pct(),
+            result.min_heap_before,
+            result.min_heap_after
+        );
+        let time = result.time_improvement();
+        assert!(
+            time.pct() > -20.0,
+            "small maps should not get dramatically slower: {:.1}%",
+            time.pct()
+        );
+    }
+
+    #[test]
+    fn top_k_limits_applied_contexts() {
+        let w = ("two-sites", |f: &CollectionFactory| {
+            let mut keep = Vec::new();
+            {
+                let _g = f.enter("siteA:1");
+                for _ in 0..20 {
+                    let mut m = f.new_map::<i64, i64>(None);
+                    m.put(1, 1);
+                    keep.push(m);
+                }
+            }
+            {
+                let _g = f.enter("siteB:2");
+                for _ in 0..10 {
+                    let mut m = f.new_map::<i64, i64>(None);
+                    m.put(1, 1);
+                    keep.push(m);
+                }
+            }
+        });
+        let engine = RuleEngine::builtin();
+        let result = run_experiment(&w, &engine, &EnvConfig::default(), Some(1));
+        assert_eq!(result.applied.len(), 1);
+        // The applied one must be the higher-potential site (siteA).
+        assert!(result.applied[0].frames[0].contains("siteA"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Run metrics and before/after comparisons.
+
+/// Measurements of one workload run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Simulated time in cost units.
+    pub sim_time: u64,
+    /// Largest live heap observed at any GC cycle.
+    pub peak_live_bytes: u64,
+    /// Number of GC cycles.
+    pub gc_count: u64,
+    /// Total bytes allocated over the run.
+    pub total_allocated_bytes: u64,
+    /// Total objects allocated over the run.
+    pub total_allocated_objects: u64,
+    /// Allocation contexts captured (profiling overhead indicator).
+    pub capture_count: u64,
+}
+
+/// Before/after comparison of a metric pair, as the paper reports them:
+/// improvement as a percentage of the original.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Improvement {
+    /// The original (baseline) value.
+    pub before: f64,
+    /// The optimized value.
+    pub after: f64,
+}
+
+impl Improvement {
+    /// Creates a comparison.
+    pub fn new(before: f64, after: f64) -> Self {
+        Improvement { before, after }
+    }
+
+    /// Percentage improvement relative to the baseline (positive = better,
+    /// i.e. smaller after).
+    pub fn pct(&self) -> f64 {
+        if self.before == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.before - self.after) / self.before
+        }
+    }
+
+    /// Speedup factor `before / after`.
+    pub fn factor(&self) -> f64 {
+        if self.after == 0.0 {
+            f64::INFINITY
+        } else {
+            self.before / self.after
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_percentages() {
+        let i = Improvement::new(100.0, 50.0);
+        assert!((i.pct() - 50.0).abs() < 1e-9);
+        assert!((i.factor() - 2.0).abs() < 1e-9);
+        let worse = Improvement::new(100.0, 135.0);
+        assert!((worse.pct() + 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(Improvement::new(0.0, 10.0).pct(), 0.0);
+        assert!(Improvement::new(10.0, 0.0).factor().is_infinite());
+    }
+}

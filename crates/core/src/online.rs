@@ -1,0 +1,272 @@
+//! Fully-automatic online replacement mode (§3.3.2, §5.4).
+//!
+//! Replacements happen *while the program runs*: the profiler keeps
+//! aggregating, and every `eval_every_deaths` collection deaths the rule
+//! engine re-evaluates the current profile and installs policy updates —
+//! which take effect at subsequent allocations ("switching is localized as
+//! it occurs when a collection object is allocated", §6). The run pays the
+//! context-capture cost on every allocation, which is exactly the §5.4
+//! bottleneck the paper measures (TVLA 35% slowdown, PMD 6×).
+
+use crate::env::{portable_updates, Env, EnvConfig, PortableUpdate};
+use crate::metrics::RunMetrics;
+use crate::workload::Workload;
+use chameleon_collections::runtime::{InstanceStats, StatsSink};
+use chameleon_collections::factory::CaptureController;
+use chameleon_collections::SelectionPolicy;
+use chameleon_heap::{ContextId, Heap};
+use chameleon_profiler::{ProfileReport, Profiler};
+use chameleon_rules::{PolicyUpdate, RuleEngine};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Online-mode configuration.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Environment for the run (capture should be enabled — that is the
+    /// point of the experiment).
+    pub env: EnvConfig,
+    /// Re-evaluate rules every this many collection deaths.
+    pub eval_every_deaths: u64,
+    /// §4.2's per-type shutoff: after each evaluation, stop capturing
+    /// contexts for requested types whose total observed potential is
+    /// below this many bytes (None = never shut off).
+    pub shutoff_below_potential: Option<u64>,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            env: EnvConfig::default(),
+            eval_every_deaths: 64,
+            shutoff_below_potential: None,
+        }
+    }
+}
+
+/// Outcome of an online run.
+#[derive(Debug)]
+pub struct OnlineResult {
+    /// Run metrics (including every capture's cost).
+    pub metrics: RunMetrics,
+    /// How many rule re-evaluations happened.
+    pub evaluations: u64,
+    /// How many policy overrides were installed in total.
+    pub replacements: u64,
+    /// The final profile report.
+    pub report: ProfileReport,
+    /// The converged replacement policy, portably keyed by context frames
+    /// (re-appliable to a fresh environment).
+    pub converged_policy: Vec<PortableUpdate>,
+}
+
+struct OnlineSink {
+    profiler: Arc<Profiler>,
+    heap: Heap,
+    engine: Arc<RuleEngine>,
+    policy: Arc<Mutex<SelectionPolicy>>,
+    capture: CaptureController,
+    deaths: AtomicU64,
+    every: u64,
+    evaluations: AtomicU64,
+    replacements: AtomicU64,
+    shutoff_below_potential: Option<u64>,
+}
+
+impl StatsSink for OnlineSink {
+    fn on_death(&self, ctx: Option<ContextId>, stats: &InstanceStats) {
+        self.profiler.on_death(ctx, stats);
+        let n = self.deaths.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(self.every) {
+            return;
+        }
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let report = ProfileReport::build(&self.profiler, &self.heap);
+
+        // §4.2 per-type shutoff: if every context of a requested type shows
+        // negligible potential, stop paying capture cost for that type.
+        if let Some(floor) = self.shutoff_below_potential {
+            use std::collections::HashMap;
+            let mut by_type: HashMap<&str, u64> = HashMap::new();
+            for c in &report.contexts {
+                *by_type.entry(c.src_type.as_str()).or_insert(0) += c.potential_bytes;
+            }
+            for (ty, potential) in by_type {
+                if potential < floor {
+                    self.capture.disable_tracking_for(ty);
+                }
+            }
+        }
+
+        let suggestions = self.engine.evaluate(&report);
+        let mut policy = self.policy.lock();
+        for s in &suggestions {
+            match s.policy_update() {
+                Some(PolicyUpdate::List(c, sel)) => {
+                    policy.set_list(c, sel);
+                    self.replacements.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(PolicyUpdate::Set(c, sel)) => {
+                    policy.set_set(c, sel);
+                    self.replacements.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(PolicyUpdate::Map(c, sel)) => {
+                    policy.set_map(c, sel);
+                    self.replacements.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+/// Runs `workload` in fully-automatic mode.
+pub fn run_online(
+    workload: &dyn Workload,
+    engine: Arc<RuleEngine>,
+    config: &OnlineConfig,
+) -> OnlineResult {
+    let env = Env::new(&config.env);
+    let profiler = env
+        .profiler
+        .clone()
+        .expect("online mode requires a profiling environment");
+    let sink = Arc::new(OnlineSink {
+        profiler: profiler.clone(),
+        heap: env.heap.clone(),
+        engine,
+        policy: env.factory.policy(),
+        capture: env.factory.capture_controller(),
+        deaths: AtomicU64::new(0),
+        every: config.eval_every_deaths.max(1),
+        evaluations: AtomicU64::new(0),
+        replacements: AtomicU64::new(0),
+        shutoff_below_potential: config.shutoff_below_potential,
+    });
+    env.rt.set_sink(sink.clone());
+
+    env.run(workload);
+
+    let report = ProfileReport::build(&profiler, &env.heap);
+    let converged: Vec<_> = sink
+        .engine
+        .evaluate(&report)
+        .into_iter()
+        .filter(|s| s.auto_applicable())
+        .collect();
+    let converged_policy = portable_updates(&converged, &env.heap);
+
+    OnlineResult {
+        metrics: env.metrics(),
+        evaluations: sink.evaluations.load(Ordering::Relaxed),
+        replacements: sink.replacements.load(Ordering::Relaxed),
+        report,
+        converged_policy,
+    }
+}
+
+/// Convenience: drives `factory` through `workload` twice is *not* done
+/// here — online mode is single-run by design. See
+/// [`run_experiment`](crate::experiment::run_experiment) for the offline
+/// two-run methodology.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_collections::factory::{CaptureConfig, CaptureMethod};
+    use chameleon_collections::CollectionFactory;
+
+    /// Allocates waves of small maps; later waves should come out as
+    /// ArrayMaps once the engine has seen enough deaths.
+    fn waves() -> impl Workload {
+        ("waves", |f: &CollectionFactory| {
+            let _g = f.enter("wave.Site:5");
+            for _ in 0..300 {
+                let mut m = f.new_map::<i64, i64>(None);
+                for i in 0..4 {
+                    m.put(i, i);
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn online_mode_replaces_mid_run() {
+        let result = run_online(
+            &waves(),
+            Arc::new(RuleEngine::builtin()),
+            &OnlineConfig {
+                eval_every_deaths: 50,
+                ..OnlineConfig::default()
+            },
+        );
+        assert!(result.evaluations >= 2, "evaluations: {}", result.evaluations);
+        assert!(result.replacements >= 1);
+        // The context's instances must show a mixture of implementations:
+        // HashMap early, ArrayMap after the first evaluation.
+        let ctx = &result.report.contexts[0];
+        assert!(ctx.trace.impl_counts.contains_key("HashMap"), "{ctx:?}");
+        assert!(ctx.trace.impl_counts.contains_key("ArrayMap"), "{ctx:?}");
+    }
+
+    #[test]
+    fn per_type_shutoff_cuts_capture_cost() {
+        // Two types churn: HashMaps with real potential, ArrayLists with
+        // none. With the shutoff enabled, list captures stop after the
+        // first evaluation.
+        let two_types = ("two-types", |f: &CollectionFactory| {
+            let _g = f.enter("shut.Site:1");
+            for _ in 0..400 {
+                let mut m = f.new_map::<i64, i64>(None);
+                m.put(1, 1);
+                let mut l = f.new_list::<i64>(Some(2));
+                l.add(1);
+                l.add(2);
+                let _ = l.get(0);
+            }
+        });
+        let run = |shutoff| {
+            let cfg = OnlineConfig {
+                eval_every_deaths: 100,
+                shutoff_below_potential: shutoff,
+                ..OnlineConfig::default()
+            };
+            run_online(&two_types, Arc::new(RuleEngine::builtin()), &cfg)
+                .metrics
+                .capture_count
+        };
+        let without = run(None);
+        let with = run(Some(1_000_000_000)); // absurd floor: everything shuts off
+        assert!(
+            with < without / 2,
+            "shutoff must cut captures: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn capture_cost_dominates_online_overhead() {
+        // Same workload, capture on vs off: the §5.4 overhead shape.
+        let run = |method: CaptureMethod| {
+            let cfg = OnlineConfig {
+                env: EnvConfig {
+                    capture: CaptureConfig {
+                        method,
+                        ..CaptureConfig::default()
+                    },
+                    ..EnvConfig::default()
+                },
+                eval_every_deaths: u64::MAX, // no evaluations: isolate capture
+                shutoff_below_potential: None,
+            };
+            run_online(&waves(), Arc::new(RuleEngine::builtin()), &cfg)
+                .metrics
+                .sim_time
+        };
+        let with_capture = run(CaptureMethod::Jvmti);
+        let without = run(CaptureMethod::None);
+        assert!(
+            with_capture as f64 > without as f64 * 1.2,
+            "capture must cost >20% on an allocation-heavy run: {with_capture} vs {without}"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! The workload abstraction: a program whose collection usage Chameleon
+//! profiles and optimizes.
+
+use chameleon_collections::CollectionFactory;
+
+/// A deterministic program that allocates all its collections through the
+/// provided factory.
+///
+/// Implementations must be repeatable: Chameleon runs them several times
+/// (profiling run, measured re-runs, minimal-heap trials) and compares the
+/// results.
+pub trait Workload {
+    /// Display name (e.g. `"tvla"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the program to completion. All collections must be allocated
+    /// through `factory` and dropped before returning (so their trace
+    /// statistics reach the profiler).
+    fn run(&self, factory: &CollectionFactory);
+}
+
+impl<F> Workload for (&'static str, F)
+where
+    F: Fn(&CollectionFactory),
+{
+    fn name(&self) -> &'static str {
+        self.0
+    }
+
+    fn run(&self, factory: &CollectionFactory) {
+        (self.1)(factory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_collections::runtime::Runtime;
+    use chameleon_heap::Heap;
+
+    #[test]
+    fn tuples_are_workloads() {
+        let w = ("tiny", |f: &CollectionFactory| {
+            let mut l = f.new_list::<i64>(None);
+            l.add(1);
+        });
+        assert_eq!(w.name(), "tiny");
+        let f = CollectionFactory::new(Runtime::new(Heap::new()));
+        w.run(&f);
+        assert!(f.runtime().heap().total_allocated_objects() > 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Allocation contexts.
+//!
+//! Chameleon aggregates every statistic per *allocation context*: the type
+//! being allocated plus a bounded suffix of the call stack at the allocation
+//! (§3.2.1, "partial allocation context", usually of depth 2 or 3 — deep
+//! enough to see through collection factories). This module interns stack
+//! frames and contexts so the rest of the system can pass around cheap
+//! 32-bit [`ContextId`]s, and provides [`CallStackSim`], the simulated call
+//! stack that workloads push frames onto.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Interned identifier of one stack frame (e.g. `"tvla.util.HashMapFactory:31"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u32);
+
+/// Interned identifier of an allocation context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContextId(pub u32);
+
+/// One interned allocation context: the allocated source type plus the
+/// captured (partial) call stack, innermost frame first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ContextRecord {
+    /// Name of the collection type the program requested (e.g. `"HashMap"`).
+    pub src_type: String,
+    /// Partial call stack, innermost frame first.
+    pub stack: Vec<FrameId>,
+}
+
+/// Intern table for frames and allocation contexts.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::context::ContextTable;
+///
+/// let mut t = ContextTable::new();
+/// let f1 = t.intern_frame("tvla.util.HashMapFactory:31");
+/// let f2 = t.intern_frame("tvla.core.base.BaseTVS:50");
+/// let ctx = t.intern("HashMap", &[f1, f2], 2);
+/// assert_eq!(
+///     t.format(ctx),
+///     "HashMap:tvla.util.HashMapFactory:31;tvla.core.base.BaseTVS:50"
+/// );
+/// ```
+#[derive(Debug, Default)]
+pub struct ContextTable {
+    frames: Vec<String>,
+    frame_ids: HashMap<String, FrameId>,
+    records: Vec<ContextRecord>,
+    record_ids: HashMap<ContextRecord, ContextId>,
+}
+
+impl ContextTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a stack frame by its display name.
+    pub fn intern_frame(&mut self, name: &str) -> FrameId {
+        if let Some(id) = self.frame_ids.get(name) {
+            return *id;
+        }
+        let id = FrameId(self.frames.len() as u32);
+        self.frames.push(name.to_owned());
+        self.frame_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Resolves a frame id back to its display name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` was not produced by this table.
+    pub fn frame_name(&self, frame: FrameId) -> &str {
+        &self.frames[frame.0 as usize]
+    }
+
+    /// Interns the context `(src_type, stack truncated to depth)`.
+    ///
+    /// `stack` is innermost-first; only the first `depth` frames participate
+    /// in the context identity, mirroring the paper's partial contexts.
+    pub fn intern(&mut self, src_type: &str, stack: &[FrameId], depth: usize) -> ContextId {
+        let rec = ContextRecord {
+            src_type: src_type.to_owned(),
+            stack: stack.iter().take(depth).copied().collect(),
+        };
+        if let Some(id) = self.record_ids.get(&rec) {
+            return *id;
+        }
+        let id = ContextId(self.records.len() as u32);
+        self.records.push(rec.clone());
+        self.record_ids.insert(rec, id);
+        id
+    }
+
+    /// Returns the interned record for `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` was not produced by this table.
+    pub fn record(&self, ctx: ContextId) -> &ContextRecord {
+        &self.records[ctx.0 as usize]
+    }
+
+    /// Number of distinct contexts interned so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no context has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Formats a context the way the paper prints suggestions:
+    /// `Type:frame;frame`.
+    pub fn format(&self, ctx: ContextId) -> String {
+        let rec = self.record(ctx);
+        let mut s = String::new();
+        s.push_str(&rec.src_type);
+        s.push(':');
+        for (i, f) in rec.stack.iter().enumerate() {
+            if i > 0 {
+                s.push(';');
+            }
+            s.push_str(self.frame_name(*f));
+        }
+        s
+    }
+
+    /// Iterates over all interned contexts.
+    pub fn iter(&self) -> impl Iterator<Item = (ContextId, &ContextRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (ContextId(i as u32), r))
+    }
+}
+
+impl fmt::Display for ContextRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(depth {})", self.src_type, self.stack.len())
+    }
+}
+
+/// A simulated thread call stack.
+///
+/// Workloads push a frame when "entering a method" and the guard pops it on
+/// scope exit; collection factories snapshot the top frames to build the
+/// allocation context. The stack is deliberately single-threaded (the
+/// workloads are), cheap to clone, and shares its frames across clones.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::context::CallStackSim;
+///
+/// let stack = CallStackSim::new();
+/// {
+///     let _outer = stack.enter("Main.run:10");
+///     let _inner = stack.enter("Factory.make:31");
+///     assert_eq!(stack.snapshot_names(), vec!["Factory.make:31", "Main.run:10"]);
+/// }
+/// assert!(stack.snapshot_names().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CallStackSim {
+    frames: Rc<RefCell<Vec<String>>>,
+}
+
+/// RAII guard returned by [`CallStackSim::enter`]; pops its frame on drop.
+#[derive(Debug)]
+pub struct FrameGuard {
+    frames: Rc<RefCell<Vec<String>>>,
+}
+
+impl CallStackSim {
+    /// Creates an empty simulated call stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes `frame` and returns a guard that pops it when dropped.
+    pub fn enter(&self, frame: &str) -> FrameGuard {
+        self.frames.borrow_mut().push(frame.to_owned());
+        FrameGuard {
+            frames: Rc::clone(&self.frames),
+        }
+    }
+
+    /// Current depth of the simulated stack.
+    pub fn depth(&self) -> usize {
+        self.frames.borrow().len()
+    }
+
+    /// Snapshot of frame names, innermost first.
+    pub fn snapshot_names(&self) -> Vec<String> {
+        self.frames.borrow().iter().rev().cloned().collect()
+    }
+}
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        self.frames.borrow_mut().pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = ContextTable::new();
+        let a = t.intern_frame("A.m:1");
+        let b = t.intern_frame("A.m:1");
+        assert_eq!(a, b);
+        let c1 = t.intern("HashMap", &[a], 2);
+        let c2 = t.intern("HashMap", &[b], 2);
+        assert_eq!(c1, c2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn depth_truncation_merges_contexts() {
+        let mut t = ContextTable::new();
+        let a = t.intern_frame("A.m:1");
+        let b = t.intern_frame("B.m:2");
+        let c = t.intern_frame("C.m:3");
+        // Same top-2 frames, different third frame: identical at depth 2.
+        let c1 = t.intern("ArrayList", &[a, b, c], 2);
+        let c2 = t.intern("ArrayList", &[a, b], 2);
+        assert_eq!(c1, c2);
+        // But distinct at depth 3.
+        let c3 = t.intern("ArrayList", &[a, b, c], 3);
+        let c4 = t.intern("ArrayList", &[a, b], 3);
+        assert_ne!(c3, c4);
+    }
+
+    #[test]
+    fn src_type_disambiguates() {
+        let mut t = ContextTable::new();
+        let a = t.intern_frame("A.m:1");
+        let c1 = t.intern("HashMap", &[a], 2);
+        let c2 = t.intern("ArrayList", &[a], 2);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn format_matches_paper_style() {
+        let mut t = ContextTable::new();
+        let f1 = t.intern_frame("BaseHashTVSSet:112");
+        let f2 = t.intern_frame("tvla.core.base.BaseHashTVSSet:60");
+        let ctx = t.intern("ArrayList", &[f1, f2], 3);
+        assert_eq!(
+            t.format(ctx),
+            "ArrayList:BaseHashTVSSet:112;tvla.core.base.BaseHashTVSSet:60"
+        );
+    }
+
+    #[test]
+    fn call_stack_sim_nesting() {
+        let s = CallStackSim::new();
+        assert_eq!(s.depth(), 0);
+        let _a = s.enter("a");
+        {
+            let _b = s.enter("b");
+            assert_eq!(s.depth(), 2);
+            assert_eq!(s.snapshot_names()[0], "b");
+        }
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn call_stack_clones_share_frames() {
+        let s = CallStackSim::new();
+        let s2 = s.clone();
+        let _a = s.enter("a");
+        assert_eq!(s2.depth(), 1);
+    }
+}

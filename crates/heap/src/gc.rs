@@ -1,0 +1,509 @@
+//! Mark-sweep collector with semantic collection accounting.
+//!
+//! The collector performs a standard mark phase (optionally parallel, one
+//! worker per configured thread, mirroring the paper's "number of parallel
+//! threads is the same as the number of cores"), then — before sweeping —
+//! walks every marked object whose class registered a *top-level* semantic
+//! map to compute per-collection live/used/core statistics and attribute
+//! them to the allocation context recorded in the object (§4.3). Finally it
+//! sweeps unmarked objects and charges the simulated clock for the pause.
+
+use crate::heap::HeapInner;
+use crate::object::{ElemKind, ObjBody, ObjId, Object};
+use crate::semantic::{AdtDescriptor, SemanticMap};
+use crate::stats::{AdtTotals, CycleStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Runs one full collection cycle on the heap.
+pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
+    let marks = mark(inner);
+
+    // ----- statistics over the marked (live) sub-heap -------------------------
+    let mut live_bytes = 0u64;
+    let mut live_objects = 0u64;
+    let mut type_dist: HashMap<crate::object::ClassId, (u64, u64)> = HashMap::new();
+    for (i, slot) in inner.slab.iter().enumerate() {
+        let Some(o) = slot else { continue };
+        if !marks[i].load(Ordering::Relaxed) {
+            continue;
+        }
+        live_bytes += u64::from(o.size);
+        live_objects += 1;
+        let e = type_dist.entry(o.class).or_insert((0, 0));
+        e.0 += u64::from(o.size);
+        e.1 += 1;
+    }
+
+    // ----- semantic collection accounting --------------------------------------
+    let mut collection = AdtTotals::default();
+    let mut per_context: HashMap<crate::context::ContextId, AdtTotals> = HashMap::new();
+    for (i, slot) in inner.slab.iter().enumerate() {
+        let Some(o) = slot else { continue };
+        if !marks[i].load(Ordering::Relaxed) {
+            continue;
+        }
+        let Some(map) = inner.classes.info(o.class).semantic_map else {
+            continue;
+        };
+        if !map.top_level {
+            continue;
+        }
+        let mut totals = adt_stats(inner, o, map);
+        totals.count = 1;
+        collection.add(totals);
+        if let Some(ctx) = o.ctx {
+            per_context.entry(ctx).or_default().add(totals);
+        }
+    }
+
+    // ----- sweep ----------------------------------------------------------------
+    let mut swept_bytes = 0u64;
+    let mut swept_objects = 0u64;
+    for (i, slot) in inner.slab.iter_mut().enumerate() {
+        if slot.is_some() && !marks[i].load(Ordering::Relaxed) {
+            let o = slot.take().expect("checked is_some");
+            swept_bytes += u64::from(o.size);
+            swept_objects += 1;
+            inner.free.push(i as u32);
+        }
+    }
+    inner.heap_bytes = inner.heap_bytes.saturating_sub(swept_bytes);
+    inner.generation = inner.generation.wrapping_add(1).max(1);
+    inner.gc_count += 1;
+
+    // ----- clock ----------------------------------------------------------------
+    let at_units = if let Some(clock) = &inner.clock {
+        let cfg = inner.gc_config;
+        clock.charge(cfg.cost_per_cycle + (live_bytes / 1024) * cfg.cost_per_live_kib);
+        clock.now()
+    } else {
+        0
+    };
+
+    let mut per_context: Vec<_> = per_context.into_iter().collect();
+    per_context.sort_by_key(|(ctx, _)| *ctx);
+    let mut type_distribution: Vec<_> = type_dist.into_iter().map(|(c, (b, n))| (c, b, n)).collect();
+    type_distribution.sort_by_key(|(c, _, _)| *c);
+
+    let stats = CycleStats {
+        cycle: inner.gc_count,
+        at_units,
+        live_bytes,
+        live_objects,
+        swept_bytes,
+        swept_objects,
+        collection,
+        per_context,
+        type_distribution,
+    };
+    inner.cycles.push(stats.clone());
+    stats
+}
+
+/// Marks reachable objects; returns one atomic mark bit per slab slot.
+fn mark(inner: &HeapInner) -> Vec<AtomicBool> {
+    let marks: Vec<AtomicBool> = (0..inner.slab.len()).map(|_| AtomicBool::new(false)).collect();
+    let roots: Vec<ObjId> = inner.roots.keys().copied().collect();
+    let threads = inner.gc_config.threads.max(1);
+    if threads == 1 || roots.len() < 2 {
+        let mut stack: Vec<u32> = Vec::new();
+        for r in roots {
+            trace_from(inner, &marks, r, &mut stack);
+        }
+    } else {
+        let chunk = roots.len().div_ceil(threads);
+        crossbeam::scope(|s| {
+            for part in roots.chunks(chunk) {
+                let marks = &marks;
+                s.spawn(move |_| {
+                    let mut stack: Vec<u32> = Vec::new();
+                    for r in part {
+                        trace_from(inner, marks, *r, &mut stack);
+                    }
+                });
+            }
+        })
+        .expect("marking thread panicked");
+    }
+    marks
+}
+
+fn trace_from(inner: &HeapInner, marks: &[AtomicBool], root: ObjId, stack: &mut Vec<u32>) {
+    if !claim(inner, marks, root) {
+        return;
+    }
+    stack.push(root.index);
+    while let Some(i) = stack.pop() {
+        let Some(o) = inner.slab[i as usize].as_ref() else {
+            continue;
+        };
+        for child in o.refs_iter() {
+            if claim(inner, marks, child) {
+                stack.push(child.index);
+            }
+        }
+    }
+}
+
+/// Atomically claims the mark bit; returns true if this caller marked it.
+/// Stale ids (swept or reused slots) are ignored rather than traced.
+fn claim(inner: &HeapInner, marks: &[AtomicBool], obj: ObjId) -> bool {
+    let Some(slot) = inner.slab.get(obj.index as usize) else {
+        return false;
+    };
+    let Some(o) = slot.as_ref() else { return false };
+    if o.generation != obj.generation {
+        return false;
+    }
+    !marks[obj.index as usize].swap(true, Ordering::Relaxed)
+}
+
+/// Computes live/used/core for one collection object according to its
+/// semantic map. `count` is left zero; callers set it.
+pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> AdtTotals {
+    let model = inner.model;
+    let size_meta = obj.meta.first().copied().unwrap_or(0).max(0) as u32;
+    let refs_per_elem = map.kind.refs_per_elem();
+    let core = u64::from(model.array_size(model.ref_bytes, size_meta * refs_per_elem));
+    let own = u64::from(obj.size);
+
+    match map.descriptor {
+        AdtDescriptor::Wrapper { impl_field } => {
+            let backing = scalar_ref(obj, impl_field);
+            let mut totals = match backing.and_then(|b| resolve_opt(inner, b)) {
+                Some(backing_obj) => {
+                    let backing_map = inner
+                        .classes
+                        .info(backing_obj.class)
+                        .semantic_map
+                        .unwrap_or(SemanticMap::backing(map.kind, AdtDescriptor::Inline));
+                    adt_stats(inner, backing_obj, backing_map)
+                }
+                None => AdtTotals {
+                    live: 0,
+                    used: 0,
+                    core,
+                    count: 0,
+                },
+            };
+            totals.live += own;
+            totals.used += own;
+            totals
+        }
+        AdtDescriptor::ArrayBacked {
+            array_field,
+            slots_per_elem,
+        } => {
+            let mut live = own;
+            let mut slack = 0u64;
+            if let Some(arr) = scalar_ref(obj, array_field).and_then(|a| resolve_opt(inner, a)) {
+                live += u64::from(arr.size);
+                if let ObjBody::Array { elem, capacity, .. } = &arr.body {
+                    let elem_bytes = match elem {
+                        ElemKind::Ref => model.ref_bytes,
+                        ElemKind::Prim { bytes_per_elem } => *bytes_per_elem,
+                    };
+                    let used_slots = size_meta.saturating_mul(slots_per_elem).min(*capacity);
+                    slack = u64::from((capacity - used_slots) * elem_bytes);
+                }
+            }
+            AdtTotals {
+                live,
+                used: live - slack,
+                core,
+                count: 0,
+            }
+        }
+        AdtDescriptor::ChainedHash { array_field } => {
+            let mut live = own;
+            let mut slack = 0u64;
+            if let Some(arr) = scalar_ref(obj, array_field).and_then(|a| resolve_opt(inner, a)) {
+                live += u64::from(arr.size);
+                if let ObjBody::Array { slots, capacity, .. } = &arr.body {
+                    let used_buckets = obj.meta.get(1).copied().unwrap_or(0).max(0) as u32;
+                    slack = u64::from((capacity.saturating_sub(used_buckets)) * model.ref_bytes);
+                    // Walk every bucket chain; entries link through ref field 0.
+                    let max_steps = size_meta as usize + slots.len() + 8;
+                    let mut steps = 0usize;
+                    for head in slots.iter().filter_map(|s| *s) {
+                        let mut cur = Some(head);
+                        while let Some(id) = cur {
+                            if steps >= max_steps {
+                                break;
+                            }
+                            steps += 1;
+                            let Some(entry) = resolve_opt(inner, id) else { break };
+                            live += u64::from(entry.size);
+                            cur = scalar_ref(entry, 0);
+                        }
+                    }
+                }
+            }
+            AdtTotals {
+                live,
+                used: live - slack,
+                core,
+                count: 0,
+            }
+        }
+        AdtDescriptor::LinkedEntries { head_field } => {
+            let mut live = own;
+            if let Some(head) = scalar_ref(obj, head_field) {
+                // Circular list: walk next pointers until back at the head.
+                let max_steps = size_meta as usize + 4;
+                let mut cur = resolve_opt(inner, head).map(|_| head);
+                let mut steps = 0usize;
+                while let Some(id) = cur {
+                    if steps >= max_steps {
+                        break;
+                    }
+                    steps += 1;
+                    let Some(entry) = resolve_opt(inner, id) else { break };
+                    live += u64::from(entry.size);
+                    cur = scalar_ref(entry, 0).filter(|next| *next != head);
+                }
+            }
+            AdtTotals {
+                live,
+                used: live,
+                core,
+                count: 0,
+            }
+        }
+        AdtDescriptor::Inline => AdtTotals {
+            live: own,
+            used: own,
+            core,
+            count: 0,
+        },
+    }
+}
+
+fn scalar_ref(obj: &Object, field: usize) -> Option<ObjId> {
+    match &obj.body {
+        ObjBody::Scalar { refs, .. } => refs.get(field).copied().flatten(),
+        ObjBody::Array { .. } => None,
+    }
+}
+
+fn resolve_opt(inner: &HeapInner, obj: ObjId) -> Option<&Object> {
+    inner
+        .slab
+        .get(obj.index as usize)?
+        .as_ref()
+        .filter(|o| o.generation == obj.generation)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::heap::{GcConfig, Heap, HeapConfig};
+    use crate::object::ElemKind;
+    use crate::semantic::{AdtDescriptor, CollectionKind, SemanticMap};
+
+    /// Builds an ArrayList-shaped pair: impl object + backing array of
+    /// `cap` slots with `size` elements, wrapped in a top-level wrapper.
+    fn array_list_fixture(heap: &Heap, cap: u32, size: u32) -> crate::object::ObjId {
+        let wrapper_class = heap.register_class(
+            "ListWrapper",
+            Some(SemanticMap::wrapper(CollectionKind::List)),
+        );
+        let impl_class = heap.register_class(
+            "ArrayListImpl",
+            Some(SemanticMap::backing(
+                CollectionKind::List,
+                AdtDescriptor::ArrayBacked {
+                    array_field: 0,
+                    slots_per_elem: 1,
+                },
+            )),
+        );
+        let arr_class = heap.register_class("Object[]", None);
+        let ctx = heap.intern_context("ArrayList", &["A.m:1".to_owned()], 2);
+        let w = heap.alloc_scalar(wrapper_class, 1, 0, Some(ctx));
+        let im = heap.alloc_scalar(impl_class, 1, 8, None);
+        let arr = heap.alloc_array(arr_class, ElemKind::Ref, cap, None);
+        heap.set_ref(w, 0, Some(im));
+        heap.set_ref(im, 0, Some(arr));
+        heap.set_meta(im, 0, i64::from(size));
+        heap.set_meta(w, 0, i64::from(size));
+        heap.add_root(w);
+        w
+    }
+
+    #[test]
+    fn array_backed_accounting() {
+        let heap = Heap::new();
+        let _w = array_list_fixture(&heap, 10, 3);
+        let stats = heap.gc();
+        let m = heap.model();
+        let expected_live = u64::from(m.object_size(1, 0)) // wrapper
+            + u64::from(m.object_size(1, 8)) // impl
+            + u64::from(m.ref_array_size(10)); // backing array
+        assert_eq!(stats.collection.live, expected_live);
+        // 7 unused slots * 4 bytes slack.
+        assert_eq!(stats.collection.used, expected_live - 7 * 4);
+        assert_eq!(stats.collection.core, u64::from(m.core_size(3)));
+        assert_eq!(stats.collection.count, 1);
+        assert_eq!(stats.per_context.len(), 1);
+        assert_eq!(stats.per_context[0].1.live, expected_live);
+    }
+
+    #[test]
+    fn empty_backing_array_is_all_slack() {
+        let heap = Heap::new();
+        let _w = array_list_fixture(&heap, 10, 0);
+        let stats = heap.gc();
+        let m = heap.model();
+        let fixed = u64::from(m.object_size(1, 0)) + u64::from(m.object_size(1, 8));
+        assert_eq!(stats.collection.used, fixed + u64::from(m.ref_array_size(10)) - 40);
+        assert_eq!(stats.collection.core, u64::from(m.core_size(0)));
+    }
+
+    #[test]
+    fn chained_hash_accounting() {
+        let heap = Heap::new();
+        let wrapper_class =
+            heap.register_class("MapWrapper", Some(SemanticMap::wrapper(CollectionKind::Map)));
+        let impl_class = heap.register_class(
+            "HashMapImpl",
+            Some(SemanticMap::backing(
+                CollectionKind::Map,
+                AdtDescriptor::ChainedHash { array_field: 0 },
+            )),
+        );
+        let arr_class = heap.register_class("Entry[]", None);
+        let entry_class = heap.register_class("HashMap$Entry", None);
+        let ctx = heap.intern_context("HashMap", &["B.m:2".to_owned()], 2);
+        let w = heap.alloc_scalar(wrapper_class, 1, 0, Some(ctx));
+        let im = heap.alloc_scalar(impl_class, 1, 8, None);
+        let buckets = heap.alloc_array(arr_class, ElemKind::Ref, 16, None);
+        heap.set_ref(w, 0, Some(im));
+        heap.set_ref(im, 0, Some(buckets));
+        // Two entries in one bucket (a chain), one in another.
+        let e1 = heap.alloc_scalar(entry_class, 3, 4, None); // 24 B
+        let e2 = heap.alloc_scalar(entry_class, 3, 4, None);
+        let e3 = heap.alloc_scalar(entry_class, 3, 4, None);
+        heap.set_elem(buckets, 0, Some(e1));
+        heap.set_ref(e1, 0, Some(e2));
+        heap.set_elem(buckets, 5, Some(e3));
+        heap.set_meta(im, 0, 3); // size
+        heap.set_meta(im, 1, 2); // used buckets
+        heap.set_meta(w, 0, 3);
+        heap.add_root(w);
+
+        let stats = heap.gc();
+        let m = heap.model();
+        let expected_live = u64::from(m.object_size(1, 0))
+            + u64::from(m.object_size(1, 8))
+            + u64::from(m.ref_array_size(16))
+            + 3 * 24;
+        assert_eq!(stats.collection.live, expected_live);
+        // 14 empty buckets * 4 B slack.
+        assert_eq!(stats.collection.used, expected_live - 14 * 4);
+        // Map core: 3 elements * 2 refs.
+        assert_eq!(stats.collection.core, u64::from(m.ref_array_size(6)));
+    }
+
+    #[test]
+    fn linked_entries_accounting_counts_sentinel() {
+        let heap = Heap::new();
+        let wrapper_class = heap.register_class(
+            "LinkedWrapper",
+            Some(SemanticMap::wrapper(CollectionKind::List)),
+        );
+        let impl_class = heap.register_class(
+            "LinkedListImpl",
+            Some(SemanticMap::backing(
+                CollectionKind::List,
+                AdtDescriptor::LinkedEntries { head_field: 0 },
+            )),
+        );
+        let entry_class = heap.register_class("LinkedList$Entry", None);
+        let w = heap.alloc_scalar(wrapper_class, 1, 0, None);
+        let im = heap.alloc_scalar(impl_class, 1, 4, None);
+        // Circular: header <-> e1, empty logical list would be header only.
+        let header = heap.alloc_scalar(entry_class, 3, 0, None); // 24 B sentinel
+        let e1 = heap.alloc_scalar(entry_class, 3, 0, None);
+        heap.set_ref(header, 0, Some(e1));
+        heap.set_ref(e1, 0, Some(header)); // circular back
+        heap.set_ref(w, 0, Some(im));
+        heap.set_ref(im, 0, Some(header));
+        heap.set_meta(im, 0, 1);
+        heap.set_meta(w, 0, 1);
+        heap.add_root(w);
+
+        let stats = heap.gc();
+        let m = heap.model();
+        let expected_live = u64::from(m.object_size(1, 0))
+            + u64::from(m.object_size(1, 4))
+            + 2 * u64::from(m.object_size(3, 0));
+        assert_eq!(stats.collection.live, expected_live);
+        // Linked entries have no slack: used == live.
+        assert_eq!(stats.collection.used, expected_live);
+        assert_eq!(stats.collection.core, u64::from(m.core_size(1)));
+    }
+
+    #[test]
+    fn parallel_marking_matches_sequential() {
+        let build = |threads: usize| {
+            let heap = Heap::with_config(HeapConfig {
+                gc: GcConfig {
+                    threads,
+                    ..GcConfig::default()
+                },
+                ..HeapConfig::default()
+            });
+            let class = heap.register_class("Node", None);
+            // Build a few linked chains with shared tails.
+            let shared = heap.alloc_scalar(class, 0, 0, None);
+            for _ in 0..8 {
+                let mut prev = shared;
+                for _ in 0..50 {
+                    let n = heap.alloc_scalar(class, 1, 0, None);
+                    heap.set_ref(n, 0, Some(prev));
+                    prev = n;
+                }
+                heap.add_root(prev);
+            }
+            // Garbage.
+            for _ in 0..100 {
+                let _ = heap.alloc_scalar(class, 2, 16, None);
+            }
+            heap.gc()
+        };
+        let seq = build(1);
+        let par = build(4);
+        assert_eq!(seq.live_objects, par.live_objects);
+        assert_eq!(seq.live_bytes, par.live_bytes);
+        assert_eq!(seq.swept_objects, par.swept_objects);
+    }
+
+    #[test]
+    fn type_distribution_covers_live_bytes() {
+        let heap = Heap::new();
+        let a = heap.register_class("A", None);
+        let b = heap.register_class("B", None);
+        let o1 = heap.alloc_scalar(a, 0, 0, None);
+        let o2 = heap.alloc_scalar(b, 0, 32, None);
+        heap.add_root(o1);
+        heap.add_root(o2);
+        let stats = heap.gc();
+        let sum: u64 = stats.type_distribution.iter().map(|(_, bytes, _)| bytes).sum();
+        assert_eq!(sum, stats.live_bytes);
+        assert_eq!(stats.type_distribution.len(), 2);
+    }
+
+    #[test]
+    fn clock_charged_per_cycle() {
+        use crate::clock::SimClock;
+        let heap = Heap::new();
+        let clock = SimClock::new();
+        heap.attach_clock(clock.clone());
+        let class = heap.register_class("A", None);
+        let o = heap.alloc_scalar(class, 0, 0, None);
+        heap.add_root(o);
+        heap.gc();
+        assert!(clock.now() >= GcConfig::default().cost_per_cycle);
+    }
+}

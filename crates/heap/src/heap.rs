@@ -1,0 +1,715 @@
+//! The simulated managed heap.
+//!
+//! [`Heap`] is a cheaply cloneable handle to a shared heap: an object table,
+//! a root set, a class registry, an allocation-context table, and a
+//! mark-sweep collector. Collection implementations mirror every internal
+//! allocation (wrappers, backing arrays, entry objects) into this heap so
+//! the collector can account for them exactly the way the paper's
+//! J9-instrumented GC did.
+
+use crate::clock::SimClock;
+use crate::context::{ContextId, ContextTable};
+use crate::gc;
+use crate::layout::MemoryModel;
+use crate::object::{ClassId, ElemKind, ObjBody, ObjId, Object, ObjectView};
+use crate::semantic::{ClassRegistry, SemanticMap};
+use crate::stats::CycleStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Panic payload used for the simulated `OutOfMemoryError`.
+///
+/// [`Heap`] panics with this payload when an allocation does not fit under
+/// the configured capacity even after a full GC; harnesses that search for
+/// the minimal heap size catch it with `std::panic::catch_unwind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes the failing allocation requested.
+    pub requested: u64,
+    /// Configured heap capacity.
+    pub capacity: u64,
+    /// Live bytes remaining after the emergency GC.
+    pub live_after_gc: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulated OutOfMemoryError: requested {} B, capacity {} B, live {} B",
+            self.requested, self.capacity, self.live_after_gc
+        )
+    }
+}
+
+/// Collector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GcConfig {
+    /// Marking threads (the paper uses one per hardware core; values > 1
+    /// exercise the parallel-marking path).
+    pub threads: usize,
+    /// Simulated cost units charged per KiB of live data marked.
+    pub cost_per_live_kib: u64,
+    /// Fixed simulated cost units charged per cycle (stop-the-world pause).
+    pub cost_per_cycle: u64,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            threads: 1,
+            cost_per_live_kib: 600,
+            cost_per_cycle: 50_000,
+        }
+    }
+}
+
+/// Heap construction parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeapConfig {
+    /// Object layout model (defaults to the paper's 32-bit JVM).
+    pub model: MemoryModel,
+    /// Optional capacity in bytes; `None` means unbounded (no automatic GC).
+    pub capacity: Option<u64>,
+    /// If set, run a GC every time this many bytes have been allocated
+    /// since the last cycle — allocation-driven GC pressure for unbounded
+    /// profiling runs.
+    pub gc_interval_bytes: Option<u64>,
+    /// Collector configuration.
+    pub gc: GcConfig,
+}
+
+pub(crate) struct HeapInner {
+    pub(crate) model: MemoryModel,
+    pub(crate) slab: Vec<Option<Object>>,
+    pub(crate) free: Vec<u32>,
+    pub(crate) generation: u32,
+    /// Bytes currently occupied in the object table (live + garbage).
+    pub(crate) heap_bytes: u64,
+    pub(crate) capacity: Option<u64>,
+    pub(crate) gc_interval_bytes: Option<u64>,
+    pub(crate) bytes_since_gc: u64,
+    pub(crate) roots: HashMap<ObjId, usize>,
+    pub(crate) classes: ClassRegistry,
+    pub(crate) contexts: ContextTable,
+    pub(crate) cycles: Vec<CycleStats>,
+    pub(crate) gc_config: GcConfig,
+    pub(crate) clock: Option<SimClock>,
+    pub(crate) total_allocated_bytes: u64,
+    pub(crate) total_allocated_objects: u64,
+    pub(crate) gc_count: u64,
+}
+
+/// Shared handle to a simulated heap.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::{Heap, ElemKind};
+///
+/// let heap = Heap::new();
+/// let class = heap.register_class("Point", None);
+/// let p = heap.alloc_scalar(class, 2, 8, None);
+/// heap.add_root(p);
+/// let before = heap.gc().live_objects;
+/// heap.remove_root(p);
+/// let after = heap.gc().live_objects;
+/// assert_eq!(before - after, 1);
+/// let _ = ElemKind::Ref; // arrays work the same way via `alloc_array`
+/// ```
+#[derive(Clone)]
+pub struct Heap {
+    inner: Arc<Mutex<HeapInner>>,
+}
+
+impl fmt::Debug for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Heap")
+            .field("objects", &(inner.slab.len() - inner.free.len()))
+            .field("heap_bytes", &inner.heap_bytes)
+            .field("capacity", &inner.capacity)
+            .field("gc_count", &inner.gc_count)
+            .finish()
+    }
+}
+
+impl Default for Heap {
+    fn default() -> Self {
+        Heap::new()
+    }
+}
+
+impl Heap {
+    /// Creates an unbounded heap with the paper's 32-bit layout.
+    pub fn new() -> Self {
+        Heap::with_config(HeapConfig::default())
+    }
+
+    /// Creates a heap with an explicit configuration.
+    pub fn with_config(config: HeapConfig) -> Self {
+        Heap {
+            inner: Arc::new(Mutex::new(HeapInner {
+                model: config.model,
+                slab: Vec::new(),
+                free: Vec::new(),
+                generation: 1,
+                heap_bytes: 0,
+                capacity: config.capacity,
+                gc_interval_bytes: config.gc_interval_bytes,
+                bytes_since_gc: 0,
+                roots: HashMap::new(),
+                classes: ClassRegistry::new(),
+                contexts: ContextTable::new(),
+                cycles: Vec::new(),
+                gc_config: config.gc,
+                clock: None,
+                total_allocated_bytes: 0,
+                total_allocated_objects: 0,
+                gc_count: 0,
+            })),
+        }
+    }
+
+    /// Creates a heap capped at `capacity` bytes (allocations GC on
+    /// exhaustion and panic with [`OutOfMemory`] if still full).
+    pub fn with_capacity(capacity: u64) -> Self {
+        Heap::with_config(HeapConfig {
+            capacity: Some(capacity),
+            ..HeapConfig::default()
+        })
+    }
+
+    /// Attaches a simulated clock; the collector charges its cycle costs to
+    /// it.
+    pub fn attach_clock(&self, clock: SimClock) {
+        self.inner.lock().clock = Some(clock);
+    }
+
+    /// The layout model this heap uses.
+    pub fn model(&self) -> MemoryModel {
+        self.inner.lock().model
+    }
+
+    /// Changes the capacity cap (used by the minimal-heap search).
+    pub fn set_capacity(&self, capacity: Option<u64>) {
+        self.inner.lock().capacity = capacity;
+    }
+
+    // ----- classes and contexts -------------------------------------------------
+
+    /// Registers a class (idempotent by name).
+    pub fn register_class(&self, name: &str, map: Option<SemanticMap>) -> ClassId {
+        self.inner.lock().classes.register(name, map)
+    }
+
+    /// Returns the display name of `class`.
+    pub fn class_name(&self, class: ClassId) -> String {
+        self.inner.lock().classes.info(class).name.clone()
+    }
+
+    /// Interns an allocation context from frame display names
+    /// (innermost first), truncated to `depth`.
+    pub fn intern_context(&self, src_type: &str, frames: &[String], depth: usize) -> ContextId {
+        let mut inner = self.inner.lock();
+        let ids: Vec<_> = frames
+            .iter()
+            .take(depth)
+            .map(|f| inner.contexts.intern_frame(f))
+            .collect();
+        inner.contexts.intern(src_type, &ids, depth)
+    }
+
+    /// Formats a context in the paper's `Type:frame;frame` style.
+    pub fn format_context(&self, ctx: ContextId) -> String {
+        self.inner.lock().contexts.format(ctx)
+    }
+
+    /// Source type recorded for a context.
+    pub fn context_src_type(&self, ctx: ContextId) -> String {
+        self.inner.lock().contexts.record(ctx).src_type.clone()
+    }
+
+    /// Frame display names of a context, innermost first (portable across
+    /// heaps: re-interning them reproduces the same logical context).
+    pub fn context_frames(&self, ctx: ContextId) -> Vec<String> {
+        let inner = self.inner.lock();
+        let rec = inner.contexts.record(ctx);
+        rec.stack
+            .iter()
+            .map(|f| inner.contexts.frame_name(*f).to_owned())
+            .collect()
+    }
+
+    /// Changes the allocation-driven GC interval.
+    pub fn set_gc_interval_bytes(&self, interval: Option<u64>) {
+        self.inner.lock().gc_interval_bytes = interval;
+    }
+
+    /// Number of distinct allocation contexts interned.
+    pub fn context_count(&self) -> usize {
+        self.inner.lock().contexts.len()
+    }
+
+    // ----- allocation -----------------------------------------------------------
+
+    /// Allocates a scalar object with `ref_fields` reference fields (all
+    /// null) and `prim_bytes` of primitive payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics with an [`OutOfMemory`] payload if the heap is capped and the
+    /// object does not fit even after a GC.
+    pub fn alloc_scalar(
+        &self,
+        class: ClassId,
+        ref_fields: u32,
+        prim_bytes: u32,
+        ctx: Option<ContextId>,
+    ) -> ObjId {
+        let mut inner = self.inner.lock();
+        let size = inner.model.object_size(ref_fields, prim_bytes);
+        inner.ensure_room(size);
+        let body = ObjBody::Scalar {
+            refs: vec![None; ref_fields as usize].into(),
+            prim_bytes,
+        };
+        inner.insert(class, size, ctx, body)
+    }
+
+    /// Allocates an array of `capacity` elements of kind `elem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with an [`OutOfMemory`] payload if the heap is capped and the
+    /// array does not fit even after a GC.
+    pub fn alloc_array(
+        &self,
+        class: ClassId,
+        elem: ElemKind,
+        capacity: u32,
+        ctx: Option<ContextId>,
+    ) -> ObjId {
+        let mut inner = self.inner.lock();
+        let elem_bytes = match elem {
+            ElemKind::Ref => inner.model.ref_bytes,
+            ElemKind::Prim { bytes_per_elem } => bytes_per_elem,
+        };
+        let size = inner.model.array_size(elem_bytes, capacity);
+        inner.ensure_room(size);
+        let slots = match elem {
+            ElemKind::Ref => vec![None; capacity as usize].into(),
+            ElemKind::Prim { .. } => Vec::new().into(),
+        };
+        let body = ObjBody::Array {
+            elem,
+            slots,
+            capacity,
+        };
+        inner.insert(class, size, ctx, body)
+    }
+
+    // ----- object access --------------------------------------------------------
+
+    /// Stores `target` into reference field `field` of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is stale or `field` is out of bounds.
+    pub fn set_ref(&self, obj: ObjId, field: usize, target: Option<ObjId>) {
+        let mut inner = self.inner.lock();
+        match &mut inner.resolve_mut(obj).body {
+            ObjBody::Scalar { refs, .. } => refs[field] = target,
+            ObjBody::Array { .. } => panic!("set_ref on array object; use set_elem"),
+        }
+    }
+
+    /// Reads reference field `field` of `obj`.
+    pub fn get_ref(&self, obj: ObjId, field: usize) -> Option<ObjId> {
+        let inner = self.inner.lock();
+        match &inner.resolve(obj).body {
+            ObjBody::Scalar { refs, .. } => refs[field],
+            ObjBody::Array { .. } => panic!("get_ref on array object; use get_elem"),
+        }
+    }
+
+    /// Stores `target` into slot `idx` of a reference array.
+    pub fn set_elem(&self, arr: ObjId, idx: usize, target: Option<ObjId>) {
+        let mut inner = self.inner.lock();
+        match &mut inner.resolve_mut(arr).body {
+            ObjBody::Array { slots, .. } => slots[idx] = target,
+            ObjBody::Scalar { .. } => panic!("set_elem on scalar object; use set_ref"),
+        }
+    }
+
+    /// Reads slot `idx` of a reference array.
+    pub fn get_elem(&self, arr: ObjId, idx: usize) -> Option<ObjId> {
+        let inner = self.inner.lock();
+        match &inner.resolve(arr).body {
+            ObjBody::Array { slots, .. } => slots[idx],
+            ObjBody::Scalar { .. } => panic!("get_elem on scalar object; use get_ref"),
+        }
+    }
+
+    /// Writes semantic-map metadata slot `idx` (grows the vector as needed).
+    pub fn set_meta(&self, obj: ObjId, idx: usize, value: i64) {
+        let mut inner = self.inner.lock();
+        let meta = &mut inner.resolve_mut(obj).meta;
+        if meta.len() <= idx {
+            meta.resize(idx + 1, 0);
+        }
+        meta[idx] = value;
+    }
+
+    /// Reads semantic-map metadata slot `idx` (0 if never written).
+    pub fn get_meta(&self, obj: ObjId, idx: usize) -> i64 {
+        let inner = self.inner.lock();
+        inner.resolve(obj).meta.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Returns a snapshot view of `obj`.
+    pub fn view(&self, obj: ObjId) -> ObjectView {
+        let inner = self.inner.lock();
+        let o = inner.resolve(obj);
+        ObjectView {
+            class: o.class,
+            size: o.size,
+            ctx: o.ctx,
+            refs: match &o.body {
+                ObjBody::Scalar { refs, .. } => refs.to_vec(),
+                ObjBody::Array { slots, .. } => slots.to_vec(),
+            },
+            array_capacity: o.array_capacity(),
+            meta: o.meta.clone(),
+        }
+    }
+
+    /// Whether `obj` still resolves (has not been swept).
+    pub fn is_live(&self, obj: ObjId) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .slab
+            .get(obj.index as usize)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|o| o.generation == obj.generation)
+    }
+
+    /// Aligned size of `obj` in bytes.
+    pub fn size_of(&self, obj: ObjId) -> u32 {
+        self.inner.lock().resolve(obj).size
+    }
+
+    /// Class of `obj`.
+    pub fn class_of(&self, obj: ObjId) -> ClassId {
+        self.inner.lock().resolve(obj).class
+    }
+
+    // ----- roots ----------------------------------------------------------------
+
+    /// Registers `obj` as a GC root (reference counted).
+    pub fn add_root(&self, obj: ObjId) {
+        *self.inner.lock().roots.entry(obj).or_insert(0) += 1;
+    }
+
+    /// Releases one root registration of `obj`.
+    pub fn remove_root(&self, obj: ObjId) {
+        let mut inner = self.inner.lock();
+        if let Some(n) = inner.roots.get_mut(&obj) {
+            *n -= 1;
+            if *n == 0 {
+                inner.roots.remove(&obj);
+            }
+        }
+    }
+
+    /// Number of distinct roots.
+    pub fn root_count(&self) -> usize {
+        self.inner.lock().roots.len()
+    }
+
+    // ----- GC and statistics ----------------------------------------------------
+
+    /// Runs a full mark-sweep cycle and returns its statistics.
+    pub fn gc(&self) -> CycleStats {
+        let mut inner = self.inner.lock();
+        gc::collect(&mut inner)
+    }
+
+    /// All per-cycle statistics recorded so far (Table 3 rows).
+    pub fn cycles(&self) -> Vec<CycleStats> {
+        self.inner.lock().cycles.clone()
+    }
+
+    /// Clears recorded cycle statistics (between runs).
+    pub fn clear_cycles(&self) {
+        self.inner.lock().cycles.clear();
+    }
+
+    /// Bytes currently occupied in the heap (live + not-yet-collected
+    /// garbage).
+    pub fn heap_bytes(&self) -> u64 {
+        self.inner.lock().heap_bytes
+    }
+
+    /// Total bytes ever allocated.
+    pub fn total_allocated_bytes(&self) -> u64 {
+        self.inner.lock().total_allocated_bytes
+    }
+
+    /// Total objects ever allocated.
+    pub fn total_allocated_objects(&self) -> u64 {
+        self.inner.lock().total_allocated_objects
+    }
+
+    /// Number of GC cycles run.
+    pub fn gc_count(&self) -> u64 {
+        self.inner.lock().gc_count
+    }
+
+    /// Number of objects currently in the table (live + garbage).
+    pub fn object_count(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.slab.len() - inner.free.len()
+    }
+
+}
+
+impl HeapInner {
+    fn ensure_room(&mut self, size: u32) {
+        if let Some(interval) = self.gc_interval_bytes {
+            if self.bytes_since_gc + u64::from(size) > interval {
+                gc::collect(self);
+                self.bytes_since_gc = 0;
+            }
+        }
+        let Some(cap) = self.capacity else { return };
+        if self.heap_bytes + u64::from(size) <= cap {
+            return;
+        }
+        gc::collect(self);
+        self.bytes_since_gc = 0;
+        if self.heap_bytes + u64::from(size) > cap {
+            std::panic::panic_any(OutOfMemory {
+                requested: u64::from(size),
+                capacity: cap,
+                live_after_gc: self.heap_bytes,
+            });
+        }
+    }
+
+    fn insert(
+        &mut self,
+        class: ClassId,
+        size: u32,
+        ctx: Option<ContextId>,
+        body: ObjBody,
+    ) -> ObjId {
+        self.heap_bytes += u64::from(size);
+        self.bytes_since_gc += u64::from(size);
+        self.total_allocated_bytes += u64::from(size);
+        self.total_allocated_objects += 1;
+        let generation = self.generation;
+        let object = Object {
+            class,
+            generation,
+            size,
+            ctx,
+            body,
+            meta: Vec::new(),
+        };
+        let index = if let Some(i) = self.free.pop() {
+            self.slab[i as usize] = Some(object);
+            i
+        } else {
+            self.slab.push(Some(object));
+            (self.slab.len() - 1) as u32
+        };
+        ObjId { index, generation }
+    }
+
+    pub(crate) fn resolve(&self, obj: ObjId) -> &Object {
+        let o = self.slab[obj.index as usize]
+            .as_ref()
+            .expect("stale ObjId: object was swept");
+        assert_eq!(
+            o.generation, obj.generation,
+            "stale ObjId: slot was reused by a newer object"
+        );
+        o
+    }
+
+    pub(crate) fn resolve_mut(&mut self, obj: ObjId) -> &mut Object {
+        let o = self.slab[obj.index as usize]
+            .as_mut()
+            .expect("stale ObjId: object was swept");
+        assert_eq!(
+            o.generation, obj.generation,
+            "stale ObjId: slot was reused by a newer object"
+        );
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_heap() -> (Heap, ClassId) {
+        let heap = Heap::new();
+        let class = heap.register_class("Obj", None);
+        (heap, class)
+    }
+
+    #[test]
+    fn alloc_and_view_scalar() {
+        let (heap, class) = simple_heap();
+        let o = heap.alloc_scalar(class, 2, 4, None);
+        let v = heap.view(o);
+        assert_eq!(v.class, class);
+        assert_eq!(v.refs.len(), 2);
+        assert_eq!(v.size, heap.model().object_size(2, 4));
+        assert!(v.array_capacity.is_none());
+    }
+
+    #[test]
+    fn alloc_array_and_slots() {
+        let (heap, class) = simple_heap();
+        let arr = heap.alloc_array(class, ElemKind::Ref, 4, None);
+        let o = heap.alloc_scalar(class, 0, 0, None);
+        heap.set_elem(arr, 2, Some(o));
+        assert_eq!(heap.get_elem(arr, 2), Some(o));
+        assert_eq!(heap.get_elem(arr, 0), None);
+        assert_eq!(heap.view(arr).array_capacity, Some(4));
+    }
+
+    #[test]
+    fn meta_grows_on_demand() {
+        let (heap, class) = simple_heap();
+        let o = heap.alloc_scalar(class, 0, 0, None);
+        assert_eq!(heap.get_meta(o, 3), 0);
+        heap.set_meta(o, 3, 42);
+        assert_eq!(heap.get_meta(o, 3), 42);
+        assert_eq!(heap.get_meta(o, 0), 0);
+    }
+
+    #[test]
+    fn gc_reclaims_unrooted() {
+        let (heap, class) = simple_heap();
+        let kept = heap.alloc_scalar(class, 1, 0, None);
+        let child = heap.alloc_scalar(class, 0, 0, None);
+        let _garbage = heap.alloc_scalar(class, 0, 0, None);
+        heap.set_ref(kept, 0, Some(child));
+        heap.add_root(kept);
+        let stats = heap.gc();
+        assert_eq!(stats.live_objects, 2);
+        assert_eq!(stats.swept_objects, 1);
+        assert!(heap.is_live(kept));
+        assert!(heap.is_live(child));
+    }
+
+    #[test]
+    fn root_refcounting() {
+        let (heap, class) = simple_heap();
+        let o = heap.alloc_scalar(class, 0, 0, None);
+        heap.add_root(o);
+        heap.add_root(o);
+        heap.remove_root(o);
+        heap.gc();
+        assert!(heap.is_live(o), "still rooted once");
+        heap.remove_root(o);
+        heap.gc();
+        assert!(!heap.is_live(o));
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let (heap, class) = simple_heap();
+        let o = heap.alloc_scalar(class, 0, 0, None);
+        heap.gc(); // sweeps o
+        let o2 = heap.alloc_scalar(class, 0, 0, None);
+        // Slot may be reused but ids must differ.
+        assert_ne!(o, o2);
+        assert!(!heap.is_live(o));
+        assert!(heap.is_live(o2));
+    }
+
+    #[test]
+    fn capacity_triggers_gc_then_oom() {
+        let heap = Heap::with_capacity(256);
+        let class = heap.register_class("Obj", None);
+        // Fill with garbage; auto-GC should reclaim and allow more.
+        for _ in 0..100 {
+            let _ = heap.alloc_scalar(class, 0, 24, None);
+        }
+        assert!(heap.gc_count() > 0, "capacity pressure must trigger GC");
+        // Now pin everything and overflow.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for _ in 0..100 {
+                let o = heap.alloc_scalar(class, 0, 24, None);
+                heap.add_root(o);
+            }
+        }));
+        let err = result.expect_err("must OOM");
+        let oom = err
+            .downcast_ref::<OutOfMemory>()
+            .expect("payload is OutOfMemory");
+        assert_eq!(oom.capacity, 256);
+    }
+
+    #[test]
+    fn heap_accounting_tracks_alloc_and_sweep() {
+        let (heap, class) = simple_heap();
+        let size = u64::from(heap.model().object_size(0, 0));
+        let a = heap.alloc_scalar(class, 0, 0, None);
+        let _b = heap.alloc_scalar(class, 0, 0, None);
+        assert_eq!(heap.heap_bytes(), 2 * size);
+        heap.add_root(a);
+        heap.gc();
+        assert_eq!(heap.heap_bytes(), size);
+        assert_eq!(heap.total_allocated_bytes(), 2 * size);
+        assert_eq!(heap.total_allocated_objects(), 2);
+    }
+
+    #[test]
+    fn gc_interval_drives_cycles_on_unbounded_heap() {
+        let heap = Heap::with_config(HeapConfig {
+            gc_interval_bytes: Some(1024),
+            ..HeapConfig::default()
+        });
+        let class = heap.register_class("Obj", None);
+        for _ in 0..200 {
+            let _ = heap.alloc_scalar(class, 0, 24, None); // 32 B each
+        }
+        // 200 * 32 B = 6400 B allocated, interval 1 KiB -> ~6 cycles.
+        assert!(heap.gc_count() >= 5, "gc_count = {}", heap.gc_count());
+        assert!(heap.gc_count() <= 8);
+    }
+
+    #[test]
+    fn context_frames_are_portable() {
+        let heap = Heap::new();
+        let ctx = heap.intern_context(
+            "HashMap",
+            &["F.m:31".to_owned(), "G.n:50".to_owned()],
+            2,
+        );
+        let frames = heap.context_frames(ctx);
+        let heap2 = Heap::new();
+        let ctx2 = heap2.intern_context("HashMap", &frames, 2);
+        assert_eq!(heap.format_context(ctx), heap2.format_context(ctx2));
+    }
+
+    #[test]
+    fn contexts_roundtrip() {
+        let heap = Heap::new();
+        let ctx = heap.intern_context(
+            "HashMap",
+            &["F.m:31".to_owned(), "G.n:50".to_owned(), "H.o:9".to_owned()],
+            2,
+        );
+        assert_eq!(heap.format_context(ctx), "HashMap:F.m:31;G.n:50");
+        assert_eq!(heap.context_src_type(ctx), "HashMap");
+    }
+}

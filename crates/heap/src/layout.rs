@@ -1,0 +1,151 @@
+//! Memory layout model.
+//!
+//! Chameleon's heap metrics are all expressed in bytes of a managed (Java)
+//! heap. This module captures the object-layout constants the paper assumes —
+//! a 32-bit JVM where an object header is 8 bytes, an array header is
+//! 12 bytes, a reference is 4 bytes and everything is 8-byte aligned — so the
+//! simulated heap can reproduce the paper's arithmetic exactly (e.g. a
+//! `HashMap` entry object of header + three references = 24 bytes, §2.3).
+
+/// Object-layout constants for a simulated managed heap.
+///
+/// # Examples
+///
+/// ```
+/// use chameleon_heap::layout::MemoryModel;
+///
+/// let m = MemoryModel::jvm32();
+/// // The paper's 24-byte hash entry: header + 3 references + 1 int.
+/// assert_eq!(m.object_size(3, 4), 24);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryModel {
+    /// Bytes of a plain object header.
+    pub header_bytes: u32,
+    /// Bytes of an array header (object header plus length word).
+    pub array_header_bytes: u32,
+    /// Bytes of one reference (pointer) slot.
+    pub ref_bytes: u32,
+    /// Allocation alignment in bytes.
+    pub align: u32,
+}
+
+impl MemoryModel {
+    /// The 32-bit JVM layout used throughout the paper.
+    pub fn jvm32() -> Self {
+        MemoryModel {
+            header_bytes: 8,
+            array_header_bytes: 12,
+            ref_bytes: 4,
+            align: 8,
+        }
+    }
+
+    /// A 64-bit JVM layout without compressed oops, for sensitivity studies.
+    pub fn jvm64() -> Self {
+        MemoryModel {
+            header_bytes: 16,
+            array_header_bytes: 24,
+            ref_bytes: 8,
+            align: 8,
+        }
+    }
+
+    /// Rounds `bytes` up to the model's allocation alignment.
+    pub fn align_up(&self, bytes: u32) -> u32 {
+        let a = self.align.max(1);
+        bytes.div_ceil(a) * a
+    }
+
+    /// Size in bytes of a scalar object with `ref_fields` reference fields and
+    /// `prim_bytes` bytes of primitive fields.
+    pub fn object_size(&self, ref_fields: u32, prim_bytes: u32) -> u32 {
+        self.align_up(self.header_bytes + ref_fields * self.ref_bytes + prim_bytes)
+    }
+
+    /// Size in bytes of an array of `capacity` elements of `elem_bytes` each.
+    pub fn array_size(&self, elem_bytes: u32, capacity: u32) -> u32 {
+        self.align_up(self.array_header_bytes + elem_bytes * capacity)
+    }
+
+    /// Size in bytes of an array of `capacity` references.
+    pub fn ref_array_size(&self, capacity: u32) -> u32 {
+        self.array_size(self.ref_bytes, capacity)
+    }
+
+    /// The paper's "core" measure for a collection holding `elems` element
+    /// slots: the ideal pointer array that would store exactly the content.
+    pub fn core_size(&self, elems: u32) -> u32 {
+        self.array_size(self.ref_bytes, elems)
+    }
+}
+
+impl Default for MemoryModel {
+    /// Defaults to the paper's 32-bit JVM layout.
+    fn default() -> Self {
+        MemoryModel::jvm32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jvm32_constants_match_paper() {
+        let m = MemoryModel::jvm32();
+        assert_eq!(m.header_bytes, 8);
+        assert_eq!(m.array_header_bytes, 12);
+        assert_eq!(m.ref_bytes, 4);
+        // §2.3: "The entry object alone on a 32-bit architecture consumes 24
+        // bytes (object header and three pointers)."
+        assert_eq!(m.object_size(3, 0), 24);
+    }
+
+    #[test]
+    fn align_up_rounds_to_multiple() {
+        let m = MemoryModel::jvm32();
+        assert_eq!(m.align_up(0), 0);
+        assert_eq!(m.align_up(1), 8);
+        assert_eq!(m.align_up(8), 8);
+        assert_eq!(m.align_up(9), 16);
+        assert_eq!(m.align_up(24), 24);
+    }
+
+    #[test]
+    fn object_size_includes_header_and_fields() {
+        let m = MemoryModel::jvm32();
+        // header only
+        assert_eq!(m.object_size(0, 0), 8);
+        // header + 1 ref = 12 -> aligned 16
+        assert_eq!(m.object_size(1, 0), 16);
+        // header + 2 refs + 8 prim bytes = 24
+        assert_eq!(m.object_size(2, 8), 24);
+    }
+
+    #[test]
+    fn array_sizes() {
+        let m = MemoryModel::jvm32();
+        // empty ref array: 12 -> 16
+        assert_eq!(m.ref_array_size(0), 16);
+        // 10 refs: 12 + 40 = 52 -> 56 (default ArrayList backing array)
+        assert_eq!(m.ref_array_size(10), 56);
+        // int array of 4: 12 + 16 = 28 -> 32
+        assert_eq!(m.array_size(4, 4), 32);
+    }
+
+    #[test]
+    fn core_is_ideal_pointer_array() {
+        let m = MemoryModel::jvm32();
+        assert_eq!(m.core_size(0), m.ref_array_size(0));
+        assert_eq!(m.core_size(100), m.ref_array_size(100));
+    }
+
+    #[test]
+    fn jvm64_is_larger() {
+        let m32 = MemoryModel::jvm32();
+        let m64 = MemoryModel::jvm64();
+        assert!(m64.object_size(3, 0) > m32.object_size(3, 0));
+        assert!(m64.ref_array_size(16) > m32.ref_array_size(16));
+    }
+}

@@ -1,0 +1,138 @@
+//! Simulated heap objects.
+//!
+//! Every allocation in the simulated heap is either a *scalar* object (a
+//! fixed set of reference fields plus opaque primitive bytes) or an *array*
+//! (of references or of primitives). Objects carry the [`ClassId`] they were
+//! allocated as, the [`ContextId`] they were
+//! allocated at, and a small `meta` vector of primitive values that semantic
+//! ADT maps read (e.g. a collection's logical size) — the analogue of the
+//! fields the paper's GC reads through its semantic maps.
+
+use crate::context::ContextId;
+
+/// Identifier of a registered class (allocation type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+/// Handle to a heap object.
+///
+/// Ids are generational: after an object is swept, a stale `ObjId` no longer
+/// resolves, which turns use-after-free bugs in collection implementations
+/// into immediate panics instead of silent corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjId {
+    pub(crate) index: u32,
+    pub(crate) generation: u32,
+}
+
+impl ObjId {
+    /// Slot index within the heap's object table (stable while the object is
+    /// live; reused after it is collected).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+}
+
+/// Element kind of a simulated array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemKind {
+    /// Array of references; slots are traced by the collector.
+    Ref,
+    /// Array of primitives of the given width in bytes; not traced.
+    Prim {
+        /// Bytes per element (e.g. 4 for `int[]`).
+        bytes_per_elem: u32,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) enum ObjBody {
+    Scalar {
+        refs: Box<[Option<ObjId>]>,
+        #[allow(dead_code)]
+        prim_bytes: u32,
+    },
+    Array {
+        elem: ElemKind,
+        /// Populated only for `ElemKind::Ref`.
+        slots: Box<[Option<ObjId>]>,
+        capacity: u32,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) struct Object {
+    pub(crate) class: ClassId,
+    pub(crate) generation: u32,
+    pub(crate) size: u32,
+    pub(crate) ctx: Option<ContextId>,
+    pub(crate) body: ObjBody,
+    /// Primitive metadata readable by semantic maps (logical size, used
+    /// bucket count, …). Written by collection implementations.
+    pub(crate) meta: Vec<i64>,
+}
+
+impl Object {
+    pub(crate) fn refs_iter(&self) -> impl Iterator<Item = ObjId> + '_ {
+        let slice: &[Option<ObjId>] = match &self.body {
+            ObjBody::Scalar { refs, .. } => refs,
+            ObjBody::Array { slots, .. } => slots,
+        };
+        slice.iter().filter_map(|r| *r)
+    }
+
+    pub(crate) fn array_capacity(&self) -> Option<u32> {
+        match &self.body {
+            ObjBody::Array { capacity, .. } => Some(*capacity),
+            ObjBody::Scalar { .. } => None,
+        }
+    }
+}
+
+/// A snapshot view of one heap object, for inspection APIs and semantic maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectView {
+    /// Class the object was allocated as.
+    pub class: ClassId,
+    /// Aligned size of this single object in bytes.
+    pub size: u32,
+    /// Allocation context, if one was recorded.
+    pub ctx: Option<ContextId>,
+    /// Reference fields (scalar) or reference slots (ref array).
+    pub refs: Vec<Option<ObjId>>,
+    /// Array capacity if the object is an array.
+    pub array_capacity: Option<u32>,
+    /// Semantic-map metadata values.
+    pub meta: Vec<i64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obj_id_equality_includes_generation() {
+        let a = ObjId { index: 3, generation: 1 };
+        let b = ObjId { index: 3, generation: 2 };
+        assert_ne!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn refs_iter_skips_null_slots() {
+        let o = Object {
+            class: ClassId(0),
+            generation: 0,
+            size: 16,
+            ctx: None,
+            body: ObjBody::Scalar {
+                refs: vec![None, Some(ObjId { index: 7, generation: 0 }), None].into(),
+                prim_bytes: 0,
+            },
+            meta: Vec::new(),
+        };
+        let targets: Vec<_> = o.refs_iter().collect();
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].index(), 7);
+    }
+}

@@ -1,0 +1,233 @@
+//! Semantic ADT maps.
+//!
+//! A collection is usually several heap objects (a wrapper, an
+//! implementation object, a backing array, chained entry objects). A plain
+//! profiler walking the heap cannot tell an `Object[]` that belongs to an
+//! `ArrayList` from any other `Object[]`. The paper solves this by
+//! registering, per collection class, a *semantic map* that tells the GC how
+//! to find the collection's internal objects and how to compute its
+//! **live** (all bytes occupied), **used** (live minus unused capacity such
+//! as empty array slots) and **core** (the ideal pointer array that would
+//! hold exactly the content) sizes (§4.3.2).
+//!
+//! Here a semantic map is a small declarative descriptor interpreted by the
+//! collector. The scheme is parametric: any custom collection can register a
+//! descriptor for its own layout, which is exactly the reuse property the
+//! paper claims for its maps.
+
+use crate::object::ClassId;
+use std::collections::HashMap;
+
+/// Logical kind of the abstract data type, which determines the *core*
+/// measure (maps store two references per element, lists and sets one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectionKind {
+    /// Ordered sequence.
+    List,
+    /// Duplicate-free group.
+    Set,
+    /// Key-value mapping.
+    Map,
+}
+
+impl CollectionKind {
+    /// Reference slots per logical element (`2` for maps, `1` otherwise).
+    pub fn refs_per_elem(self) -> u32 {
+        match self {
+            CollectionKind::Map => 2,
+            CollectionKind::List | CollectionKind::Set => 1,
+        }
+    }
+}
+
+/// Declarative layout descriptor interpreted by the collector.
+///
+/// Conventions shared by all collection implementations in this workspace:
+///
+/// * a collection object's `meta[0]` is its logical size (element count);
+/// * chained-hash implementations keep the number of non-empty buckets in
+///   `meta[1]`;
+/// * entry objects chain through their reference field `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdtDescriptor {
+    /// A thin wrapper whose reference field `impl_field` points at the
+    /// backing implementation object (which must itself have a semantic
+    /// map). The wrapper's own bytes count as live and used.
+    Wrapper {
+        /// Index of the wrapper's reference field holding the backing impl.
+        impl_field: usize,
+    },
+    /// Contiguous storage: the object's reference field `array_field` points
+    /// at a backing array; each logical element occupies `slots_per_elem`
+    /// array slots. Unused slots are the live-vs-used gap. A `None` array
+    /// (lazy implementations) contributes nothing.
+    ArrayBacked {
+        /// Index of the reference field holding the backing array.
+        array_field: usize,
+        /// Array slots consumed per logical element (2 for array maps that
+        /// interleave keys and values).
+        slots_per_elem: u32,
+    },
+    /// Chained hash table: `array_field` points at the bucket array whose
+    /// slots head chains of entry objects (linked through entry reference
+    /// field `0`). Empty buckets are the live-vs-used gap.
+    ChainedHash {
+        /// Index of the reference field holding the bucket array.
+        array_field: usize,
+    },
+    /// Doubly-linked list with a sentinel header entry: `head_field` points
+    /// at the header; entries chain circularly through reference field `0`.
+    /// Every byte is "used" (the overhead shows up against *core* instead).
+    LinkedEntries {
+        /// Index of the reference field holding the sentinel header entry.
+        head_field: usize,
+    },
+    /// Everything lives inline in the single object (empty/singleton
+    /// collections, or lazy ones before their first update).
+    Inline,
+}
+
+/// Semantic map registered for a collection class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemanticMap {
+    /// The ADT kind, for the core measure.
+    pub kind: CollectionKind,
+    /// How the collector walks the object's internals.
+    pub descriptor: AdtDescriptor,
+    /// Whether the collector enumerates this class directly as a collection
+    /// (true for the user-facing wrapper classes; false for backing
+    /// implementation classes, which are only reached through wrappers).
+    pub top_level: bool,
+}
+
+impl SemanticMap {
+    /// Map for a user-facing wrapper class.
+    pub fn wrapper(kind: CollectionKind) -> Self {
+        SemanticMap {
+            kind,
+            descriptor: AdtDescriptor::Wrapper { impl_field: 0 },
+            top_level: true,
+        }
+    }
+
+    /// Map for a (non-top-level) backing implementation class.
+    pub fn backing(kind: CollectionKind, descriptor: AdtDescriptor) -> Self {
+        SemanticMap {
+            kind,
+            descriptor,
+            top_level: false,
+        }
+    }
+}
+
+/// Per-class registration data.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// Class display name (e.g. `"ArrayList"`, `"HashMap$Entry"`).
+    pub name: String,
+    /// Semantic map, for collection classes.
+    pub semantic_map: Option<SemanticMap>,
+}
+
+/// Registry of classes known to the heap.
+#[derive(Debug, Default)]
+pub struct ClassRegistry {
+    classes: Vec<ClassInfo>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl ClassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name` (idempotent: re-registering returns the existing id
+    /// and keeps the original map).
+    pub fn register(&mut self, name: &str, semantic_map: Option<SemanticMap>) -> ClassId {
+        if let Some(id) = self.by_name.get(name) {
+            return *id;
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(ClassInfo {
+            name: name.to_owned(),
+            semantic_map,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a class by name.
+    pub fn lookup(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the info for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` was not produced by this registry.
+    pub fn info(&self, class: ClassId) -> &ClassInfo {
+        &self.classes[class.0 as usize]
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassInfo)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId(i as u32), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refs_per_elem_by_kind() {
+        assert_eq!(CollectionKind::List.refs_per_elem(), 1);
+        assert_eq!(CollectionKind::Set.refs_per_elem(), 1);
+        assert_eq!(CollectionKind::Map.refs_per_elem(), 2);
+    }
+
+    #[test]
+    fn registry_is_idempotent_by_name() {
+        let mut r = ClassRegistry::new();
+        let a = r.register("ArrayList", None);
+        let b = r.register("ArrayList", Some(SemanticMap::wrapper(CollectionKind::List)));
+        assert_eq!(a, b);
+        // Original (None) registration wins.
+        assert!(r.info(a).semantic_map.is_none());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut r = ClassRegistry::new();
+        let id = r.register("HashMap", None);
+        assert_eq!(r.lookup("HashMap"), Some(id));
+        assert_eq!(r.lookup("TreeMap"), None);
+    }
+
+    #[test]
+    fn wrapper_maps_are_top_level() {
+        let m = SemanticMap::wrapper(CollectionKind::Map);
+        assert!(m.top_level);
+        let b = SemanticMap::backing(
+            CollectionKind::Map,
+            AdtDescriptor::ChainedHash { array_field: 0 },
+        );
+        assert!(!b.top_level);
+    }
+}

@@ -1,0 +1,335 @@
+//! Per-context trace aggregation (`ContextInfo` in the paper, §4.2).
+//!
+//! Each collection instance's death statistics are folded into the
+//! `ContextTrace` of its allocation context. The trace keeps enough moments
+//! (sum and sum of squares) to answer the Table 1 rows "Avg/Var operation
+//! count" and "Avg/Var of maximal size", which feed both the rule engine and
+//! the Definition 3.1 stability gate.
+
+use chameleon_collections::{InstanceStats, Op};
+use std::collections::HashMap;
+
+const NOPS: usize = Op::ALL.len();
+
+/// Aggregated trace statistics for one allocation context.
+#[derive(Debug, Clone)]
+pub struct ContextTrace {
+    /// Number of collection instances that died in this context.
+    pub instances: u64,
+    op_sum: [u64; NOPS],
+    op_sumsq: [f64; NOPS],
+    max_size_sum: u64,
+    max_size_sumsq: f64,
+    /// Largest maximal size any instance reached.
+    pub max_size_peak: u64,
+    /// Sum of sizes at death.
+    pub final_size_sum: u64,
+    /// Sum of initial capacities.
+    pub initial_capacity_sum: u64,
+    /// Largest initial capacity seen.
+    pub initial_capacity_max: u64,
+    /// The requested type (first seen; contexts are type-homogeneous by
+    /// construction since the type is part of the context identity).
+    pub requested_type: String,
+    /// How many instances each backing implementation served.
+    pub impl_counts: HashMap<&'static str, u64>,
+    /// Instances that grew beyond their initial capacity.
+    pub grew_beyond_capacity: u64,
+}
+
+impl ContextTrace {
+    /// Empty trace for `requested_type`.
+    pub fn new(requested_type: &str) -> Self {
+        ContextTrace {
+            instances: 0,
+            op_sum: [0; NOPS],
+            op_sumsq: [0.0; NOPS],
+            max_size_sum: 0,
+            max_size_sumsq: 0.0,
+            max_size_peak: 0,
+            final_size_sum: 0,
+            initial_capacity_sum: 0,
+            initial_capacity_max: 0,
+            requested_type: requested_type.to_owned(),
+            impl_counts: HashMap::new(),
+            grew_beyond_capacity: 0,
+        }
+    }
+
+    /// Folds one instance's death statistics in.
+    pub fn absorb(&mut self, stats: &InstanceStats) {
+        self.instances += 1;
+        for op in Op::ALL {
+            let n = stats.ops.get(op);
+            self.op_sum[op.index()] += n;
+            self.op_sumsq[op.index()] += (n as f64) * (n as f64);
+        }
+        self.max_size_sum += stats.max_size;
+        self.max_size_sumsq += (stats.max_size as f64) * (stats.max_size as f64);
+        self.max_size_peak = self.max_size_peak.max(stats.max_size);
+        self.final_size_sum += stats.final_size;
+        self.initial_capacity_sum += stats.initial_capacity;
+        self.initial_capacity_max = self.initial_capacity_max.max(stats.initial_capacity);
+        *self.impl_counts.entry(stats.chosen_impl).or_insert(0) += 1;
+        if stats.max_size > stats.initial_capacity {
+            self.grew_beyond_capacity += 1;
+        }
+    }
+
+    /// Total count of `op` over all instances.
+    pub fn op_total(&self, op: Op) -> u64 {
+        self.op_sum[op.index()]
+    }
+
+    /// Average count of `op` per instance.
+    pub fn op_avg(&self, op: Op) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.op_sum[op.index()] as f64 / self.instances as f64
+        }
+    }
+
+    /// Standard deviation of `op`'s per-instance count.
+    pub fn op_std(&self, op: Op) -> f64 {
+        std_dev(
+            self.instances,
+            self.op_sum[op.index()] as f64,
+            self.op_sumsq[op.index()],
+        )
+    }
+
+    /// Total operations over all instances (`#allOps`, summed).
+    pub fn all_ops_total(&self) -> u64 {
+        self.op_sum.iter().sum()
+    }
+
+    /// Average `#allOps` per instance.
+    pub fn all_ops_avg(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.all_ops_total() as f64 / self.instances as f64
+        }
+    }
+
+    /// Average maximal size per instance.
+    pub fn max_size_avg(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.max_size_sum as f64 / self.instances as f64
+        }
+    }
+
+    /// Standard deviation of the per-instance maximal size.
+    pub fn max_size_std(&self) -> f64 {
+        std_dev(self.instances, self.max_size_sum as f64, self.max_size_sumsq)
+    }
+
+    /// Average size at death.
+    pub fn final_size_avg(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.final_size_sum as f64 / self.instances as f64
+        }
+    }
+
+    /// Average initial capacity.
+    pub fn initial_capacity_avg(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.initial_capacity_sum as f64 / self.instances as f64
+        }
+    }
+
+    /// Fraction (0–1) of instances that never saw any operation.
+    pub fn never_used_fraction(&self) -> f64 {
+        // An instance-level count isn't kept; approximate via op totals:
+        // if the average allOps is zero the whole context is unused.
+        if self.all_ops_total() == 0 && self.instances > 0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// The operation distribution as (op, share-of-allOps) pairs, the data
+    /// behind the Fig. 3 circles.
+    pub fn op_distribution(&self) -> Vec<(Op, f64)> {
+        let total = self.all_ops_total();
+        if total == 0 {
+            return Vec::new();
+        }
+        Op::ALL
+            .iter()
+            .copied()
+            .filter(|op| self.op_sum[op.index()] > 0)
+            .map(|op| (op, self.op_sum[op.index()] as f64 / total as f64))
+            .collect()
+    }
+}
+
+fn std_dev(n: u64, sum: f64, sumsq: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let mean = sum / n;
+    let var = (sumsq / n - mean * mean).max(0.0);
+    var.sqrt()
+}
+
+/// Definition 3.1 stability gate configuration.
+///
+/// "Size values are required to be tight, while operation counts are not
+/// restricted" — so by default only the maximal-size deviation is checked,
+/// against `abs_threshold + rel_threshold * mean`.
+#[derive(Debug, Clone, Copy)]
+pub struct StabilityConfig {
+    /// Absolute allowance on the max-size standard deviation.
+    pub size_abs_threshold: f64,
+    /// Relative (coefficient-of-variation) allowance.
+    pub size_rel_threshold: f64,
+    /// Optional gate on operation-count deviations (off by default).
+    pub op_rel_threshold: Option<f64>,
+}
+
+impl Default for StabilityConfig {
+    fn default() -> Self {
+        StabilityConfig {
+            size_abs_threshold: 2.0,
+            size_rel_threshold: 0.5,
+            op_rel_threshold: None,
+        }
+    }
+}
+
+impl StabilityConfig {
+    /// Whether the context's maximal-size metric is stable.
+    pub fn size_stable(&self, trace: &ContextTrace) -> bool {
+        trace.max_size_std()
+            <= self.size_abs_threshold + self.size_rel_threshold * trace.max_size_avg()
+    }
+
+    /// Whether all gated metrics are stable.
+    pub fn stable(&self, trace: &ContextTrace) -> bool {
+        if !self.size_stable(trace) {
+            return false;
+        }
+        if let Some(rel) = self.op_rel_threshold {
+            for op in Op::ALL {
+                if trace.op_std(op) > 1.0 + rel * trace.op_avg(op) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_collections::OpCounts;
+
+    fn stats(adds: u64, max_size: u64, cap: u64) -> InstanceStats {
+        let mut ops = OpCounts::new();
+        ops.record_n(Op::Add, adds);
+        InstanceStats {
+            ops,
+            max_size,
+            final_size: max_size,
+            initial_capacity: cap,
+            requested_type: "ArrayList",
+            chosen_impl: "ArrayList",
+        }
+    }
+
+    #[test]
+    fn averages_and_totals() {
+        let mut t = ContextTrace::new("ArrayList");
+        t.absorb(&stats(2, 2, 10));
+        t.absorb(&stats(4, 4, 10));
+        assert_eq!(t.instances, 2);
+        assert_eq!(t.op_total(Op::Add), 6);
+        assert!((t.op_avg(Op::Add) - 3.0).abs() < 1e-9);
+        assert!((t.max_size_avg() - 3.0).abs() < 1e-9);
+        assert_eq!(t.max_size_peak, 4);
+        assert_eq!(t.impl_counts["ArrayList"], 2);
+    }
+
+    #[test]
+    fn std_dev_zero_for_identical_instances() {
+        let mut t = ContextTrace::new("ArrayList");
+        for _ in 0..10 {
+            t.absorb(&stats(3, 5, 10));
+        }
+        assert!(t.op_std(Op::Add) < 1e-9);
+        assert!(t.max_size_std() < 1e-9);
+        assert!(StabilityConfig::default().stable(&t));
+    }
+
+    #[test]
+    fn bimodal_sizes_are_unstable() {
+        let mut t = ContextTrace::new("HashMap");
+        for _ in 0..50 {
+            t.absorb(&stats(1, 1, 16));
+        }
+        for _ in 0..50 {
+            t.absorb(&stats(1, 1000, 16));
+        }
+        assert!(!StabilityConfig::default().size_stable(&t));
+    }
+
+    #[test]
+    fn growth_beyond_capacity_is_counted() {
+        let mut t = ContextTrace::new("ArrayList");
+        t.absorb(&stats(20, 20, 10)); // grew
+        t.absorb(&stats(2, 2, 10)); // didn't
+        assert_eq!(t.grew_beyond_capacity, 1);
+    }
+
+    #[test]
+    fn distribution_shares_sum_to_one() {
+        let mut t = ContextTrace::new("ArrayList");
+        let mut ops = OpCounts::new();
+        ops.record_n(Op::Get, 75);
+        ops.record_n(Op::Add, 25);
+        t.absorb(&InstanceStats {
+            ops,
+            max_size: 5,
+            final_size: 5,
+            initial_capacity: 10,
+            requested_type: "ArrayList",
+            chosen_impl: "ArrayList",
+        });
+        let dist = t.op_distribution();
+        let total: f64 = dist.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let get_share = dist
+            .iter()
+            .find(|(op, _)| *op == Op::Get)
+            .map(|(_, s)| *s)
+            .expect("get present");
+        assert!((get_share - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_context_is_degenerate_but_defined() {
+        let t = ContextTrace::new("HashSet");
+        assert_eq!(t.op_avg(Op::Add), 0.0);
+        assert_eq!(t.max_size_std(), 0.0);
+        assert!(t.op_distribution().is_empty());
+        assert_eq!(t.never_used_fraction(), 0.0);
+    }
+
+    #[test]
+    fn never_used_context_flagged() {
+        let mut t = ContextTrace::new("LinkedList");
+        t.absorb(&stats(0, 0, 0));
+        assert_eq!(t.never_used_fraction(), 1.0);
+    }
+}

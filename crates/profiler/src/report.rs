@@ -1,0 +1,249 @@
+//! Combined trace + heap profile reports.
+//!
+//! The report joins, per allocation context, the library-side trace
+//! aggregates with the GC-side heap aggregates, ranks contexts by potential
+//! space saving (total live − total used, the paper's "maximum benefit"
+//! ordering), and exposes the live/used/core time series behind Fig. 2 and
+//! Fig. 8.
+
+use crate::context_trace::ContextTrace;
+use crate::profiler::Profiler;
+use chameleon_collections::Op;
+use chameleon_heap::stats::{aggregate_contexts, ContextHeapStats, CycleStats, HeapAggregate};
+use chameleon_heap::{ContextId, Heap};
+use std::fmt::Write as _;
+
+/// One point of the Fig. 2 / Fig. 8 series: collection share of live data
+/// at one GC cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// GC cycle ordinal.
+    pub cycle: u64,
+    /// Collections' live bytes as % of all live bytes.
+    pub live_pct: f64,
+    /// Collections' used bytes as % of all live bytes.
+    pub used_pct: f64,
+    /// Collections' core bytes as % of all live bytes.
+    pub core_pct: f64,
+    /// Absolute live bytes of the whole heap.
+    pub heap_live: u64,
+}
+
+/// Everything known about one allocation context.
+#[derive(Debug, Clone)]
+pub struct ContextProfile {
+    /// The context (None = deaths whose context was not captured).
+    pub ctx: Option<ContextId>,
+    /// Human-readable context label, paper style.
+    pub label: String,
+    /// The requested source type.
+    pub src_type: String,
+    /// Library-side trace aggregates.
+    pub trace: ContextTrace,
+    /// GC-side heap aggregates.
+    pub heap: ContextHeapStats,
+    /// Potential saving in bytes (total live − total used over all cycles).
+    pub potential_bytes: u64,
+    /// Potential as a percentage of the run's total live data.
+    pub potential_pct: f64,
+}
+
+/// A full profiling report for one run.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Contexts sorted by descending potential.
+    pub contexts: Vec<ContextProfile>,
+    /// Whole-heap aggregates over all cycles.
+    pub totals: HeapAggregate,
+    /// Per-cycle collection share of live data.
+    pub series: Vec<SeriesPoint>,
+}
+
+impl ProfileReport {
+    /// Builds the report from the profiler's traces and the heap's recorded
+    /// cycles.
+    pub fn build(profiler: &Profiler, heap: &Heap) -> Self {
+        let cycles = heap.cycles();
+        ProfileReport::from_parts(profiler.traces(), &cycles, heap)
+    }
+
+    /// Builds from already-extracted parts (useful for tests).
+    pub fn from_parts(
+        traces: Vec<(Option<ContextId>, ContextTrace)>,
+        cycles: &[CycleStats],
+        heap: &Heap,
+    ) -> Self {
+        let totals = HeapAggregate::from_cycles(cycles);
+        let heap_per_ctx = aggregate_contexts(cycles);
+        let denom = totals.total_live.max(1);
+
+        let mut contexts: Vec<ContextProfile> = traces
+            .into_iter()
+            .map(|(ctx, trace)| {
+                let hstats = ctx
+                    .and_then(|c| heap_per_ctx.get(&c).copied())
+                    .unwrap_or_default();
+                let potential = hstats.potential();
+                ContextProfile {
+                    label: match ctx {
+                        Some(c) => heap.format_context(c),
+                        None => format!("{}:<uncaptured>", trace.requested_type),
+                    },
+                    src_type: trace.requested_type.clone(),
+                    ctx,
+                    trace,
+                    heap: hstats,
+                    potential_bytes: potential,
+                    potential_pct: 100.0 * potential as f64 / denom as f64,
+                }
+            })
+            .collect();
+        // Contexts that died without trace data but appear in heap stats
+        // are not synthesized: every handle reports on death.
+        contexts.sort_by(|a, b| {
+            b.potential_bytes
+                .cmp(&a.potential_bytes)
+                .then_with(|| a.label.cmp(&b.label))
+        });
+
+        let series = cycles
+            .iter()
+            .map(|c| SeriesPoint {
+                cycle: c.cycle,
+                live_pct: c.collection_live_pct(),
+                used_pct: c.collection_used_pct(),
+                core_pct: c.collection_core_pct(),
+                heap_live: c.live_bytes,
+            })
+            .collect();
+
+        ProfileReport {
+            contexts,
+            totals,
+            series,
+        }
+    }
+
+    /// The `k` highest-potential contexts.
+    pub fn top(&self, k: usize) -> &[ContextProfile] {
+        &self.contexts[..k.min(self.contexts.len())]
+    }
+
+    /// Finds a context profile by its formatted label.
+    pub fn by_label(&self, label: &str) -> Option<&ContextProfile> {
+        self.contexts.iter().find(|c| c.label == label)
+    }
+
+    /// Renders the Fig. 3-style summary: top-k contexts with potential and
+    /// operation distribution.
+    pub fn format_top_contexts(&self, k: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<4} {:>10} {:>8}  {:<40} operations",
+            "#", "potential", "pct", "context"
+        );
+        for (i, c) in self.top(k).iter().enumerate() {
+            let dist = c
+                .trace
+                .op_distribution()
+                .into_iter()
+                .filter(|(op, _)| !matches!(op, Op::IterNext))
+                .map(|(op, share)| format!("{}={:.0}%", op, share * 100.0))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "{:<4} {:>9}B {:>7.2}%  {:<40} {}",
+                i + 1,
+                c.potential_bytes,
+                c.potential_pct,
+                c.label,
+                dist
+            );
+        }
+        out
+    }
+
+    /// Peak live bytes over the run (the minimal-heap proxy).
+    pub fn peak_live(&self) -> u64 {
+        self.totals.max_live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_collections::factory::CollectionFactory;
+    use chameleon_collections::runtime::Runtime;
+    use chameleon_heap::Heap;
+
+    /// End-to-end: factory -> profiler -> GC cycles -> report.
+    fn small_run() -> (ProfileReport, Heap) {
+        let heap = Heap::new();
+        let rt = Runtime::new(heap.clone());
+        let profiler = Profiler::install(&rt);
+        let f = CollectionFactory::new(rt);
+
+        // Context A: 10 sparse HashMaps (high potential).
+        let mut keep = Vec::new();
+        {
+            let _g = f.enter("A.alloc:1");
+            for _ in 0..10 {
+                let mut m = f.new_map::<i64, i64>(None);
+                m.put(1, 1);
+                keep.push(m);
+            }
+        }
+        // Context B: 2 well-utilized, short-lived lists.
+        {
+            let _g = f.enter("B.alloc:2");
+            for _ in 0..2 {
+                let mut l = f.new_list::<i64>(Some(4));
+                for i in 0..4 {
+                    l.add(i);
+                }
+                let _ = l.get(0);
+            }
+        }
+        heap.gc();
+        drop(keep);
+        heap.gc();
+        (ProfileReport::build(&profiler, &heap), heap)
+    }
+
+    #[test]
+    fn ranks_sparse_hashmaps_first() {
+        let (report, _heap) = small_run();
+        assert!(!report.contexts.is_empty());
+        let top = &report.contexts[0];
+        assert_eq!(top.src_type, "HashMap");
+        assert!(top.potential_bytes > 0);
+        assert!(top.label.starts_with("HashMap:A.alloc:1"));
+    }
+
+    #[test]
+    fn series_has_one_point_per_cycle() {
+        let (report, heap) = small_run();
+        assert_eq!(report.series.len(), heap.cycles().len());
+        for p in &report.series {
+            assert!(p.used_pct <= p.live_pct + 1e-9);
+        }
+    }
+
+    #[test]
+    fn formatted_summary_mentions_context() {
+        let (report, _heap) = small_run();
+        let text = report.format_top_contexts(2);
+        assert!(text.contains("A.alloc:1"), "summary: {text}");
+        assert!(text.contains("potential"));
+    }
+
+    #[test]
+    fn by_label_lookup() {
+        let (report, _heap) = small_run();
+        let label = report.contexts[0].label.clone();
+        assert!(report.by_label(&label).is_some());
+        assert!(report.by_label("nope").is_none());
+    }
+}

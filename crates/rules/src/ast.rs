@@ -1,0 +1,492 @@
+//! Abstract syntax of the rule language (Fig. 4), plus metric name
+//! resolution and pretty-printing.
+
+use crate::diag::Span;
+use chameleon_collections::Op;
+use std::fmt;
+
+/// Source-type pattern on a rule's left-hand side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypePat {
+    /// `Collection` — matches any requested type.
+    Any,
+    /// Matches list-typed contexts (`ArrayList`, `LinkedList`, `IntArray`).
+    List,
+    /// Matches set-typed contexts.
+    Set,
+    /// Matches map-typed contexts.
+    Map,
+    /// Matches one concrete requested type.
+    Named(String),
+}
+
+impl TypePat {
+    /// Parses a pattern from a source-type identifier.
+    pub fn from_name(name: &str) -> TypePat {
+        match name {
+            "Collection" => TypePat::Any,
+            "List" => TypePat::List,
+            "Set" => TypePat::Set,
+            "Map" => TypePat::Map,
+            other => TypePat::Named(other.to_owned()),
+        }
+    }
+
+    /// Whether a context whose requested type is `src_type` matches.
+    pub fn matches(&self, src_type: &str) -> bool {
+        match self {
+            TypePat::Any => true,
+            TypePat::List => matches!(src_type, "ArrayList" | "LinkedList" | "IntArray"),
+            TypePat::Set => matches!(src_type, "HashSet" | "LinkedHashSet"),
+            TypePat::Map => matches!(src_type, "HashMap" | "LinkedHashMap"),
+            TypePat::Named(n) => n == src_type,
+        }
+    }
+}
+
+impl fmt::Display for TypePat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypePat::Any => write!(f, "Collection"),
+            TypePat::List => write!(f, "List"),
+            TypePat::Set => write!(f, "Set"),
+            TypePat::Map => write!(f, "Map"),
+            TypePat::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Heap-derived metrics (Table 1's heap rows, per context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapMetric {
+    /// Max collection live bytes in any cycle.
+    MaxLive,
+    /// Total collection live bytes over all cycles.
+    TotLive,
+    /// Max used bytes in any cycle.
+    MaxUsed,
+    /// Total used bytes over all cycles.
+    TotUsed,
+    /// Max core bytes in any cycle.
+    MaxCore,
+    /// Total core bytes over all cycles.
+    TotCore,
+    /// `totLive - totUsed`: the potential saving.
+    Potential,
+}
+
+/// Trace-derived metrics (Table 1's trace rows, averaged per instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMetric {
+    /// Average size at death.
+    Size,
+    /// Average maximal size.
+    MaxSize,
+    /// Peak maximal size over all instances.
+    PeakSize,
+    /// Average initial capacity.
+    InitialCapacity,
+    /// Number of instances observed.
+    Instances,
+    /// Average `#allOps` per instance.
+    AllOps,
+}
+
+/// A resolvable metric reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// `#op` — average count of `op` per instance.
+    OpCount(Op),
+    /// `@op` — standard deviation of `op`'s count.
+    OpStd(Op),
+    /// `@maxSize` — standard deviation of the maximal size.
+    MaxSizeStd,
+    /// A trace metric by name.
+    Trace(TraceMetric),
+    /// A heap metric by name.
+    Heap(HeapMetric),
+}
+
+impl Metric {
+    /// Resolves a bare identifier (`maxSize`, `totLive`, …).
+    pub fn from_ident(name: &str) -> Option<Metric> {
+        let m = match name {
+            "size" => Metric::Trace(TraceMetric::Size),
+            "maxSize" => Metric::Trace(TraceMetric::MaxSize),
+            "peakSize" => Metric::Trace(TraceMetric::PeakSize),
+            "initialCapacity" => Metric::Trace(TraceMetric::InitialCapacity),
+            "instances" => Metric::Trace(TraceMetric::Instances),
+            "maxLive" => Metric::Heap(HeapMetric::MaxLive),
+            "totLive" => Metric::Heap(HeapMetric::TotLive),
+            "maxUsed" => Metric::Heap(HeapMetric::MaxUsed),
+            "totUsed" => Metric::Heap(HeapMetric::TotUsed),
+            "maxCore" => Metric::Heap(HeapMetric::MaxCore),
+            "totCore" => Metric::Heap(HeapMetric::TotCore),
+            "potential" => Metric::Heap(HeapMetric::Potential),
+            _ => return None,
+        };
+        Some(m)
+    }
+
+    /// Resolves a `#name` operation-count reference (`allOps` is the
+    /// aggregate). Bare `get`/`remove` are aliases for the keyed
+    /// `get(Object)`/`remove(Object)` forms.
+    pub fn from_op_count(name: &str) -> Option<Metric> {
+        if name == "allOps" {
+            return Some(Metric::Trace(TraceMetric::AllOps));
+        }
+        resolve_op(name).map(Metric::OpCount)
+    }
+
+    /// Resolves an `@name` variance reference.
+    pub fn from_op_var(name: &str) -> Option<Metric> {
+        if name == "maxSize" {
+            return Some(Metric::MaxSizeStd);
+        }
+        resolve_op(name).map(Metric::OpStd)
+    }
+}
+
+fn resolve_op(name: &str) -> Option<Op> {
+    let canonical = match name {
+        "get" => "get(Object)",
+        "remove" => "remove(Object)",
+        "set" => "set(int,Object)",
+        other => other,
+    };
+    Op::from_metric_name(canonical)
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::OpCount(op) => write!(f, "#{}", op.metric_name()),
+            Metric::OpStd(op) => write!(f, "@{}", op.metric_name()),
+            Metric::MaxSizeStd => write!(f, "@maxSize"),
+            Metric::Trace(TraceMetric::Size) => write!(f, "size"),
+            Metric::Trace(TraceMetric::MaxSize) => write!(f, "maxSize"),
+            Metric::Trace(TraceMetric::PeakSize) => write!(f, "peakSize"),
+            Metric::Trace(TraceMetric::InitialCapacity) => write!(f, "initialCapacity"),
+            Metric::Trace(TraceMetric::Instances) => write!(f, "instances"),
+            Metric::Trace(TraceMetric::AllOps) => write!(f, "#allOps"),
+            Metric::Heap(HeapMetric::MaxLive) => write!(f, "maxLive"),
+            Metric::Heap(HeapMetric::TotLive) => write!(f, "totLive"),
+            Metric::Heap(HeapMetric::MaxUsed) => write!(f, "maxUsed"),
+            Metric::Heap(HeapMetric::TotUsed) => write!(f, "totUsed"),
+            Metric::Heap(HeapMetric::MaxCore) => write!(f, "maxCore"),
+            Metric::Heap(HeapMetric::TotCore) => write!(f, "totCore"),
+            Metric::Heap(HeapMetric::Potential) => write!(f, "potential"),
+        }
+    }
+}
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// Whether this operator produces a boolean.
+    pub fn is_boolean(self) -> bool {
+        !matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64, Span),
+    /// Metric reference.
+    Metric(Metric, Span),
+    /// Named tuning parameter (`X`, `SMALL`, …), bound by the engine.
+    Param(String, Span),
+    /// `!e`
+    Not(Box<Expr>, Span),
+    /// `-e`
+    Neg(Box<Expr>, Span),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>, Span),
+}
+
+impl Expr {
+    /// The expression's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Num(_, s)
+            | Expr::Metric(_, s)
+            | Expr::Param(_, s)
+            | Expr::Not(_, s)
+            | Expr::Neg(_, s)
+            | Expr::Bin(_, _, _, s) => *s,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n, _) => write!(f, "{n}"),
+            Expr::Metric(m, _) => write!(f, "{m}"),
+            Expr::Param(p, _) => write!(f, "{p}"),
+            Expr::Not(e, _) => write!(f, "!({e})"),
+            Expr::Neg(e, _) => write!(f, "-({e})"),
+            Expr::Bin(op, a, b, _) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+/// Capacity argument of a target (Fig. 4: `capacity := INT | maxSize`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacityExpr {
+    /// Literal capacity.
+    Int(u32),
+    /// The observed peak maximal size of the context.
+    MaxSize,
+}
+
+impl fmt::Display for CapacityExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapacityExpr::Int(n) => write!(f, "{n}"),
+            CapacityExpr::MaxSize => write!(f, "maxSize"),
+        }
+    }
+}
+
+/// The action a rule prescribes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Replace the implementation (optionally with a capacity).
+    Replace {
+        /// Target implementation name (or `Lazy` for the kind-appropriate
+        /// lazy implementation).
+        impl_name: String,
+        /// Optional initial capacity / adaptation threshold.
+        capacity: Option<CapacityExpr>,
+    },
+    /// Keep the implementation but set the initial capacity.
+    SetInitialCapacity(CapacityExpr),
+    /// Advisory fix that needs a manual code change (e.g. eliminate
+    /// temporaries, remove redundant iterators).
+    Advice(String),
+}
+
+impl Action {
+    /// Human-readable description of the fix (used in suggestion output).
+    pub fn describe(&self) -> String {
+        match self {
+            Action::Replace { .. } | Action::SetInitialCapacity(_) => self.to_string(),
+            Action::Advice(what) => what.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    /// Renders concrete rule syntax (so pretty-printed rules reparse).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Replace {
+                impl_name,
+                capacity: None,
+            } => write!(f, "{impl_name}"),
+            Action::Replace {
+                impl_name,
+                capacity: Some(c),
+            } => write!(f, "{impl_name}({c})"),
+            Action::SetInitialCapacity(c) => write!(f, "SetInitialCapacity({c})"),
+            Action::Advice(what) => match what.as_str() {
+                "eliminate temporaries" => write!(f, "Eliminate"),
+                "remove redundant iterator" => write!(f, "RemoveIterator"),
+                "avoid allocation" => write!(f, "AvoidAllocation"),
+                other => write!(f, "Advice({other})"),
+            },
+        }
+    }
+}
+
+/// One selection rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Left-hand type pattern.
+    pub src_type: TypePat,
+    /// Guard condition over the context's metrics.
+    pub cond: Expr,
+    /// Prescribed action.
+    pub action: Action,
+    /// Optional human-readable message (`"Category: explanation"`).
+    pub message: Option<String>,
+    /// Source span of the whole rule.
+    pub span: Span,
+}
+
+impl Rule {
+    /// The message's category prefix (`Space`, `Time`, `Space/Time`), if
+    /// present.
+    pub fn category(&self) -> Category {
+        let Some(msg) = &self.message else {
+            return Category::Other;
+        };
+        let prefix = msg.split(':').next().unwrap_or("").trim();
+        match prefix {
+            "Space" => Category::Space,
+            "Time" => Category::Time,
+            "Space/Time" | "Time/Space" => Category::SpaceTime,
+            _ => Category::Other,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} : {} -> {}", self.src_type, self.cond, self.action)?;
+        if let Some(m) = &self.message {
+            write!(f, " \"{m}\"")?;
+        }
+        Ok(())
+    }
+}
+
+/// Rule categories from Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Reduces space.
+    Space,
+    /// Reduces time.
+    Time,
+    /// Both.
+    SpaceTime,
+    /// Unclassified.
+    Other,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::Space => write!(f, "Space"),
+            Category::Time => write!(f, "Time"),
+            Category::SpaceTime => write!(f, "Space/Time"),
+            Category::Other => write!(f, "Other"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_pattern_matching() {
+        assert!(TypePat::Any.matches("HashMap"));
+        assert!(TypePat::List.matches("ArrayList"));
+        assert!(TypePat::List.matches("LinkedList"));
+        assert!(!TypePat::List.matches("HashSet"));
+        assert!(TypePat::Map.matches("LinkedHashMap"));
+        assert!(TypePat::Named("HashSet".into()).matches("HashSet"));
+        assert!(!TypePat::Named("HashSet".into()).matches("HashMap"));
+    }
+
+    #[test]
+    fn metric_resolution() {
+        assert_eq!(
+            Metric::from_ident("maxSize"),
+            Some(Metric::Trace(TraceMetric::MaxSize))
+        );
+        assert_eq!(
+            Metric::from_ident("totLive"),
+            Some(Metric::Heap(HeapMetric::TotLive))
+        );
+        assert_eq!(Metric::from_ident("bogus"), None);
+        assert!(matches!(
+            Metric::from_op_count("get(int)"),
+            Some(Metric::OpCount(_))
+        ));
+        assert_eq!(
+            Metric::from_op_count("allOps"),
+            Some(Metric::Trace(TraceMetric::AllOps))
+        );
+        assert_eq!(Metric::from_op_var("maxSize"), Some(Metric::MaxSizeStd));
+    }
+
+    #[test]
+    fn category_from_message() {
+        let rule = |msg: &str| Rule {
+            src_type: TypePat::Any,
+            cond: Expr::Num(1.0, Span::default()),
+            action: Action::Advice("x".into()),
+            message: Some(msg.to_owned()),
+            span: Span::default(),
+        };
+        assert_eq!(rule("Space: too big").category(), Category::Space);
+        assert_eq!(rule("Time: too slow").category(), Category::Time);
+        assert_eq!(rule("Space/Time: both").category(), Category::SpaceTime);
+        assert_eq!(rule("whatever").category(), Category::Other);
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let r = Rule {
+            src_type: TypePat::Named("HashMap".into()),
+            cond: Expr::Bin(
+                BinOp::Lt,
+                Box::new(Expr::Metric(
+                    Metric::Trace(TraceMetric::MaxSize),
+                    Span::default(),
+                )),
+                Box::new(Expr::Num(16.0, Span::default())),
+                Span::default(),
+            ),
+            action: Action::Replace {
+                impl_name: "ArrayMap".into(),
+                capacity: Some(CapacityExpr::MaxSize),
+            },
+            message: None,
+            span: Span::default(),
+        };
+        assert_eq!(r.to_string(), "HashMap : (maxSize < 16) -> ArrayMap(maxSize)");
+    }
+}

@@ -1,0 +1,209 @@
+//! Static validation of parsed rules: a small type checker (conditions must
+//! be boolean, arithmetic must be numeric) plus parameter- and
+//! target-resolution checks, all reported with source spans.
+
+use crate::ast::{Action, BinOp, Expr, Rule};
+use crate::diag::RuleError;
+use std::collections::HashMap;
+
+/// Expression types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// Numeric value.
+    Num,
+    /// Boolean value.
+    Bool,
+}
+
+/// Known replacement targets (implementation names the engine can build,
+/// plus the kind-generic `Lazy`).
+pub const KNOWN_TARGETS: &[&str] = &[
+    "ArrayList",
+    "LinkedList",
+    "LazyArrayList",
+    "SingletonList",
+    "IntArray",
+    "HashSet",
+    "LinkedHashSet",
+    "ArraySet",
+    "LazySet",
+    "SizeAdaptingSet",
+    "HashMap",
+    "LinkedHashMap",
+    "ArrayMap",
+    "LazyMap",
+    "SizeAdaptingMap",
+    "Lazy",
+];
+
+/// Infers the type of `expr`, reporting mismatches against `src` text.
+///
+/// # Errors
+///
+/// Returns a spanned error on a type mismatch or unknown parameter.
+pub fn infer(expr: &Expr, params: &HashMap<String, f64>, src: &str) -> Result<Ty, RuleError> {
+    match expr {
+        Expr::Num(..) | Expr::Metric(..) => Ok(Ty::Num),
+        Expr::Param(name, span) => {
+            if params.contains_key(name) {
+                Ok(Ty::Num)
+            } else {
+                Err(RuleError::new(
+                    format!("unbound parameter `{name}` (bind it with set_param)"),
+                    *span,
+                    src,
+                ))
+            }
+        }
+        Expr::Not(inner, span) => {
+            let t = infer(inner, params, src)?;
+            if t == Ty::Bool {
+                Ok(Ty::Bool)
+            } else {
+                Err(RuleError::new("`!` expects a boolean operand", *span, src))
+            }
+        }
+        Expr::Neg(inner, span) => {
+            let t = infer(inner, params, src)?;
+            if t == Ty::Num {
+                Ok(Ty::Num)
+            } else {
+                Err(RuleError::new("`-` expects a numeric operand", *span, src))
+            }
+        }
+        Expr::Bin(op, a, b, span) => {
+            let ta = infer(a, params, src)?;
+            let tb = infer(b, params, src)?;
+            match op {
+                BinOp::And | BinOp::Or => {
+                    if ta == Ty::Bool && tb == Ty::Bool {
+                        Ok(Ty::Bool)
+                    } else {
+                        Err(RuleError::new(
+                            format!("`{op}` expects boolean operands"),
+                            *span,
+                            src,
+                        ))
+                    }
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    if ta == Ty::Num && tb == Ty::Num {
+                        Ok(Ty::Bool)
+                    } else {
+                        Err(RuleError::new(
+                            format!("`{op}` expects numeric operands"),
+                            *span,
+                            src,
+                        ))
+                    }
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    if ta == Ty::Num && tb == Ty::Num {
+                        Ok(Ty::Num)
+                    } else {
+                        Err(RuleError::new(
+                            format!("`{op}` expects numeric operands"),
+                            *span,
+                            src,
+                        ))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Validates a rule end to end: the condition must type-check to a boolean
+/// and the target must be a known implementation.
+///
+/// # Errors
+///
+/// Returns the first spanned validation error.
+pub fn validate(rule: &Rule, params: &HashMap<String, f64>, src: &str) -> Result<(), RuleError> {
+    let ty = infer(&rule.cond, params, src)?;
+    if ty != Ty::Bool {
+        return Err(RuleError::new(
+            "rule condition must be a boolean expression",
+            rule.cond.span(),
+            src,
+        ));
+    }
+    if let Action::Replace { impl_name, .. } = &rule.action {
+        if !KNOWN_TARGETS.contains(&impl_name.as_str()) {
+            return Err(RuleError::new(
+                format!(
+                    "unknown target implementation `{impl_name}` \
+                     (known: {})",
+                    KNOWN_TARGETS.join(", ")
+                ),
+                rule.span,
+                src,
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    fn params(names: &[&str]) -> HashMap<String, f64> {
+        names.iter().map(|n| (n.to_string(), 1.0)).collect()
+    }
+
+    #[test]
+    fn well_typed_rule_passes() {
+        let src = "HashMap : maxSize < SMALL && #get(Object) > 0 -> ArrayMap";
+        let r = parse_rule(src).expect("parses");
+        validate(&r, &params(&["SMALL"]), src).expect("validates");
+    }
+
+    #[test]
+    fn unbound_param_is_rejected() {
+        let src = "HashMap : maxSize < SMALL -> ArrayMap";
+        let r = parse_rule(src).expect("parses");
+        let err = validate(&r, &params(&[]), src).expect_err("rejects");
+        assert!(err.message.contains("unbound parameter `SMALL`"));
+    }
+
+    #[test]
+    fn numeric_condition_is_rejected() {
+        let src = "HashMap : maxSize + 3 -> ArrayMap";
+        let r = parse_rule(src).expect("parses");
+        let err = validate(&r, &params(&[]), src).expect_err("rejects");
+        assert!(err.message.contains("boolean"));
+    }
+
+    #[test]
+    fn boolean_arithmetic_is_rejected() {
+        let src = "HashMap : (maxSize > 3) + 1 > 0 -> ArrayMap";
+        let r = parse_rule(src).expect("parses");
+        let err = validate(&r, &params(&[]), src).expect_err("rejects");
+        assert!(err.message.contains("numeric operands"));
+    }
+
+    #[test]
+    fn and_of_numbers_is_rejected() {
+        let src = "HashMap : maxSize && 3 -> ArrayMap";
+        let r = parse_rule(src).expect("parses");
+        let err = validate(&r, &params(&[]), src).expect_err("rejects");
+        assert!(err.message.contains("boolean operands"));
+    }
+
+    #[test]
+    fn unknown_target_is_rejected() {
+        let src = "HashMap : maxSize > 0 -> TreeMap";
+        let r = parse_rule(src).expect("parses");
+        let err = validate(&r, &params(&[]), src).expect_err("rejects");
+        assert!(err.message.contains("unknown target implementation `TreeMap`"));
+    }
+
+    #[test]
+    fn not_of_boolean_passes() {
+        let src = "HashMap : !(maxSize > 10) -> ArrayMap";
+        let r = parse_rule(src).expect("parses");
+        validate(&r, &params(&[]), src).expect("validates");
+    }
+}

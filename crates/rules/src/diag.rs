@@ -1,0 +1,122 @@
+//! Diagnostics for the rule language: errors carry byte spans into the rule
+//! source and render with a caret line.
+
+use std::fmt;
+
+/// A byte range in the rule source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Merges two spans into their covering range.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// An error in rule source: lexing, parsing, or validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleError {
+    /// What went wrong.
+    pub message: String,
+    /// Where in the source.
+    pub span: Span,
+    /// The offending source line (for rendering).
+    pub source: String,
+}
+
+impl RuleError {
+    /// Creates an error at `span` in `source`.
+    pub fn new(message: impl Into<String>, span: Span, source: &str) -> Self {
+        RuleError {
+            message: message.into(),
+            span,
+            source: source.to_owned(),
+        }
+    }
+
+    /// Renders the error with the source line and a caret underline.
+    pub fn render(&self) -> String {
+        // Find the line containing the span start.
+        let mut line_start = 0usize;
+        let mut line_no = 1usize;
+        for (i, ch) in self.source.char_indices() {
+            if i >= self.span.start {
+                break;
+            }
+            if ch == '\n' {
+                line_start = i + 1;
+                line_no += 1;
+            }
+        }
+        let line_end = self.source[line_start..]
+            .find('\n')
+            .map(|i| line_start + i)
+            .unwrap_or(self.source.len());
+        let line = &self.source[line_start..line_end];
+        let col = self.span.start.saturating_sub(line_start);
+        let width = (self.span.end.min(line_end).saturating_sub(self.span.start)).max(1);
+        format!(
+            "error: {}\n --> line {}, column {}\n  | {}\n  | {}{}",
+            self.message,
+            line_no,
+            col + 1,
+            line,
+            " ".repeat(col),
+            "^".repeat(width)
+        )
+    }
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 5);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn render_points_at_offender() {
+        let src = "HashMap : bogus > 3 -> ArrayMap";
+        let err = RuleError::new("unknown metric `bogus`", Span::new(10, 15), src);
+        let rendered = err.render();
+        assert!(rendered.contains("unknown metric"));
+        assert!(rendered.contains("^^^^^"));
+        assert!(rendered.contains("line 1, column 11"));
+    }
+
+    #[test]
+    fn render_handles_multiline_source() {
+        let src = "A : maxSize > 0 -> B\nC : ??? -> D";
+        let err = RuleError::new("bad token", Span::new(25, 28), src);
+        let rendered = err.render();
+        assert!(rendered.contains("line 2"));
+        assert!(rendered.contains("C : ??? -> D"));
+    }
+}

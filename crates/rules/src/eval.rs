@@ -1,0 +1,237 @@
+//! Rule evaluation over a context's profiled metrics.
+
+use crate::ast::{BinOp, CapacityExpr, Expr, HeapMetric, Metric, TraceMetric};
+use chameleon_heap::stats::ContextHeapStats;
+use chameleon_profiler::ContextTrace;
+use std::collections::HashMap;
+
+/// The metric environment a rule condition is evaluated against: one
+/// context's trace aggregate, its heap aggregate, and the engine's tuning
+/// parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricEnv<'a> {
+    /// Library-side trace aggregate.
+    pub trace: &'a ContextTrace,
+    /// GC-side heap aggregate.
+    pub heap: &'a ContextHeapStats,
+    /// Named tuning parameters.
+    pub params: &'a HashMap<String, f64>,
+}
+
+impl MetricEnv<'_> {
+    /// Resolves one metric to a number.
+    pub fn metric(&self, m: &Metric) -> f64 {
+        match m {
+            Metric::OpCount(op) => self.trace.op_avg(*op),
+            Metric::OpStd(op) => self.trace.op_std(*op),
+            Metric::MaxSizeStd => self.trace.max_size_std(),
+            Metric::Trace(TraceMetric::Size) => self.trace.final_size_avg(),
+            Metric::Trace(TraceMetric::MaxSize) => self.trace.max_size_avg(),
+            Metric::Trace(TraceMetric::PeakSize) => self.trace.max_size_peak as f64,
+            Metric::Trace(TraceMetric::InitialCapacity) => self.trace.initial_capacity_avg(),
+            Metric::Trace(TraceMetric::Instances) => self.trace.instances as f64,
+            Metric::Trace(TraceMetric::AllOps) => self.trace.all_ops_avg(),
+            Metric::Heap(HeapMetric::MaxLive) => self.heap.max.live as f64,
+            Metric::Heap(HeapMetric::TotLive) => self.heap.total.live as f64,
+            Metric::Heap(HeapMetric::MaxUsed) => self.heap.max.used as f64,
+            Metric::Heap(HeapMetric::TotUsed) => self.heap.total.used as f64,
+            Metric::Heap(HeapMetric::MaxCore) => self.heap.max.core as f64,
+            Metric::Heap(HeapMetric::TotCore) => self.heap.total.core as f64,
+            Metric::Heap(HeapMetric::Potential) => self.heap.potential() as f64,
+        }
+    }
+
+    /// Resolves a capacity expression to a concrete capacity.
+    pub fn capacity(&self, c: CapacityExpr) -> u32 {
+        match c {
+            CapacityExpr::Int(n) => n,
+            // "maxSize" as a capacity means: big enough for the largest
+            // instance this context produced.
+            CapacityExpr::MaxSize => self.trace.max_size_peak.max(1) as u32,
+        }
+    }
+}
+
+/// Evaluated value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A number.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    fn num(self) -> f64 {
+        match self {
+            Value::Num(n) => n,
+            // Validation guarantees this cannot happen; be defensive anyway.
+            Value::Bool(b) => {
+                if b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    fn boolean(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Num(n) => n != 0.0,
+        }
+    }
+}
+
+/// Evaluates a (validated) expression in `env`.
+pub fn eval(expr: &Expr, env: &MetricEnv<'_>) -> Value {
+    match expr {
+        Expr::Num(n, _) => Value::Num(*n),
+        Expr::Metric(m, _) => Value::Num(env.metric(m)),
+        Expr::Param(name, _) => Value::Num(env.params.get(name).copied().unwrap_or(f64::NAN)),
+        Expr::Not(e, _) => Value::Bool(!eval(e, env).boolean()),
+        Expr::Neg(e, _) => Value::Num(-eval(e, env).num()),
+        Expr::Bin(op, a, b, _) => {
+            match op {
+                BinOp::And => {
+                    // Short-circuit.
+                    return Value::Bool(eval(a, env).boolean() && eval(b, env).boolean());
+                }
+                BinOp::Or => {
+                    return Value::Bool(eval(a, env).boolean() || eval(b, env).boolean());
+                }
+                _ => {}
+            }
+            let x = eval(a, env).num();
+            let y = eval(b, env).num();
+            match op {
+                BinOp::Add => Value::Num(x + y),
+                BinOp::Sub => Value::Num(x - y),
+                BinOp::Mul => Value::Num(x * y),
+                BinOp::Div => Value::Num(if y == 0.0 { f64::NAN } else { x / y }),
+                BinOp::Eq => Value::Bool((x - y).abs() < 1e-9),
+                BinOp::Ne => Value::Bool((x - y).abs() >= 1e-9),
+                BinOp::Lt => Value::Bool(x < y),
+                BinOp::Le => Value::Bool(x <= y),
+                BinOp::Gt => Value::Bool(x > y),
+                BinOp::Ge => Value::Bool(x >= y),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+    use chameleon_collections::{InstanceStats, Op, OpCounts};
+    use chameleon_heap::stats::AdtTotals;
+
+    fn env_fixture() -> (ContextTrace, ContextHeapStats, HashMap<String, f64>) {
+        let mut trace = ContextTrace::new("HashMap");
+        for _ in 0..4 {
+            let mut ops = OpCounts::new();
+            ops.record_n(Op::Add, 5);
+            ops.record_n(Op::Get, 20);
+            trace.absorb(&InstanceStats {
+                ops,
+                max_size: 5,
+                final_size: 5,
+                initial_capacity: 16,
+                requested_type: "HashMap",
+                chosen_impl: "HashMap",
+            });
+        }
+        let heap = ContextHeapStats {
+            total: AdtTotals {
+                live: 10_000,
+                used: 4_000,
+                core: 1_000,
+                count: 8,
+            },
+            max: AdtTotals {
+                live: 3_000,
+                used: 1_200,
+                core: 300,
+                count: 4,
+            },
+        };
+        let mut params = HashMap::new();
+        params.insert("SMALL".to_owned(), 16.0);
+        (trace, heap, params)
+    }
+
+    fn eval_cond(src: &str) -> bool {
+        let (trace, heap, params) = env_fixture();
+        let env = MetricEnv {
+            trace: &trace,
+            heap: &heap,
+            params: &params,
+        };
+        let rule = parse_rule(&format!("Collection : {src} -> ArrayMap")).expect("parses");
+        match eval(&rule.cond, &env) {
+            Value::Bool(b) => b,
+            Value::Num(n) => panic!("expected bool, got {n}"),
+        }
+    }
+
+    #[test]
+    fn metric_lookups() {
+        assert!(eval_cond("maxSize == 5"));
+        assert!(eval_cond("#add == 5"));
+        assert!(eval_cond("#get(Object) == 20"));
+        assert!(eval_cond("#allOps == 25"));
+        assert!(eval_cond("instances == 4"));
+        assert!(eval_cond("initialCapacity == 16"));
+        assert!(eval_cond("@maxSize == 0"));
+    }
+
+    #[test]
+    fn heap_metrics_and_potential() {
+        assert!(eval_cond("totLive == 10000"));
+        assert!(eval_cond("totUsed == 4000"));
+        assert!(eval_cond("potential == 6000"));
+        assert!(eval_cond("maxLive == 3000"));
+        assert!(eval_cond("totLive - totUsed > 5000"));
+    }
+
+    #[test]
+    fn params_resolve() {
+        assert!(eval_cond("maxSize < SMALL"));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        assert!(eval_cond("maxSize == 5 && #add > 0"));
+        assert!(eval_cond("maxSize == 99 || #add > 0"));
+        assert!(eval_cond("!(maxSize == 99)"));
+        assert!(!eval_cond("maxSize == 99 && #add > 0"));
+    }
+
+    #[test]
+    fn arithmetic_composition() {
+        assert!(eval_cond("#add + #get(Object) == #allOps"));
+        assert!(eval_cond("#get(Object) / #allOps >= 0.8"));
+        assert!(eval_cond("maxSize * 2 == 10"));
+    }
+
+    #[test]
+    fn capacity_resolution() {
+        let (trace, heap, params) = env_fixture();
+        let env = MetricEnv {
+            trace: &trace,
+            heap: &heap,
+            params: &params,
+        };
+        assert_eq!(env.capacity(CapacityExpr::Int(32)), 32);
+        assert_eq!(env.capacity(CapacityExpr::MaxSize), 5);
+    }
+
+    #[test]
+    fn division_by_zero_is_nan_not_panic() {
+        // #remove is 0 in the fixture; NaN comparisons are false.
+        assert!(!eval_cond("#add / #remove(Object) > 1"));
+    }
+}

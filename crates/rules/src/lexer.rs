@@ -1,0 +1,246 @@
+//! Lexer for the rule language.
+//!
+//! Notable quirks inherited from the paper's metric names: operation-count
+//! references like `#get(int)` and `#addAll(int,Collection)` embed a
+//! parenthesized argument list in the *name* — the lexer folds that suffix
+//! into the `OpCount` token so `#get(int)` and `#get` are distinct metrics,
+//! as in Table 1. Line comments start with `//`.
+
+use crate::diag::{RuleError, Span};
+use crate::token::{Token, TokenKind};
+
+/// Lexes `src` into tokens (with a trailing `Eof`).
+///
+/// # Errors
+///
+/// Returns a [`RuleError`] pointing at the first unrecognized character or
+/// malformed literal.
+pub fn lex(src: &str) -> Result<Vec<Token>, RuleError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '#' | '@' => {
+                i += 1;
+                let name_start = i;
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                if i == name_start {
+                    return Err(RuleError::new(
+                        format!("expected an operation name after `{c}`"),
+                        Span::new(start, i + 1),
+                        src,
+                    ));
+                }
+                let mut name = src[name_start..i].to_owned();
+                // Fold a `(args)` suffix into the operation name.
+                if bytes.get(i) == Some(&b'(') {
+                    let close = src[i..].find(')').ok_or_else(|| {
+                        RuleError::new(
+                            "unterminated argument list in operation name",
+                            Span::new(start, src.len()),
+                            src,
+                        )
+                    })?;
+                    name.push_str(&src[i..i + close + 1]);
+                    i += close + 1;
+                }
+                let kind = if c == '#' {
+                    TokenKind::OpCount(name)
+                } else {
+                    TokenKind::OpVar(name)
+                };
+                out.push(Token {
+                    kind,
+                    span: Span::new(start, i),
+                });
+            }
+            '"' => {
+                i += 1;
+                let lit_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(RuleError::new(
+                        "unterminated string literal",
+                        Span::new(start, src.len()),
+                        src,
+                    ));
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(src[lit_start..i].to_owned()),
+                    span: Span::new(start, i + 1),
+                });
+                i += 1;
+            }
+            '0'..='9' => {
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: f64 = text.parse().map_err(|_| {
+                    RuleError::new(
+                        format!("malformed number `{text}`"),
+                        Span::new(start, i),
+                        src,
+                    )
+                })?;
+                out.push(Token {
+                    kind: TokenKind::Number(n),
+                    span: Span::new(start, i),
+                });
+            }
+            c if is_ident_start(c) => {
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_owned()),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                let (kind, len) = match (c, bytes.get(i + 1).map(|b| *b as char)) {
+                    ('-', Some('>')) => (TokenKind::Arrow, 2),
+                    ('=', Some('=')) => (TokenKind::EqEq, 2),
+                    ('=', _) => (TokenKind::EqEq, 1), // Fig. 4 allows both `=` and `==`
+                    ('!', Some('=')) => (TokenKind::Ne, 2),
+                    ('<', Some('=')) => (TokenKind::Le, 2),
+                    ('>', Some('=')) => (TokenKind::Ge, 2),
+                    ('&', Some('&')) => (TokenKind::AndAnd, 2),
+                    ('|', Some('|')) => (TokenKind::OrOr, 2),
+                    ('<', _) => (TokenKind::Lt, 1),
+                    ('>', _) => (TokenKind::Gt, 1),
+                    ('+', _) => (TokenKind::Plus, 1),
+                    ('-', _) => (TokenKind::Minus, 1),
+                    ('*', _) => (TokenKind::Star, 1),
+                    ('/', _) => (TokenKind::Slash, 1),
+                    ('(', _) => (TokenKind::LParen, 1),
+                    (')', _) => (TokenKind::RParen, 1),
+                    (',', _) => (TokenKind::Comma, 1),
+                    (';', _) => (TokenKind::Semi, 1),
+                    (':', _) => (TokenKind::Colon, 1),
+                    ('!', _) => (TokenKind::Bang, 1),
+                    _ => {
+                        return Err(RuleError::new(
+                            format!("unrecognized character `{c}`"),
+                            Span::new(start, start + c.len_utf8()),
+                            src,
+                        ))
+                    }
+                };
+                i += len;
+                out.push(Token {
+                    kind,
+                    span: Span::new(start, i),
+                });
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    Ok(out)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '$'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as K;
+
+    fn kinds(src: &str) -> Vec<K> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_table2_rule() {
+        let ks = kinds("ArrayList : #contains > X && maxSize > Y -> LinkedHashSet");
+        assert_eq!(
+            ks,
+            vec![
+                K::Ident("ArrayList".into()),
+                K::Colon,
+                K::OpCount("contains".into()),
+                K::Gt,
+                K::Ident("X".into()),
+                K::AndAnd,
+                K::Ident("maxSize".into()),
+                K::Gt,
+                K::Ident("Y".into()),
+                K::Arrow,
+                K::Ident("LinkedHashSet".into()),
+                K::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn op_names_fold_argument_lists() {
+        let ks = kinds("#get(int) + #addAll(int,Collection) + #removeFirst");
+        assert_eq!(ks[0], K::OpCount("get(int)".into()));
+        assert_eq!(ks[2], K::OpCount("addAll(int,Collection)".into()));
+        assert_eq!(ks[4], K::OpCount("removeFirst".into()));
+    }
+
+    #[test]
+    fn op_variance_tokens() {
+        let ks = kinds("@add < 2 && @maxSize < 1");
+        assert_eq!(ks[0], K::OpVar("add".into()));
+        assert_eq!(ks[4], K::OpVar("maxSize".into()));
+    }
+
+    #[test]
+    fn single_equals_is_comparison() {
+        // Fig. 4 lists both `=` and `==` as comparison operators.
+        assert_eq!(kinds("maxSize = 0")[1], K::EqEq);
+        assert_eq!(kinds("maxSize == 0")[1], K::EqEq);
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let ks = kinds(r#"3.5 "Space: msg""#);
+        assert_eq!(ks[0], K::Number(3.5));
+        assert_eq!(ks[1], K::Str("Space: msg".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("maxSize // the max\n> 3");
+        assert_eq!(ks.len(), 4); // maxSize, >, 3, eof
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = lex(r#""oops"#).expect_err("must fail");
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn bad_char_errors_with_position() {
+        let err = lex("maxSize ? 3").expect_err("must fail");
+        assert_eq!(err.span.start, 8);
+    }
+}

@@ -1,0 +1,444 @@
+//! Recursive-descent parser for the rule language.
+//!
+//! Grammar (ASCII rendering of Fig. 4):
+//!
+//! ```text
+//! rules    := rule (';' rule)* ';'?
+//! rule     := srcType ':' cond '->' action message?
+//! srcType  := IDENT                         // Collection | List | ArrayList | ...
+//! action   := IDENT ('(' capacity ')')?     // implType, SetInitialCapacity,
+//!                                           // Eliminate, RemoveIterator
+//! capacity := NUMBER | 'maxSize'
+//! message  := STRING
+//! cond     := or
+//! or       := and ('||' and)*
+//! and      := cmp ('&&' cmp)*
+//! cmp      := sum (('=='|'!='|'<'|'<='|'>'|'>=') sum)?
+//! sum      := term (('+'|'-') term)*
+//! term     := factor (('*'|'/') factor)*
+//! factor   := '!' factor | '-' factor | primary
+//! primary  := NUMBER | '#'OP | '@'OP | IDENT | '(' cond ')'
+//! ```
+
+use crate::ast::{Action, BinOp, CapacityExpr, Expr, Metric, Rule, TypePat};
+use crate::diag::{RuleError, Span};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses a rule file (one or more `;`-separated rules).
+///
+/// # Errors
+///
+/// Returns the first syntax error with its span.
+pub fn parse_rules(src: &str) -> Result<Vec<Rule>, RuleError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        src,
+        tokens,
+        pos: 0,
+    };
+    let mut rules = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semi) {}
+        if p.at_eof() {
+            break;
+        }
+        rules.push(p.rule()?);
+    }
+    Ok(rules)
+}
+
+/// Parses exactly one rule.
+///
+/// # Errors
+///
+/// Returns a syntax error, or an error if trailing input remains.
+pub fn parse_rule(src: &str) -> Result<Rule, RuleError> {
+    let rules = parse_rules(src)?;
+    match rules.len() {
+        1 => Ok(rules.into_iter().next().expect("len checked")),
+        0 => Err(RuleError::new("empty rule", Span::new(0, src.len()), src)),
+        _ => Err(RuleError::new(
+            "expected exactly one rule",
+            Span::new(0, src.len()),
+            src,
+        )),
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if !matches!(t.kind, TokenKind::Eof) {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, RuleError> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {kind}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn err(&self, message: String) -> RuleError {
+        RuleError::new(message, self.peek().span, self.src)
+    }
+
+    fn rule(&mut self) -> Result<Rule, RuleError> {
+        let start = self.peek().span;
+        let src_type = match self.bump() {
+            Token {
+                kind: TokenKind::Ident(name),
+                ..
+            } => TypePat::from_name(&name),
+            t => {
+                return Err(RuleError::new(
+                    format!("expected a source type, found {}", t.kind),
+                    t.span,
+                    self.src,
+                ))
+            }
+        };
+        self.expect(TokenKind::Colon)?;
+        let cond = self.or_expr()?;
+        self.expect(TokenKind::Arrow)?;
+        let action = self.action()?;
+        let message = match &self.peek().kind {
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.bump();
+                Some(s)
+            }
+            _ => None,
+        };
+        let end = self.tokens[self.pos.saturating_sub(1)].span;
+        Ok(Rule {
+            src_type,
+            cond,
+            action,
+            message,
+            span: start.to(end),
+        })
+    }
+
+    fn action(&mut self) -> Result<Action, RuleError> {
+        let t = self.bump();
+        let TokenKind::Ident(name) = t.kind else {
+            return Err(RuleError::new(
+                format!("expected a target implementation, found {}", t.kind),
+                t.span,
+                self.src,
+            ));
+        };
+        let capacity = if self.eat(&TokenKind::LParen) {
+            let cap = self.capacity()?;
+            self.expect(TokenKind::RParen)?;
+            Some(cap)
+        } else {
+            None
+        };
+        Ok(match name.as_str() {
+            "SetInitialCapacity" => {
+                let cap = capacity.ok_or_else(|| {
+                    RuleError::new(
+                        "SetInitialCapacity requires a capacity argument",
+                        t.span,
+                        self.src,
+                    )
+                })?;
+                Action::SetInitialCapacity(cap)
+            }
+            "Eliminate" => Action::Advice("eliminate temporaries".to_owned()),
+            "RemoveIterator" => Action::Advice("remove redundant iterator".to_owned()),
+            "AvoidAllocation" => Action::Advice("avoid allocation".to_owned()),
+            _ => Action::Replace {
+                impl_name: name,
+                capacity,
+            },
+        })
+    }
+
+    fn capacity(&mut self) -> Result<CapacityExpr, RuleError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Number(n) if n >= 0.0 && n.fract() == 0.0 => {
+                Ok(CapacityExpr::Int(n as u32))
+            }
+            TokenKind::Ident(ref s) if s == "maxSize" => Ok(CapacityExpr::MaxSize),
+            other => Err(RuleError::new(
+                format!("expected an integer or `maxSize`, found {other}"),
+                t.span,
+                self.src,
+            )),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, RuleError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, RuleError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, RuleError> {
+        let lhs = self.sum_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.sum_expr()?;
+        let span = lhs.span().to(rhs.span());
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs), span))
+    }
+
+    fn sum_expr(&mut self) -> Result<Expr, RuleError> {
+        let mut lhs = self.term_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn term_expr(&mut self) -> Result<Expr, RuleError> {
+        let mut lhs = self.factor_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn factor_expr(&mut self) -> Result<Expr, RuleError> {
+        let start = self.peek().span;
+        if self.eat(&TokenKind::Bang) {
+            let e = self.factor_expr()?;
+            let span = start.to(e.span());
+            return Ok(Expr::Not(Box::new(e), span));
+        }
+        if self.eat(&TokenKind::Minus) {
+            let e = self.factor_expr()?;
+            let span = start.to(e.span());
+            return Ok(Expr::Neg(Box::new(e), span));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, RuleError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Number(n) => Ok(Expr::Num(n, t.span)),
+            TokenKind::OpCount(name) => Metric::from_op_count(&name)
+                .map(|m| Expr::Metric(m, t.span))
+                .ok_or_else(|| {
+                    RuleError::new(format!("unknown operation `#{name}`"), t.span, self.src)
+                }),
+            TokenKind::OpVar(name) => Metric::from_op_var(&name)
+                .map(|m| Expr::Metric(m, t.span))
+                .ok_or_else(|| {
+                    RuleError::new(format!("unknown operation `@{name}`"), t.span, self.src)
+                }),
+            TokenKind::Ident(name) => Ok(match Metric::from_ident(&name) {
+                Some(m) => Expr::Metric(m, t.span),
+                None => Expr::Param(name, t.span),
+            }),
+            TokenKind::LParen => {
+                let e = self.or_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(RuleError::new(
+                format!("expected an expression, found {other}"),
+                t.span,
+                self.src,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Category, TraceMetric};
+
+    #[test]
+    fn parses_the_arraylist_contains_rule() {
+        let r = parse_rule(
+            "ArrayList : #contains > X && maxSize > Y -> LinkedHashSet \
+             \"Time: inefficient use of an ArrayList\"",
+        )
+        .expect("parses");
+        assert_eq!(r.src_type, TypePat::Named("ArrayList".into()));
+        assert_eq!(
+            r.action,
+            Action::Replace {
+                impl_name: "LinkedHashSet".into(),
+                capacity: None
+            }
+        );
+        assert_eq!(r.category(), Category::Time);
+        assert!(r.cond.to_string().contains("&&"));
+    }
+
+    #[test]
+    fn parses_capacity_targets() {
+        let r = parse_rule("Collection : maxSize > initialCapacity -> SetInitialCapacity(maxSize)")
+            .expect("parses");
+        assert_eq!(r.action, Action::SetInitialCapacity(CapacityExpr::MaxSize));
+        let r2 = parse_rule("HashSet : maxSize < 16 -> SizeAdaptingSet(16)").expect("parses");
+        assert_eq!(
+            r2.action,
+            Action::Replace {
+                impl_name: "SizeAdaptingSet".into(),
+                capacity: Some(CapacityExpr::Int(16))
+            }
+        );
+    }
+
+    #[test]
+    fn parses_op_sums() {
+        let r = parse_rule(
+            "LinkedList : #add(int,Object) + #addAll(int,Collection) + #remove(int) + #removeFirst < X -> ArrayList",
+        )
+        .expect("parses");
+        let s = r.cond.to_string();
+        assert!(s.contains("#add(int,Object)"));
+        assert!(s.contains("#removeFirst"));
+    }
+
+    #[test]
+    fn parses_multiple_rules() {
+        let rules = parse_rules(
+            "HashMap : maxSize < 16 -> ArrayMap;\n\
+             HashSet : maxSize < 16 -> ArraySet;\n\
+             Collection : #allOps == 0 -> AvoidAllocation;",
+        )
+        .expect("parses");
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[2].action, Action::Advice("avoid allocation".into()));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let r = parse_rule("Collection : #add + #remove * 2 > 10 || maxSize == 0 -> Eliminate")
+            .expect("parses");
+        // Mul binds tighter than add, add tighter than cmp, cmp tighter
+        // than ||.
+        assert_eq!(
+            r.cond.to_string(),
+            "(((#add + (#remove(Object) * 2)) > 10) || (maxSize == 0))"
+        );
+    }
+
+    #[test]
+    fn variance_metric_parses() {
+        let r = parse_rule("Collection : @maxSize < 2 && @add < 5 -> ArraySet").expect("parses");
+        assert!(r.cond.to_string().contains("@maxSize"));
+        assert!(r.cond.to_string().contains("@add"));
+    }
+
+    #[test]
+    fn unknown_op_name_is_an_error() {
+        let err = parse_rule("ArrayList : #frobnicate > 3 -> ArrayList").expect_err("fails");
+        assert!(err.message.contains("unknown operation"));
+    }
+
+    #[test]
+    fn missing_arrow_is_an_error() {
+        let err = parse_rule("ArrayList : maxSize > 3 ArrayList").expect_err("fails");
+        assert!(err.message.contains("expected `->`"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_ident_becomes_param() {
+        let r = parse_rule("ArrayList : maxSize > THRESHOLD -> LazyArrayList").expect("parses");
+        assert!(matches!(
+            &r.cond,
+            Expr::Bin(_, _, rhs, _) if matches!(**rhs, Expr::Param(ref p, _) if p == "THRESHOLD")
+        ));
+    }
+
+    #[test]
+    fn pretty_printed_rule_reparses() {
+        let original = parse_rule(
+            "HashMap : maxSize < SMALL && @maxSize < 2 -> ArrayMap(maxSize) \"Space: small map\"",
+        )
+        .expect("parses");
+        let printed = original.to_string();
+        let reparsed = parse_rule(&printed).expect("round-trips");
+        assert_eq!(reparsed.src_type, original.src_type);
+        assert_eq!(reparsed.action, original.action);
+        assert_eq!(reparsed.message, original.message);
+        // Condition is structurally equal modulo spans: compare rendering.
+        assert_eq!(reparsed.cond.to_string(), original.cond.to_string());
+    }
+
+    #[test]
+    fn size_metric_resolves() {
+        let r = parse_rule("Collection : size == 0 -> RemoveIterator").expect("parses");
+        assert!(matches!(
+            &r.cond,
+            Expr::Bin(_, lhs, _, _)
+                if matches!(**lhs, Expr::Metric(Metric::Trace(TraceMetric::Size), _))
+        ));
+    }
+}

@@ -1,0 +1,417 @@
+//! Suggestions produced by the rule engine and their translation into
+//! factory policy updates.
+
+use crate::ast::{Action, Category};
+use chameleon_collections::factory::{ListChoice, MapChoice, Selection, SetChoice};
+use chameleon_heap::ContextId;
+use std::fmt;
+
+/// Collection kind of a requested source type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// List-typed context.
+    List,
+    /// Set-typed context.
+    Set,
+    /// Map-typed context.
+    Map,
+}
+
+impl Kind {
+    /// Infers the kind from a requested type name.
+    pub fn of_src_type(src_type: &str) -> Option<Kind> {
+        match src_type {
+            "ArrayList" | "LinkedList" | "IntArray" => Some(Kind::List),
+            "HashSet" | "LinkedHashSet" => Some(Kind::Set),
+            "HashMap" | "LinkedHashMap" => Some(Kind::Map),
+            _ => None,
+        }
+    }
+}
+
+/// A concrete policy change for one allocation context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyUpdate {
+    /// Override a list context.
+    List(ContextId, Selection<ListChoice>),
+    /// Override a set context.
+    Set(ContextId, Selection<SetChoice>),
+    /// Override a map context.
+    Map(ContextId, Selection<MapChoice>),
+}
+
+/// One suggestion emitted by the rule engine — the paper's succinct
+/// per-context message plus everything needed to apply it automatically.
+#[derive(Debug, Clone)]
+pub struct Suggestion {
+    /// The allocation context (None if it was never captured).
+    pub ctx: Option<ContextId>,
+    /// Paper-style context label.
+    pub label: String,
+    /// The requested source type.
+    pub src_type: String,
+    /// The implementation that served this context during profiling.
+    pub current_impl: String,
+    /// The prescribed action.
+    pub action: Action,
+    /// Capacity resolved against the context's observed sizes.
+    pub resolved_capacity: Option<u32>,
+    /// Rule message ("Category: explanation").
+    pub message: Option<String>,
+    /// Rule category.
+    pub category: Category,
+    /// The context's potential space saving in bytes.
+    pub potential_bytes: u64,
+    /// Pretty-printed text of the rule that fired.
+    pub rule_text: String,
+}
+
+impl Suggestion {
+    /// Translates the suggestion into a policy update the factory can
+    /// apply. Returns `None` for advisory suggestions: manual fixes,
+    /// cross-kind replacements, or contexts that were never captured.
+    pub fn policy_update(&self) -> Option<PolicyUpdate> {
+        let ctx = self.ctx?;
+        let kind = Kind::of_src_type(&self.src_type)?;
+        let cap = self.resolved_capacity;
+        match &self.action {
+            Action::Advice(_) => None,
+            Action::SetInitialCapacity(_) => {
+                let capacity = Some(cap?);
+                Some(match (kind, self.src_type.as_str()) {
+                    (Kind::List, "LinkedList") => PolicyUpdate::List(
+                        ctx,
+                        Selection {
+                            choice: ListChoice::LinkedList,
+                            capacity,
+                        },
+                    ),
+                    (Kind::List, _) => PolicyUpdate::List(
+                        ctx,
+                        Selection {
+                            choice: ListChoice::ArrayList,
+                            capacity,
+                        },
+                    ),
+                    (Kind::Set, "LinkedHashSet") => PolicyUpdate::Set(
+                        ctx,
+                        Selection {
+                            choice: SetChoice::LinkedHashSet,
+                            capacity,
+                        },
+                    ),
+                    (Kind::Set, _) => PolicyUpdate::Set(
+                        ctx,
+                        Selection {
+                            choice: SetChoice::HashSet,
+                            capacity,
+                        },
+                    ),
+                    (Kind::Map, "LinkedHashMap") => PolicyUpdate::Map(
+                        ctx,
+                        Selection {
+                            choice: MapChoice::LinkedHashMap,
+                            capacity,
+                        },
+                    ),
+                    (Kind::Map, _) => PolicyUpdate::Map(
+                        ctx,
+                        Selection {
+                            choice: MapChoice::HashMap,
+                            capacity,
+                        },
+                    ),
+                })
+            }
+            Action::Replace { impl_name, .. } => {
+                let name = if impl_name == "Lazy" {
+                    match kind {
+                        Kind::List => "LazyArrayList",
+                        Kind::Set => "LazySet",
+                        Kind::Map => "LazyMap",
+                    }
+                } else {
+                    impl_name.as_str()
+                };
+                match (kind, name) {
+                    (Kind::List, "ArrayList") => Some(PolicyUpdate::List(
+                        ctx,
+                        Selection {
+                            choice: ListChoice::ArrayList,
+                            capacity: cap,
+                        },
+                    )),
+                    (Kind::List, "LinkedList") => Some(PolicyUpdate::List(
+                        ctx,
+                        Selection {
+                            choice: ListChoice::LinkedList,
+                            capacity: None,
+                        },
+                    )),
+                    (Kind::List, "LazyArrayList") => Some(PolicyUpdate::List(
+                        ctx,
+                        Selection {
+                            choice: ListChoice::LazyArrayList,
+                            capacity: None,
+                        },
+                    )),
+                    (Kind::List, "SingletonList") => Some(PolicyUpdate::List(
+                        ctx,
+                        Selection {
+                            choice: ListChoice::SingletonList,
+                            capacity: None,
+                        },
+                    )),
+                    (Kind::Set, "HashSet") => Some(PolicyUpdate::Set(
+                        ctx,
+                        Selection {
+                            choice: SetChoice::HashSet,
+                            capacity: cap,
+                        },
+                    )),
+                    (Kind::Set, "LinkedHashSet") => Some(PolicyUpdate::Set(
+                        ctx,
+                        Selection {
+                            choice: SetChoice::LinkedHashSet,
+                            capacity: cap,
+                        },
+                    )),
+                    (Kind::Set, "ArraySet") => Some(PolicyUpdate::Set(
+                        ctx,
+                        Selection {
+                            choice: SetChoice::ArraySet,
+                            capacity: cap,
+                        },
+                    )),
+                    (Kind::Set, "LazySet") => Some(PolicyUpdate::Set(
+                        ctx,
+                        Selection {
+                            choice: SetChoice::LazySet,
+                            capacity: None,
+                        },
+                    )),
+                    (Kind::Set, "SizeAdaptingSet") => Some(PolicyUpdate::Set(
+                        ctx,
+                        Selection {
+                            choice: SetChoice::SizeAdapting(cap.unwrap_or(16) as usize),
+                            capacity: None,
+                        },
+                    )),
+                    (Kind::Map, "HashMap") => Some(PolicyUpdate::Map(
+                        ctx,
+                        Selection {
+                            choice: MapChoice::HashMap,
+                            capacity: cap,
+                        },
+                    )),
+                    (Kind::Map, "LinkedHashMap") => Some(PolicyUpdate::Map(
+                        ctx,
+                        Selection {
+                            choice: MapChoice::LinkedHashMap,
+                            capacity: cap,
+                        },
+                    )),
+                    (Kind::Map, "ArrayMap") => Some(PolicyUpdate::Map(
+                        ctx,
+                        Selection {
+                            choice: MapChoice::ArrayMap,
+                            capacity: cap,
+                        },
+                    )),
+                    (Kind::Map, "LazyMap") => Some(PolicyUpdate::Map(
+                        ctx,
+                        Selection {
+                            choice: MapChoice::LazyMap,
+                            capacity: None,
+                        },
+                    )),
+                    (Kind::Map, "SizeAdaptingMap") => Some(PolicyUpdate::Map(
+                        ctx,
+                        Selection {
+                            choice: MapChoice::SizeAdapting(cap.unwrap_or(16) as usize),
+                            capacity: None,
+                        },
+                    )),
+                    // Cross-kind replacement (e.g. ArrayList -> LinkedHashSet)
+                    // requires a manual code change.
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Whether the suggestion can be applied automatically.
+    pub fn auto_applicable(&self) -> bool {
+        self.policy_update().is_some()
+    }
+}
+
+impl fmt::Display for Suggestion {
+    /// Renders the paper's succinct message style:
+    /// `HashMap:F.m:31;G.n:50 replace with ArrayMap`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.label)?;
+        match &self.action {
+            Action::Replace { impl_name, .. } => {
+                write!(f, "replace with {impl_name}")?;
+                if let Some(c) = self.resolved_capacity {
+                    write!(f, " (capacity {c})")?;
+                }
+            }
+            Action::SetInitialCapacity(_) => {
+                write!(f, "set initial capacity")?;
+                if let Some(c) = self.resolved_capacity {
+                    write!(f, " to {c}")?;
+                }
+            }
+            Action::Advice(what) => write!(f, "{what}")?,
+        }
+        if let Some(m) = &self.message {
+            write!(f, " — {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CapacityExpr;
+
+    fn suggestion(src_type: &str, action: Action, cap: Option<u32>) -> Suggestion {
+        Suggestion {
+            ctx: Some(ContextId(0)),
+            label: format!("{src_type}:A.m:1"),
+            src_type: src_type.to_owned(),
+            current_impl: src_type.to_owned(),
+            action,
+            resolved_capacity: cap,
+            message: Some("Space: test".to_owned()),
+            category: Category::Space,
+            potential_bytes: 1000,
+            rule_text: String::new(),
+        }
+    }
+
+    #[test]
+    fn map_replacement_maps_to_policy() {
+        let s = suggestion(
+            "HashMap",
+            Action::Replace {
+                impl_name: "ArrayMap".into(),
+                capacity: Some(CapacityExpr::MaxSize),
+            },
+            Some(8),
+        );
+        match s.policy_update() {
+            Some(PolicyUpdate::Map(_, sel)) => {
+                assert_eq!(sel.choice, MapChoice::ArrayMap);
+                assert_eq!(sel.capacity, Some(8));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lazy_is_kind_directed() {
+        let lazy = |ty: &str| {
+            suggestion(
+                ty,
+                Action::Replace {
+                    impl_name: "Lazy".into(),
+                    capacity: None,
+                },
+                None,
+            )
+            .policy_update()
+        };
+        assert!(matches!(
+            lazy("ArrayList"),
+            Some(PolicyUpdate::List(_, Selection { choice: ListChoice::LazyArrayList, .. }))
+        ));
+        assert!(matches!(
+            lazy("HashSet"),
+            Some(PolicyUpdate::Set(_, Selection { choice: SetChoice::LazySet, .. }))
+        ));
+        assert!(matches!(
+            lazy("HashMap"),
+            Some(PolicyUpdate::Map(_, Selection { choice: MapChoice::LazyMap, .. }))
+        ));
+    }
+
+    #[test]
+    fn cross_kind_is_advisory() {
+        let s = suggestion(
+            "ArrayList",
+            Action::Replace {
+                impl_name: "LinkedHashSet".into(),
+                capacity: None,
+            },
+            None,
+        );
+        assert!(s.policy_update().is_none());
+        assert!(!s.auto_applicable());
+    }
+
+    #[test]
+    fn set_initial_capacity_keeps_requested_impl() {
+        let s = suggestion(
+            "LinkedHashMap",
+            Action::SetInitialCapacity(CapacityExpr::MaxSize),
+            Some(42),
+        );
+        match s.policy_update() {
+            Some(PolicyUpdate::Map(_, sel)) => {
+                assert_eq!(sel.choice, MapChoice::LinkedHashMap);
+                assert_eq!(sel.capacity, Some(42));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn advice_and_uncaptured_are_not_applicable() {
+        let s = suggestion("HashMap", Action::Advice("eliminate temporaries".into()), None);
+        assert!(s.policy_update().is_none());
+        let mut s2 = suggestion(
+            "HashMap",
+            Action::Replace {
+                impl_name: "ArrayMap".into(),
+                capacity: None,
+            },
+            None,
+        );
+        s2.ctx = None;
+        assert!(s2.policy_update().is_none());
+    }
+
+    #[test]
+    fn display_matches_paper_shape() {
+        let s = suggestion(
+            "HashMap",
+            Action::Replace {
+                impl_name: "ArrayMap".into(),
+                capacity: None,
+            },
+            None,
+        );
+        let text = s.to_string();
+        assert!(text.starts_with("HashMap:A.m:1 replace with ArrayMap"));
+    }
+
+    #[test]
+    fn size_adapting_threshold_from_capacity() {
+        let s = suggestion(
+            "HashMap",
+            Action::Replace {
+                impl_name: "SizeAdaptingMap".into(),
+                capacity: Some(CapacityExpr::Int(13)),
+            },
+            Some(13),
+        );
+        assert!(matches!(
+            s.policy_update(),
+            Some(PolicyUpdate::Map(_, Selection { choice: MapChoice::SizeAdapting(13), .. }))
+        ));
+    }
+}

@@ -1,0 +1,89 @@
+//! Tokens of the implementation-selection rule language (Fig. 4).
+
+use crate::diag::Span;
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier: type names (`ArrayList`), metric names (`maxSize`),
+    /// parameter names (`X`).
+    Ident(String),
+    /// `#opName` operation-count reference; the payload is the operation
+    /// name including any argument suffix, e.g. `get(int)`.
+    OpCount(String),
+    /// `@opName` operation-variance reference (standard deviation).
+    OpVar(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (rule message).
+    Str(String),
+    /// `:` separating the source type from the condition.
+    Colon,
+    /// `->` selecting the target implementation.
+    Arrow,
+    /// `(` and `)`.
+    LParen,
+    RParen,
+    /// `,`.
+    Comma,
+    /// `;` rule separator.
+    Semi,
+    /// Comparison and arithmetic operators.
+    EqEq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    AndAnd,
+    OrOr,
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::OpCount(s) => write!(f, "`#{s}`"),
+            TokenKind::OpVar(s) => write!(f, "`@{s}`"),
+            TokenKind::Number(n) => write!(f, "`{n}`"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}

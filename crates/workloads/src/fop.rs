@@ -1,0 +1,164 @@
+//! FOP-like workload (DaCapo FOP v0.95, §5.3).
+//!
+//! FOP is a print formatter building a large tree of formatting objects.
+//! The paper's findings: "some HashMaps were replaced with ArrayMaps and
+//! initial sizes of other collections were tuned. There was also one
+//! context that allocated collections that were never used (in
+//! InlineStackingLayoutManager). The result is a 7.69% reduction in the
+//! minimal heap size" — modest, because most of FOP's live data is
+//! non-collection layout state.
+
+use crate::util::AppData;
+use chameleon_collections::{CollectionFactory, HeapVal, ListHandle, MapHandle};
+use chameleon_core::Workload;
+
+/// The FOP-like formatter.
+#[derive(Debug, Clone)]
+pub struct Fop {
+    /// Formatting-object nodes in the layout tree (all retained).
+    pub nodes: usize,
+}
+
+impl Default for Fop {
+    fn default() -> Self {
+        Fop { nodes: 900 }
+    }
+}
+
+struct FoNode {
+    /// Property map: small and stable (ArrayMap candidate).
+    #[allow(dead_code)]
+    properties: MapHandle<i64, HeapVal>,
+    /// Child areas: outgrows the default capacity (capacity tuning).
+    #[allow(dead_code)]
+    areas: Option<ListHandle<HeapVal>>,
+}
+
+impl Workload for Fop {
+    fn name(&self) -> &'static str {
+        "fop"
+    }
+
+    fn run(&self, f: &CollectionFactory) {
+        let heap = f.runtime().heap().clone();
+        // Layout state is dominated by non-collection data: glyph runs,
+        // area geometry, fonts.
+        let glyphs_class = heap.register_class("fop.GlyphRun", None);
+        let geom_class = heap.register_class("fop.AreaGeometry", None);
+        let mut data = AppData::new(heap.clone());
+
+        let mut tree: Vec<FoNode> = Vec::with_capacity(self.nodes);
+        for i in 0..self.nodes {
+            // Heavy non-collection payload per node (~200 B).
+            let _geom = data.alloc(geom_class, 4, 640);
+            let _glyphs = data.alloc(glyphs_class, 0, 920);
+
+            // Small stable property map (3 entries).
+            let properties = {
+                let _g = f.enter("fop.fo.PropertyList:45");
+                let mut m = f.new_map::<i64, HeapVal>(None);
+                for k in 0..3 {
+                    let v = data.alloc(geom_class, 0, 8);
+                    m.put(k, v);
+                }
+                let _ = m.get(&0);
+                m
+            };
+
+            // Every third node aggregates child areas beyond the default
+            // ArrayList capacity.
+            let areas = (i % 3 == 0).then(|| {
+                let _g = f.enter("fop.layoutmgr.BlockLayoutManager:210");
+                let mut l = f.new_list::<HeapVal>(None);
+                for _ in 0..18 {
+                    let a = data.alloc(geom_class, 0, 8);
+                    l.add(a);
+                }
+                l
+            });
+
+            // The never-used context the paper calls out.
+            {
+                let _g = f.enter("fop.layoutmgr.InlineStackingLayoutManager:88");
+                let _unused: ListHandle<i64> = f.new_list(None);
+            }
+
+            // Line-breaking and area computation (non-collection work).
+            crate::util::app_work(f, 2_500);
+            tree.push(FoNode { properties, areas });
+        }
+
+        // Rendering pass: read-dominated traversal.
+        for node in &tree {
+            for k in 0..3 {
+                let _ = node.properties.get(&k);
+            }
+            if let Some(areas) = &node.areas {
+                for a in areas.iter() {
+                    std::hint::black_box(a);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_core::{Chameleon, EnvConfig};
+
+    fn small() -> Fop {
+        Fop { nodes: 120 }
+    }
+
+    fn small_env() -> EnvConfig {
+        EnvConfig {
+            gc_interval_bytes: Some(32 * 1024),
+            ..EnvConfig::default()
+        }
+    }
+
+    #[test]
+    fn suggests_arraymap_unused_and_capacity() {
+        let chameleon = Chameleon::new().with_profile_config(small_env());
+        let report = chameleon.profile(&small());
+        let suggestions = chameleon.engine().evaluate(&report);
+        assert!(
+            suggestions
+                .iter()
+                .any(|s| s.label.contains("PropertyList:45") && s.rule_text.contains("ArrayMap")),
+            "property maps -> ArrayMap: {suggestions:#?}"
+        );
+        assert!(
+            suggestions
+                .iter()
+                .any(|s| s.label.contains("InlineStackingLayoutManager:88")
+                    && s.rule_text.contains("Lazy")),
+            "never-used lists -> lazy: {suggestions:#?}"
+        );
+        assert!(
+            suggestions
+                .iter()
+                .any(|s| s.label.contains("BlockLayoutManager:210")
+                    && s.resolved_capacity == Some(18)),
+            "area lists -> set initial capacity 18: {suggestions:#?}"
+        );
+    }
+
+    #[test]
+    fn collections_are_a_minor_share() {
+        // FOP's saving is modest because live data is mostly layout state.
+        let chameleon = Chameleon::new().with_profile_config(small_env());
+        let report = chameleon.profile(&small());
+        let peak = report
+            .series
+            .iter()
+            .map(|p| p.live_pct)
+            .fold(0.0f64, f64::max);
+        assert!(
+            peak < 55.0,
+            "collections should be a minority of FOP's heap: {peak:.1}%"
+        );
+        assert!(peak > 10.0);
+    }
+}

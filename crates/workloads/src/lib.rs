@@ -1,0 +1,47 @@
+//! # chameleon-workloads
+//!
+//! Workload simulacra reproducing the collection-usage signatures of the
+//! paper's benchmarks (§5.3): [`Tvla`] (small stable HashMaps from seven
+//! contexts), [`Bloat`] (a spike of empty LinkedLists), [`Fop`] (modest
+//! collection share, one dead context), [`Findbugs`] (small maps/sets,
+//! mostly-empty maps), [`Pmd`] (massive short-lived oversized ArrayLists
+//! over stable long-lived sets) and [`Soot`] (low-utilization IR lists,
+//! singletons, `useBoxes` temporaries) — plus a parameterized
+//! [`Synthetic`] generator for ablations.
+//!
+//! Every workload is deterministic and allocates all collections through
+//! the [`CollectionFactory`](chameleon_collections::CollectionFactory), so
+//! the full Chameleon pipeline (profile → rules → apply → re-run) can be
+//! driven end to end.
+
+pub mod bloat;
+pub mod findbugs;
+pub mod fop;
+pub mod pmd;
+pub mod soot;
+pub mod synthetic;
+pub mod tvla;
+pub mod util;
+
+pub use bloat::Bloat;
+pub use findbugs::Findbugs;
+pub use fop::Fop;
+pub use pmd::Pmd;
+pub use soot::Soot;
+pub use synthetic::{SizeDist, Synthetic, SyntheticSite};
+pub use tvla::Tvla;
+
+use chameleon_core::Workload;
+
+/// The six paper benchmarks at their default scales, in the order the
+/// paper's figures list them.
+pub fn paper_benchmarks() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Bloat::default()),
+        Box::new(Fop::default()),
+        Box::new(Findbugs::default()),
+        Box::new(Pmd::default()),
+        Box::new(Soot::default()),
+        Box::new(Tvla::default()),
+    ]
+}

@@ -1,0 +1,257 @@
+//! TVLA-like workload.
+//!
+//! TVLA (§2.1, §5.3) is a memory-intensive abstract-interpretation engine:
+//! "most of the heap is dedicated to storing the abstract program states",
+//! and "most of the collection data is stored in HashMaps from seven
+//! contexts" — small, stable maps that Chameleon replaces with `ArrayMap`s
+//! for a 53.95% minimal-heap reduction. The profiler output (Fig. 2) shows
+//! collections at up to ~70% of live data with only ~40% used; the top
+//! contexts are get-dominated (Fig. 3).
+//!
+//! This simulacrum runs a fixpoint loop over a synthetic control-flow
+//! graph. Every abstract state owns seven small `HashMap`s (predicate
+//! valuations), allocated through a `HashMapFactory` frame from seven
+//! distinct caller sites — so the partial context (depth 2) is what
+//! disambiguates them, as in the paper's factory discussion. The workload
+//! also exhibits the two secondary TVLA findings: a `LinkedList` used with
+//! positional gets, and `ArrayList`s that outgrow their default capacity.
+
+use crate::util::AppData;
+use chameleon_collections::{CollectionFactory, HeapVal, ListHandle, MapHandle};
+use chameleon_core::Workload;
+
+/// Number of HashMap allocation contexts (the paper's "seven contexts").
+pub const TVLA_MAP_CONTEXTS: usize = 7;
+
+/// The TVLA-like abstract interpreter.
+#[derive(Debug, Clone)]
+pub struct Tvla {
+    /// Abstract states retained at the fixpoint (live-data scale).
+    pub states: usize,
+    /// Fixpoint rounds (read-heavy phases over retained states).
+    pub rounds: usize,
+}
+
+impl Default for Tvla {
+    fn default() -> Self {
+        Tvla {
+            states: 500,
+            rounds: 4,
+        }
+    }
+}
+
+struct AbstractState {
+    /// Seven predicate maps, one per allocation context.
+    preds: Vec<MapHandle<i64, HeapVal>>,
+}
+
+/// Per-site stable map sizes: each of the seven contexts allocates maps of
+/// one characteristic (stable) size, all comfortably below the default
+/// 16-bucket HashMap.
+const SITE_SIZES: [usize; TVLA_MAP_CONTEXTS] = [2, 2, 3, 1, 2, 4, 2];
+
+const SITE_FRAMES: [&str; TVLA_MAP_CONTEXTS] = [
+    "tvla.core.base.BaseTVS:50",
+    "tvla.core.base.BaseTVS:61",
+    "tvla.core.assignments.Assign:77",
+    "tvla.core.base.PredicateUpdater:29",
+    "tvla.core.Canonic:104",
+    "tvla.core.base.BaseHashTVSSet:60",
+    "tvla.core.Focus:142",
+];
+
+impl Tvla {
+    fn new_state(
+        &self,
+        f: &CollectionFactory,
+        data: &mut AppData,
+        node_class: chameleon_heap::ClassId,
+        seed: usize,
+    ) -> AbstractState {
+        // Per-state structure payload (the TVS object itself).
+        let _tvs = data.alloc(node_class, 4, 72);
+        let mut preds = Vec::with_capacity(TVLA_MAP_CONTEXTS);
+        for (site, frames) in SITE_FRAMES.iter().enumerate() {
+            let _caller = f.enter(frames);
+            let _factory = f.enter("tvla.util.HashMapFactory:31");
+            let mut m = f.new_map::<i64, HeapVal>(None);
+            for k in 0..SITE_SIZES[site] {
+                let payload = data.alloc(node_class, 0, 0);
+                m.put((seed * 31 + k) as i64 % 64, payload);
+            }
+            preds.push(m);
+        }
+        AbstractState { preds }
+    }
+}
+
+impl Workload for Tvla {
+    fn name(&self) -> &'static str {
+        "tvla"
+    }
+
+    fn run(&self, f: &CollectionFactory) {
+        let heap = f.runtime().heap().clone();
+        let node_class = heap.register_class("tvla.Node", None);
+        let mut data = AppData::new(heap.clone());
+
+        // The state set: all reached abstract states stay live (this is
+        // what makes TVLA memory-bound).
+        let mut state_set: Vec<AbstractState> = Vec::new();
+
+        // A worklist misused as a LinkedList with positional access — the
+        // paper notes "a LinkedList that can be replaced by an ArrayList".
+        let _wl_frame = f.enter("tvla.Engine.worklist:88");
+        let mut worklist: ListHandle<i64> = f.new_linked_list();
+        drop(_wl_frame);
+
+        for round in 0..self.rounds {
+            // Focus phase: generate new states.
+            let new_per_round = self.states / self.rounds;
+            for s in 0..new_per_round {
+                let id = round * new_per_round + s;
+                let state = self.new_state(f, &mut data, node_class, id);
+                worklist.add(id as i64);
+                state_set.push(state);
+            }
+
+            // Join phase: per-round aggregation lists that outgrow the
+            // default ArrayList capacity (the "set initial capacity" site).
+            {
+                let _g = f.enter("tvla.core.base.BaseHashTVSSet:112");
+                let mut joined: ListHandle<i64> = f.new_list(None);
+                for i in 0..40 {
+                    joined.add(i);
+                }
+                let _ = joined.get(0);
+            }
+
+            // Coerce/update phase: read-dominated access to all retained
+            // states (Fig. 3's get-dominated distribution).
+            for state in &state_set {
+                for (site, m) in state.preds.iter().enumerate() {
+                    for k in 0..SITE_SIZES[site] {
+                        let _ = m.get(&(k as i64));
+                    }
+                }
+            }
+
+            // One context (site 3, the PredicateUpdater) also mutates —
+            // Fig. 3's context 2 with "a small portion of add and remove".
+            for (i, state) in state_set.iter_mut().enumerate() {
+                let m = &mut state.preds[3];
+                let payload = data.alloc(node_class, 0, 0);
+                m.put((i % 7) as i64, payload);
+                if i % 3 == 0 {
+                    let _ = m.remove(&((i % 7) as i64));
+                }
+            }
+
+            // Candidate states that are computed and immediately found
+            // subsumed (classic abstract-interpretation churn): transient
+            // maps that die right away.
+            for c in 0..new_per_round {
+                let candidate = self.new_state(f, &mut data, node_class, 100_000 + c);
+                drop(candidate);
+                data.release_oldest(SITE_SIZES.iter().sum());
+            }
+            crate::util::app_work(f, new_per_round as u64 * 600);
+
+            // Scan the worklist with positional gets several times (the
+            // LinkedList misuse), then drain it.
+            for _pass in 0..3 {
+                for i in 0..worklist.size() {
+                    let _ = worklist.get(i);
+                }
+            }
+            worklist.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_core::{Chameleon, Env, EnvConfig};
+
+    fn small() -> Tvla {
+        Tvla {
+            states: 60,
+            rounds: 3,
+        }
+    }
+
+    fn small_env() -> EnvConfig {
+        EnvConfig {
+            gc_interval_bytes: Some(24 * 1024),
+            ..EnvConfig::default()
+        }
+    }
+
+    #[test]
+    fn produces_seven_hashmap_contexts() {
+        let chameleon = Chameleon::new().with_profile_config(small_env());
+        let report = chameleon.profile(&small());
+        let map_contexts: Vec<_> = report
+            .contexts
+            .iter()
+            .filter(|c| c.src_type == "HashMap")
+            .collect();
+        assert_eq!(map_contexts.len(), TVLA_MAP_CONTEXTS);
+        for c in &map_contexts {
+            assert!(
+                c.label.contains("HashMapFactory:31"),
+                "factory frame expected: {}",
+                c.label
+            );
+        }
+    }
+
+    #[test]
+    fn collections_dominate_live_data() {
+        // Fig. 2's shape: collections a large share of live data, with a
+        // substantial live-vs-used gap.
+        let env = Env::new(&small_env());
+        env.run(&small());
+        let report = env.report();
+        let peak = report
+            .series
+            .iter()
+            .max_by(|a, b| a.live_pct.total_cmp(&b.live_pct))
+            .expect("cycles recorded");
+        assert!(
+            peak.live_pct > 50.0,
+            "collections should dominate: {:.1}%",
+            peak.live_pct
+        );
+        assert!(
+            peak.live_pct - peak.used_pct > 15.0,
+            "live-used gap should be large: {:.1} vs {:.1}",
+            peak.live_pct,
+            peak.used_pct
+        );
+    }
+
+    #[test]
+    fn chameleon_suggests_arraymap_for_map_contexts() {
+        let chameleon = Chameleon::new().with_profile_config(small_env());
+        let report = chameleon.profile(&small());
+        let suggestions = chameleon.engine().evaluate(&report);
+        let arraymap_suggestions = suggestions
+            .iter()
+            .filter(|s| s.src_type == "HashMap" && s.rule_text.contains("ArrayMap"))
+            .count();
+        assert!(
+            arraymap_suggestions >= 5,
+            "most of the seven map contexts should get ArrayMap: {suggestions:#?}"
+        );
+        // And the LinkedList misuse is flagged.
+        assert!(
+            suggestions
+                .iter()
+                .any(|s| s.src_type == "LinkedList" && s.rule_text.contains("ArrayList")),
+            "LinkedList->ArrayList expected"
+        );
+    }
+}

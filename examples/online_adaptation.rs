@@ -1,0 +1,49 @@
+//! Fully-automatic online mode (§3.3.2/§5.4): Chameleon re-evaluates its
+//! rules *during* the run and later allocations at the same context come
+//! out with the better implementation — no second run needed.
+//!
+//! Run with: `cargo run --release --example online_adaptation`
+
+use chameleon_collections::CollectionFactory;
+use chameleon_core::{Chameleon, OnlineConfig};
+
+fn main() {
+    // Waves of small maps from one hot allocation site.
+    let program = ("waves", |f: &CollectionFactory| {
+        let _g = f.enter("waves.Handler.onEvent:77");
+        for wave in 0..400i64 {
+            let mut m = f.new_map::<i64, i64>(None);
+            for k in 0..4 {
+                m.put(k, wave);
+            }
+            let _ = m.get(&0);
+        }
+    });
+
+    let chameleon = Chameleon::new();
+    let result = chameleon.optimize_online(
+        &program,
+        &OnlineConfig {
+            eval_every_deaths: 64,
+            ..OnlineConfig::default()
+        },
+    );
+
+    println!(
+        "rule evaluations mid-run: {}, policy installs: {}",
+        result.evaluations, result.replacements
+    );
+    let ctx = &result.report.contexts[0];
+    println!("context {}:", ctx.label);
+    for (impl_name, count) in &ctx.trace.impl_counts {
+        println!("  {count:>4} instance(s) served by {impl_name}");
+    }
+    println!(
+        "\n(the early instances ran on HashMap; once the engine saw enough deaths,\n\
+         the same site started producing ArrayMaps — replacement happened online)"
+    );
+    println!(
+        "\nconverged policy has {} portable update(s), re-appliable to any fresh run",
+        result.converged_policy.len()
+    );
+}

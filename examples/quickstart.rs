@@ -1,0 +1,51 @@
+//! Quickstart: profile a program's collection usage and get suggestions.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use chameleon_collections::CollectionFactory;
+use chameleon_core::Chameleon;
+
+fn main() {
+    // A "program": allocates all collections through a factory so Chameleon
+    // can capture allocation contexts. This one keeps many sparse HashMaps
+    // alive — the classic bloat pattern.
+    let program = ("quickstart", |f: &CollectionFactory| {
+        let _frame = f.enter("app.Cache.load:42");
+        let mut cache = Vec::new();
+        for id in 0..1500i64 {
+            let mut m = f.new_map::<i64, i64>(None); // default HashMap
+            m.put(id, id * 10);
+            m.put(id + 1, id * 10 + 1);
+            let _ = m.get(&id);
+            cache.push(m);
+        }
+    });
+
+    // 1. Profile the run.
+    let chameleon = Chameleon::new();
+    let report = chameleon.profile(&program);
+    println!("profiled {} allocation context(s)\n", report.contexts.len());
+    print!("{}", report.format_top_contexts(3));
+
+    // 2. Ask the rule engine for suggestions.
+    let suggestions = chameleon.engine().evaluate(&report);
+    println!("\nsuggestions:");
+    for s in &suggestions {
+        println!("  {s}");
+    }
+
+    // 3. Run the whole before/after methodology (minimal heap + time).
+    let result = chameleon.optimize(&program);
+    println!(
+        "\nminimal heap: {} B -> {} B ({:.1}% saving)",
+        result.min_heap_before,
+        result.min_heap_after,
+        result.space_improvement().pct()
+    );
+    println!(
+        "running time: {} -> {} simulated units ({:.1}% faster)",
+        result.time_before.sim_time,
+        result.time_after.sim_time,
+        result.time_improvement().pct()
+    );
+}

@@ -1,0 +1,60 @@
+//! Writing custom selection rules in the Fig. 4 language.
+//!
+//! Run with: `cargo run --example rule_dsl`
+
+use chameleon_collections::CollectionFactory;
+use chameleon_core::Chameleon;
+use chameleon_rules::RuleEngine;
+
+fn main() {
+    // Start from an empty engine and write our own rules. Conditions range
+    // over Table 1 metrics: #op counts, @op deviations, size/maxSize/
+    // initialCapacity, and heap data (totLive, totUsed, potential...).
+    let mut engine = RuleEngine::new();
+    engine.set_param("HOT", 25.0);
+    engine
+        .add_rules(
+            r#"
+            // Maps that stay tiny become array maps sized exactly right.
+            HashMap : maxSize < 8 && maxSize > 0 && @maxSize < 1
+                -> ArrayMap(maxSize)
+                "Space: tiny stable map";
+
+            // Anything read far more than written deserves insertion order
+            // + O(1) contains.
+            ArrayList : #contains > HOT && maxSize > 10
+                -> LinkedHashSet
+                "Time: membership-heavy list";
+
+            // Collections that only ever get copied are temporaries.
+            Collection : #copied > 0 && #allOps == #copied + #addAll + #add
+                -> Eliminate
+                "Space/Time: copy-only temporary";
+            "#,
+        )
+        .expect("rules parse and validate");
+
+    // A malformed rule is rejected with a spanned diagnostic:
+    let err = RuleEngine::new()
+        .add_rules("HashMap : maxSize <<< 3 -> ArrayMap")
+        .expect_err("syntax error");
+    println!("diagnostics look like:\n{err}\n");
+
+    // Evaluate the custom rules over a profiled program.
+    let program = ("dsl-demo", |f: &CollectionFactory| {
+        let _g = f.enter("demo.Site:1");
+        let mut keep = Vec::new();
+        for i in 0..50i64 {
+            let mut m = f.new_map::<i64, i64>(None);
+            m.put(i, i);
+            m.put(i + 1, i);
+            keep.push(m);
+        }
+    });
+    let chameleon = Chameleon::new().with_engine(engine);
+    let report = chameleon.profile(&program);
+    for s in chameleon.engine().evaluate(&report) {
+        println!("fired: {s}");
+        println!("  by rule: {}", s.rule_text);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests of the rule language: pretty-print → reparse
+//! round-trips, evaluator totality, and engine determinism.
+
+use chameleon_rules::{parse_rule, parse_rules, RuleEngine};
+use proptest::prelude::*;
+
+/// Strategy generating syntactically valid rule text from grammar pieces.
+fn metric() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("maxSize".to_owned()),
+        Just("size".to_owned()),
+        Just("peakSize".to_owned()),
+        Just("initialCapacity".to_owned()),
+        Just("instances".to_owned()),
+        Just("totLive".to_owned()),
+        Just("totUsed".to_owned()),
+        Just("maxLive".to_owned()),
+        Just("potential".to_owned()),
+        Just("#add".to_owned()),
+        Just("#get(int)".to_owned()),
+        Just("#get(Object)".to_owned()),
+        Just("#contains".to_owned()),
+        Just("#remove(int)".to_owned()),
+        Just("#removeFirst".to_owned()),
+        Just("#addAll".to_owned()),
+        Just("#copied".to_owned()),
+        Just("#allOps".to_owned()),
+        Just("@add".to_owned()),
+        Just("@maxSize".to_owned()),
+    ]
+}
+
+fn atom() -> impl Strategy<Value = String> {
+    prop_oneof![
+        metric(),
+        (0u32..1000).prop_map(|n| n.to_string()),
+    ]
+}
+
+fn arith() -> impl Strategy<Value = String> {
+    (atom(), prop_oneof![Just("+"), Just("-"), Just("*")], atom())
+        .prop_map(|(a, op, b)| format!("{a} {op} {b}"))
+}
+
+fn comparison() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![atom(), arith()],
+        prop_oneof![Just("=="), Just("!="), Just("<"), Just("<="), Just(">"), Just(">=")],
+        atom(),
+    )
+        .prop_map(|(l, op, r)| format!("{l} {op} {r}"))
+}
+
+fn condition() -> impl Strategy<Value = String> {
+    prop_oneof![
+        comparison(),
+        (comparison(), prop_oneof![Just("&&"), Just("||")], comparison())
+            .prop_map(|(a, op, b)| format!("{a} {op} {b}")),
+        comparison().prop_map(|c| format!("!({c})")),
+    ]
+}
+
+fn target() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("ArrayMap".to_owned()),
+        Just("ArrayMap(maxSize)".to_owned()),
+        Just("ArraySet(8)".to_owned()),
+        Just("LazyArrayList".to_owned()),
+        Just("SizeAdaptingMap(16)".to_owned()),
+        Just("SetInitialCapacity(maxSize)".to_owned()),
+        Just("Eliminate".to_owned()),
+        Just("RemoveIterator".to_owned()),
+        Just("Lazy".to_owned()),
+    ]
+}
+
+fn src_type() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("Collection".to_owned()),
+        Just("List".to_owned()),
+        Just("HashMap".to_owned()),
+        Just("HashSet".to_owned()),
+        Just("ArrayList".to_owned()),
+        Just("LinkedList".to_owned()),
+    ]
+}
+
+fn rule_text() -> impl Strategy<Value = String> {
+    (src_type(), condition(), target(), prop::bool::ANY).prop_map(|(s, c, t, msg)| {
+        if msg {
+            format!("{s} : {c} -> {t} \"Space: generated rule\"")
+        } else {
+            format!("{s} : {c} -> {t}")
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any grammar-derived rule parses, and its pretty-printed form
+    /// reparses to a structurally identical rule.
+    #[test]
+    fn print_reparse_roundtrip(text in rule_text()) {
+        let rule = parse_rule(&text).expect("generated rule parses");
+        let printed = rule.to_string();
+        let reparsed = parse_rule(&printed)
+            .unwrap_or_else(|e| panic!("printed form must reparse: {printed}\n{e}"));
+        prop_assert_eq!(reparsed.src_type, rule.src_type);
+        prop_assert_eq!(reparsed.action, rule.action);
+        prop_assert_eq!(reparsed.message, rule.message);
+        prop_assert_eq!(reparsed.cond.to_string(), rule.cond.to_string());
+    }
+
+    /// Multiple generated rules concatenated with `;` parse as a batch.
+    #[test]
+    fn batches_parse(texts in prop::collection::vec(rule_text(), 1..6)) {
+        let src = texts.join(";\n");
+        let rules = parse_rules(&src).expect("batch parses");
+        prop_assert_eq!(rules.len(), texts.len());
+    }
+
+    /// The engine accepts any well-formed generated rule (validation) and
+    /// evaluation over an arbitrary profile never panics.
+    #[test]
+    fn engine_accepts_and_evaluates(texts in prop::collection::vec(rule_text(), 1..5)) {
+        use chameleon_collections::{CollectionFactory, Runtime};
+        use chameleon_heap::Heap;
+        use chameleon_profiler::{ProfileReport, Profiler};
+
+        let mut engine = RuleEngine::new();
+        for t in &texts {
+            engine.add_rules(t).expect("generated rules validate");
+        }
+
+        // A tiny real profile to evaluate against.
+        let heap = Heap::new();
+        let rt = Runtime::new(heap.clone());
+        let profiler = Profiler::install(&rt);
+        let f = CollectionFactory::new(rt);
+        {
+            let _g = f.enter("gen.Site:1");
+            let mut m = f.new_map::<i64, i64>(None);
+            m.put(1, 1);
+            let mut l = f.new_list::<i64>(None);
+            l.add(5);
+            heap.gc();
+        }
+        heap.gc();
+        let report = ProfileReport::build(&profiler, &heap);
+        // Totality: must not panic, and at most one suggestion per context.
+        let suggestions = engine.evaluate(&report);
+        prop_assert!(suggestions.len() <= report.contexts.len());
+    }
+
+    /// Evaluation is deterministic: same engine, same report, same output.
+    #[test]
+    fn evaluation_is_deterministic(text in rule_text()) {
+        use chameleon_collections::{CollectionFactory, Runtime};
+        use chameleon_heap::Heap;
+        use chameleon_profiler::{ProfileReport, Profiler};
+
+        let mut engine = RuleEngine::new();
+        engine.add_rules(&text).expect("validates");
+        let heap = Heap::new();
+        let rt = Runtime::new(heap.clone());
+        let profiler = Profiler::install(&rt);
+        let f = CollectionFactory::new(rt);
+        {
+            let _g = f.enter("det.Site:1");
+            let mut s = f.new_set::<i64>(None);
+            for i in 0..6 {
+                s.add(i);
+            }
+            heap.gc();
+        }
+        heap.gc();
+        let report = ProfileReport::build(&profiler, &heap);
+        let a: Vec<String> = engine.evaluate(&report).iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = engine.evaluate(&report).iter().map(|s| s.to_string()).collect();
+        prop_assert_eq!(a, b);
+    }
+}
