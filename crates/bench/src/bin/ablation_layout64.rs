@@ -22,12 +22,13 @@ fn main() {
         "benchmark", "layout", "before(B)", "after(B)", "improvement"
     );
     hr(84);
-    let workloads: Vec<Box<dyn Workload>> = vec![
-        Box::new(Tvla::default()),
-        Box::new(Findbugs::default()),
-    ];
+    let workloads: Vec<Box<dyn Workload>> =
+        vec![Box::new(Tvla::default()), Box::new(Findbugs::default())];
     for w in &workloads {
-        for (name, model) in [("jvm32", MemoryModel::jvm32()), ("jvm64", MemoryModel::jvm64())] {
+        for (name, model) in [
+            ("jvm32", MemoryModel::jvm32()),
+            ("jvm64", MemoryModel::jvm64()),
+        ] {
             let cfg = EnvConfig {
                 model,
                 ..EnvConfig::default()

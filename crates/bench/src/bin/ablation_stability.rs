@@ -55,7 +55,10 @@ fn main() {
     // Gated engine (default): what does it suggest?
     let gated = RuleEngine::builtin();
     let gated_suggestions = gated.evaluate(&report);
-    println!("\nwith stability gate ({} suggestion(s)):", gated_suggestions.len());
+    println!(
+        "\nwith stability gate ({} suggestion(s)):",
+        gated_suggestions.len()
+    );
     for s in &gated_suggestions {
         println!("  {s}");
     }
@@ -68,7 +71,10 @@ fn main() {
         op_rel_threshold: None,
     });
     let ungated_suggestions = ungated.evaluate(&report);
-    println!("\nwithout stability gate ({} suggestion(s)):", ungated_suggestions.len());
+    println!(
+        "\nwithout stability gate ({} suggestion(s)):",
+        ungated_suggestions.len()
+    );
     for s in &ungated_suggestions {
         println!("  {s}");
     }

@@ -1,0 +1,159 @@
+//! Emits `BENCH_gc.json`: GC-cycle wall-times on a ~100k-object heap at
+//! 1/2/4 worker threads, plus the warm context-capture cost and its
+//! allocation count (intern misses — zero once warm).
+//!
+//! Run from the workspace root: `cargo run --release --bin bench_gc`.
+
+use chameleon_collections::factory::CollectionFactory;
+use chameleon_collections::Runtime;
+use chameleon_heap::semantic::{AdtDescriptor, CollectionKind, SemanticMap};
+use chameleon_heap::{ElemKind, GcConfig, Heap, HeapConfig};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const COLLECTIONS: usize = 10_000;
+const CYCLES: usize = 7;
+
+fn populate(threads: usize) -> Heap {
+    let heap = Heap::with_config(HeapConfig {
+        gc: GcConfig {
+            threads,
+            ..GcConfig::default()
+        },
+        ..HeapConfig::default()
+    });
+    let wrap_list = heap.register_class(
+        "ListWrapper",
+        Some(SemanticMap::wrapper(CollectionKind::List)),
+    );
+    let wrap_map = heap.register_class(
+        "MapWrapper",
+        Some(SemanticMap::wrapper(CollectionKind::Map)),
+    );
+    let array_impl = heap.register_class(
+        "ArrayListImpl",
+        Some(SemanticMap::backing(
+            CollectionKind::List,
+            AdtDescriptor::ArrayBacked {
+                array_field: 0,
+                slots_per_elem: 1,
+            },
+        )),
+    );
+    let hash_impl = heap.register_class(
+        "HashMapImpl",
+        Some(SemanticMap::backing(
+            CollectionKind::Map,
+            AdtDescriptor::ChainedHash { array_field: 0 },
+        )),
+    );
+    let arr_class = heap.register_class("Object[]", None);
+    let entry_class = heap.register_class("Entry", None);
+    let plain = heap.register_class("Plain", None);
+
+    for i in 0..COLLECTIONS {
+        let ctx = Some(heap.intern_context(
+            "Coll",
+            &[format!("Site.m:{}", i % 64), "Outer.run:1".to_owned()],
+            2,
+        ));
+        let w = if i % 2 == 0 {
+            let w = heap.alloc_scalar(wrap_list, 1, 0, ctx);
+            let im = heap.alloc_scalar(array_impl, 1, 8, None);
+            let arr = heap.alloc_array(arr_class, ElemKind::Ref, 10, None);
+            heap.set_ref(w, 0, Some(im));
+            heap.set_ref(im, 0, Some(arr));
+            heap.set_meta(im, 0, (i % 10) as i64);
+            heap.set_meta(w, 0, (i % 10) as i64);
+            w
+        } else {
+            let w = heap.alloc_scalar(wrap_map, 1, 0, ctx);
+            let im = heap.alloc_scalar(hash_impl, 1, 16, None);
+            let arr = heap.alloc_array(arr_class, ElemKind::Ref, 16, None);
+            heap.set_ref(w, 0, Some(im));
+            heap.set_ref(im, 0, Some(arr));
+            for e in 0..(i % 6) {
+                let entry = heap.alloc_scalar(entry_class, 3, 4, None);
+                if let Some(head) = heap.get_elem(arr, e % 16) {
+                    heap.set_ref(entry, 0, Some(head));
+                }
+                heap.set_elem(arr, e % 16, Some(entry));
+            }
+            heap.set_meta(im, 0, (i % 6) as i64);
+            heap.set_meta(im, 1, (i % 6).min(16) as i64);
+            heap.set_meta(w, 0, (i % 6) as i64);
+            w
+        };
+        heap.add_root(w);
+        for g in 0..6 {
+            let o = heap.alloc_scalar(plain, (g % 3) as u32, 8, None);
+            if g == 0 {
+                heap.add_root(o);
+            }
+        }
+    }
+    heap
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let mut json = String::from("{\n  \"gc_cycle\": [\n");
+    let mut first = true;
+    for threads in [1usize, 2, 4] {
+        let heap = populate(threads);
+        let objects = heap.object_count();
+        heap.gc(); // settle: sweep construction garbage once
+        let samples: Vec<f64> = (0..CYCLES)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(heap.gc().live_objects);
+                t0.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        let med = median(samples.clone());
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "gc_cycle threads={threads}: median {med:.1} us, min {min:.1} us ({objects} objects)"
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{\"threads\": {threads}, \"objects\": {objects}, \"median_us\": {med:.2}, \"min_us\": {min:.2}, \"cycles\": {CYCLES}}}"
+        );
+    }
+    json.push_str("\n  ],\n");
+
+    // Warm context capture: ns/op and intern misses over the timed loop.
+    let f = CollectionFactory::new(Runtime::new(Heap::new()));
+    let heap = f.runtime().heap().clone();
+    let _outer = f.enter("Outer.run:1");
+    let _inner = f.enter("Hot.site:7");
+    let _ = f.capture_context("HashMap"); // warm
+    let misses_before = heap.context_intern_misses();
+    const OPS: u32 = 200_000;
+    let t0 = Instant::now();
+    for _ in 0..OPS {
+        black_box(f.capture_context("HashMap"));
+    }
+    let ns_per_op = t0.elapsed().as_nanos() as f64 / f64::from(OPS);
+    let misses_after = heap.context_intern_misses();
+    let intern_allocs = (misses_after.0 - misses_before.0) + (misses_after.1 - misses_before.1);
+    println!(
+        "context_capture warm: {ns_per_op:.1} ns/op, {intern_allocs} intern allocs over {OPS} ops"
+    );
+    let _ = write!(
+        json,
+        "  \"context_capture\": {{\"warm_ns_per_op\": {ns_per_op:.2}, \"intern_allocs\": {intern_allocs}, \"ops\": {OPS}}}\n}}\n"
+    );
+
+    std::fs::write("BENCH_gc.json", &json).expect("write BENCH_gc.json");
+    println!("wrote BENCH_gc.json");
+}

@@ -18,11 +18,26 @@ fn main() {
     println!("{:<42} {:>12} {:>12}", "metric", "Total", "Max");
     hr(72);
     let t = &report.totals;
-    println!("{:<42} {:>12} {:>12}", "Overall live data (B)", t.total_live, t.max_live);
-    println!("{:<42} {:>12} {:>12}", "Collection live data (B)", t.total.live, t.max.live);
-    println!("{:<42} {:>12} {:>12}", "Collection used data (B)", t.total.used, t.max.used);
-    println!("{:<42} {:>12} {:>12}", "Collection core data (B)", t.total.core, t.max.core);
-    println!("{:<42} {:>12} {:>12}", "Collection object number", t.total.count, t.max.count);
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "Overall live data (B)", t.total_live, t.max_live
+    );
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "Collection live data (B)", t.total.live, t.max.live
+    );
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "Collection used data (B)", t.total.used, t.max.used
+    );
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "Collection core data (B)", t.total.core, t.max.core
+    );
+    println!(
+        "{:<42} {:>12} {:>12}",
+        "Collection object number", t.total.count, t.max.count
+    );
     hr(72);
 
     println!("\nPer-context aggregation (top 4 by potential):");

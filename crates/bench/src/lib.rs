@@ -23,12 +23,36 @@ pub struct PaperNumbers {
 /// Fig. 6/Fig. 7 values as reported in §5.3 (time numbers stated in the
 /// text: TVLA 49->19 min ~ 61%, SOOT 11%, PMD 8.33%).
 pub const PAPER: [PaperNumbers; 6] = [
-    PaperNumbers { name: "bloat", min_heap_pct: 56.0, time_pct: None },
-    PaperNumbers { name: "fop", min_heap_pct: 7.69, time_pct: None },
-    PaperNumbers { name: "findbugs", min_heap_pct: 13.79, time_pct: None },
-    PaperNumbers { name: "pmd", min_heap_pct: 0.0, time_pct: Some(8.33) },
-    PaperNumbers { name: "soot", min_heap_pct: 6.0, time_pct: Some(11.0) },
-    PaperNumbers { name: "tvla", min_heap_pct: 50.0, time_pct: Some(61.0) },
+    PaperNumbers {
+        name: "bloat",
+        min_heap_pct: 56.0,
+        time_pct: None,
+    },
+    PaperNumbers {
+        name: "fop",
+        min_heap_pct: 7.69,
+        time_pct: None,
+    },
+    PaperNumbers {
+        name: "findbugs",
+        min_heap_pct: 13.79,
+        time_pct: None,
+    },
+    PaperNumbers {
+        name: "pmd",
+        min_heap_pct: 0.0,
+        time_pct: Some(8.33),
+    },
+    PaperNumbers {
+        name: "soot",
+        min_heap_pct: 6.0,
+        time_pct: Some(11.0),
+    },
+    PaperNumbers {
+        name: "tvla",
+        min_heap_pct: 50.0,
+        time_pct: Some(61.0),
+    },
 ];
 
 /// Looks up the paper's numbers for a benchmark.

@@ -110,7 +110,11 @@ mod tests {
 
     #[test]
     fn missing_value_is_an_error() {
-        let args = vec!["profile".to_owned(), "tvla".to_owned(), "--depth".to_owned()];
+        let args = vec![
+            "profile".to_owned(),
+            "tvla".to_owned(),
+            "--depth".to_owned(),
+        ];
         assert!(parse(&args).is_err());
     }
 

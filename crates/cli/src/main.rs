@@ -153,7 +153,12 @@ fn cmd_optimize(inv: &Invocation) -> Result<(), String> {
         chameleon = chameleon.with_top_k(k);
     }
     let r = chameleon.optimize(w.as_ref());
-    println!("{} — applied {} of {} suggestion(s)", r.name, r.applied.len(), r.suggestions.len());
+    println!(
+        "{} — applied {} of {} suggestion(s)",
+        r.name,
+        r.applied.len(),
+        r.suggestions.len()
+    );
     println!(
         "minimal heap : {} B -> {} B ({:.2}% saving)",
         r.min_heap_before,

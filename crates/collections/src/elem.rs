@@ -54,7 +54,22 @@ macro_rules! plain_elem {
 }
 
 plain_elem!(
-    i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, bool, char, String, ()
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    bool,
+    char,
+    String,
+    ()
 );
 
 impl<A: Elem, B: Elem> Elem for (A, B) {

@@ -234,9 +234,12 @@ impl CollectionFactory {
 
     /// Creates a factory with an explicit capture configuration.
     pub fn with_capture(rt: Runtime, config: CaptureConfig) -> Self {
+        // Bind the stack to the heap so frame ids from `with_top` feed
+        // `intern_context_ids` directly — no name snapshot on capture.
+        let stack = CallStackSim::for_heap(rt.heap().clone());
         CollectionFactory {
             rt,
-            stack: CallStackSim::new(),
+            stack,
             policy: Arc::new(Mutex::new(SelectionPolicy::new())),
             capture: Arc::new(Mutex::new(CaptureState {
                 config,
@@ -306,7 +309,9 @@ impl CollectionFactory {
         if st.config.method == CaptureMethod::None || st.disabled_types.contains(src_type) {
             return None;
         }
-        if st.config.sample_every > 1 && !st.counter.is_multiple_of(u64::from(st.config.sample_every)) {
+        if st.config.sample_every > 1
+            && !st.counter.is_multiple_of(u64::from(st.config.sample_every))
+        {
             return None;
         }
         let cost = self.rt.cost();
@@ -324,14 +329,24 @@ impl CollectionFactory {
         }
         let depth = st.config.depth;
         drop(st);
-        let frames = self.stack.snapshot_names();
-        Some(self.rt.heap().intern_context(src_type, &frames, depth))
+        // Allocation-free once warm: the top frame ids are copied into a
+        // stack buffer and interned via a borrowed-key probe.
+        Some(self.stack.with_top(depth, |ids| {
+            self.rt.heap().intern_context_ids(src_type, ids, depth)
+        }))
     }
 
     fn alloc_wrapper(&self, class: chameleon_heap::ClassId, ctx: Option<ContextId>) -> ObjId {
-        let heap = self.rt.heap();
-        let w = heap.alloc_scalar(class, 1, 0, ctx);
-        heap.add_root(w);
+        let [w] = self.rt.heap().alloc_batch(
+            [chameleon_heap::BatchAlloc::Scalar {
+                class,
+                ref_fields: 1,
+                prim_bytes: 0,
+                ctx,
+            }],
+            &[],
+            &[0],
+        );
         self.rt.charge(self.rt.cost().alloc_object);
         w
     }
@@ -640,6 +655,22 @@ mod tests {
         let copy = f.list_from(&src);
         assert_eq!(copy.snapshot(), vec![1, 2]);
         assert_eq!(src.op_counts().get(Op::CopiedInto), 1);
+    }
+
+    #[test]
+    fn warm_capture_interns_nothing() {
+        let f = factory();
+        let heap = f.runtime().heap().clone();
+        let _g = f.enter("Hot.site:7");
+        let _warmup = f.new_map::<i64, i64>(None);
+        let (frame_misses, ctx_misses) = heap.context_intern_misses();
+        // Every subsequent capture at the same site must hit the borrowed
+        // lookups: zero new frame or context interns => zero String
+        // allocations on the capture path.
+        for _ in 0..1000 {
+            let _m = f.new_map::<i64, i64>(None);
+        }
+        assert_eq!(heap.context_intern_misses(), (frame_misses, ctx_misses));
     }
 
     #[test]

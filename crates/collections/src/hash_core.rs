@@ -77,10 +77,25 @@ impl<K: Elem, V: Elem> RawChainedHash<K, V> {
     ) -> Self {
         let heap = rt.heap().clone();
         let cap = capacity.unwrap_or(DEFAULT_HASH_CAPACITY).max(1);
-        let obj = heap.alloc_scalar(shape.impl_class, 1, 16, ctx);
-        heap.add_root(obj);
-        let buckets_obj = heap.alloc_array(rt.classes().object_array, ElemKind::Ref, cap, None);
-        heap.set_ref(obj, 0, Some(buckets_obj));
+        // Impl + bucket array under one heap lock, pre-linked and rooted.
+        let [obj, buckets_obj] = heap.alloc_batch(
+            [
+                chameleon_heap::BatchAlloc::Scalar {
+                    class: shape.impl_class,
+                    ref_fields: 1,
+                    prim_bytes: 16,
+                    ctx,
+                },
+                chameleon_heap::BatchAlloc::Array {
+                    class: rt.classes().object_array,
+                    elem: ElemKind::Ref,
+                    capacity: cap,
+                    ctx: None,
+                },
+            ],
+            &[(0, 0, 1)],
+            &[0],
+        );
         rt.charge(2 * rt.cost().alloc_object);
         RawChainedHash {
             rt: rt.clone(),
@@ -175,11 +190,19 @@ impl<K: Elem, V: Elem> RawChainedHash<K, V> {
         let b = self.bucket_of(&k);
         let heap = self.rt.heap().clone();
         let cost = self.rt.cost();
-        let entry_obj =
-            heap.alloc_scalar(self.shape.entry_class, self.shape.entry_refs, self.shape.entry_prim, None);
+        let entry_obj = heap.alloc_scalar(
+            self.shape.entry_class,
+            self.shape.entry_refs,
+            self.shape.entry_prim,
+            None,
+        );
         // Link into the heap chain *before* any further allocation.
         let head = self.buckets[b];
-        heap.set_ref(entry_obj, 0, head.map(|h| self.entries[h].as_ref().expect("head valid").obj));
+        heap.set_ref(
+            entry_obj,
+            0,
+            head.map(|h| self.entries[h].as_ref().expect("head valid").obj),
+        );
         heap.set_ref(entry_obj, 1, k.heap_ref());
         if self.shape.entry_refs >= 3 {
             heap.set_ref(entry_obj, 2, v.heap_ref());
@@ -224,7 +247,8 @@ impl<K: Elem, V: Elem> RawChainedHash<K, V> {
                 heap.set_ref(
                     pe.obj,
                     0,
-                    e.next.map(|n| self.entries[n].as_ref().expect("next valid").obj),
+                    e.next
+                        .map(|n| self.entries[n].as_ref().expect("next valid").obj),
                 );
             }
             None => {
@@ -232,7 +256,8 @@ impl<K: Elem, V: Elem> RawChainedHash<K, V> {
                 heap.set_elem(
                     self.buckets_obj,
                     b,
-                    e.next.map(|n| self.entries[n].as_ref().expect("next valid").obj),
+                    e.next
+                        .map(|n| self.entries[n].as_ref().expect("next valid").obj),
                 );
                 if e.next.is_none() {
                     self.used_buckets -= 1;
@@ -272,15 +297,17 @@ impl<K: Elem, V: Elem> RawChainedHash<K, V> {
     /// Contents in iteration order: insertion order for linked variants,
     /// bucket order otherwise.
     pub(crate) fn snapshot(&self) -> Vec<(K, V)> {
-        self.rt
-            .charge(self.rt.cost().link_hop * self.size as u64);
+        self.rt.charge(self.rt.cost().link_hop * self.size as u64);
         let mut alive: Vec<&EntryData<K, V>> = self.entries.iter().flatten().collect();
         if self.shape.linked {
             alive.sort_by_key(|e| e.seq);
         } else {
             alive.sort_by_key(|e| (e.bucket, std::cmp::Reverse(e.seq)));
         }
-        alive.iter().map(|e| (e.key.clone(), e.value.clone())).collect()
+        alive
+            .iter()
+            .map(|e| (e.key.clone(), e.value.clone()))
+            .collect()
     }
 
     fn rehash(&mut self, new_cap: u32) {
@@ -316,9 +343,8 @@ impl<K: Elem, V: Elem> RawChainedHash<K, V> {
             e.bucket = b;
             self.buckets[b] = Some(i);
         }
-        self.rt.charge(
-            cost.alloc_object + (cost.hash_compute + cost.elem_copy) * self.size as u64,
-        );
+        self.rt
+            .charge(cost.alloc_object + (cost.hash_compute + cost.elem_copy) * self.size as u64);
         self.sync_meta();
     }
 
@@ -386,12 +412,15 @@ mod tests {
     fn matches_std_hashmap_under_random_ops() {
         use std::collections::HashMap as StdMap;
         let rt = Runtime::new(Heap::new());
-        let mut h: RawChainedHash<i64, i64> = RawChainedHash::new(&rt, map_shape(&rt), Some(2), None);
+        let mut h: RawChainedHash<i64, i64> =
+            RawChainedHash::new(&rt, map_shape(&rt), Some(2), None);
         let mut m: StdMap<i64, i64> = StdMap::new();
         // Deterministic pseudo-random op sequence.
         let mut x = 0x243F6A88u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = (x >> 33) as i64 % 64;
             match x % 3 {
                 0 => assert_eq!(h.insert(k, k * 2), m.insert(k, k * 2)),

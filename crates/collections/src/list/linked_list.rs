@@ -42,13 +42,26 @@ impl<T: Elem> LinkedListImpl<T> {
     pub fn new(rt: &Runtime, ctx: Option<ContextId>) -> Self {
         let heap = rt.heap().clone();
         let c = rt.classes();
-        let obj = heap.alloc_scalar(c.linked_list, 1, 8, ctx);
-        heap.add_root(obj);
-        // Sentinel: 3 refs (next, prev, data) = the paper's 24 bytes.
-        let header = heap.alloc_scalar(c.linked_list_entry, 3, 0, None);
-        heap.set_ref(obj, 0, Some(header));
-        heap.set_ref(header, 0, Some(header)); // next
-        heap.set_ref(header, 1, Some(header)); // prev
+        // Impl + sentinel entry (3 refs = the paper's 24 bytes) allocated
+        // in one batch; the sentinel's next/prev point back at itself.
+        let [obj, header] = heap.alloc_batch(
+            [
+                chameleon_heap::BatchAlloc::Scalar {
+                    class: c.linked_list,
+                    ref_fields: 1,
+                    prim_bytes: 8,
+                    ctx,
+                },
+                chameleon_heap::BatchAlloc::Scalar {
+                    class: c.linked_list_entry,
+                    ref_fields: 3,
+                    prim_bytes: 0,
+                    ctx: None,
+                },
+            ],
+            &[(0, 0, 1), (1, 0, 1), (1, 1, 1)],
+            &[0],
+        );
         let cost = rt.cost();
         rt.charge(2 * cost.alloc_object);
         LinkedListImpl {
@@ -80,7 +93,11 @@ impl<T: Elem> LinkedListImpl<T> {
         let c = self.rt.classes();
         let entry = heap.alloc_scalar(c.linked_list_entry, 3, 0, None);
         let next = self.entry_at(i);
-        let prev = if i == 0 { self.header } else { self.entries[i - 1] };
+        let prev = if i == 0 {
+            self.header
+        } else {
+            self.entries[i - 1]
+        };
         heap.set_ref(entry, 0, Some(next));
         heap.set_ref(entry, 1, Some(prev));
         heap.set_ref(entry, 2, v.heap_ref());
@@ -97,7 +114,11 @@ impl<T: Elem> LinkedListImpl<T> {
         let heap = self.rt.heap().clone();
         let entry = self.entries.remove(i).expect("index checked by caller");
         let v = self.data.remove(i).expect("data parallel to entries");
-        let prev = if i == 0 { self.header } else { self.entries[i - 1] };
+        let prev = if i == 0 {
+            self.header
+        } else {
+            self.entries[i - 1]
+        };
         let next = self.entry_at(i);
         heap.set_ref(prev, 0, Some(next));
         heap.set_ref(next, 1, Some(prev));

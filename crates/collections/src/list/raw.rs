@@ -9,7 +9,7 @@
 
 use crate::elem::Elem;
 use crate::runtime::Runtime;
-use chameleon_heap::{ClassId, ContextId, ElemKind, ObjId};
+use chameleon_heap::{BatchAlloc, ClassId, ContextId, ElemKind, ObjId};
 
 /// Java's ArrayList growth function.
 pub(crate) fn grown_capacity(old: u32, needed: u32) -> u32 {
@@ -48,24 +48,55 @@ impl<T: Elem> RawArray<T> {
         ctx: Option<ContextId>,
     ) -> Self {
         let heap = rt.heap().clone();
-        let obj = heap.alloc_scalar(impl_class, 1, 8, ctx);
-        heap.add_root(obj);
-        rt.charge(rt.cost().alloc_object);
-        let mut raw = RawArray {
+        let impl_req = BatchAlloc::Scalar {
+            class: impl_class,
+            ref_fields: 1,
+            prim_bytes: 8,
+            ctx,
+        };
+        if lazy {
+            let [obj] = heap.alloc_batch([impl_req], &[], &[0]);
+            rt.charge(rt.cost().alloc_object);
+            return RawArray {
+                rt: rt.clone(),
+                data: Vec::new(),
+                obj,
+                arr: None,
+                capacity: 0,
+                slots_per_elem,
+                elem_kind,
+                array_class,
+                disposed: false,
+            };
+        }
+        // Impl object + backing array in one batch: one heap lock, one
+        // capacity check, and the array is linked before the lock drops so
+        // no GC can ever observe it unreachable.
+        let [obj, arr] = heap.alloc_batch(
+            [
+                impl_req,
+                BatchAlloc::Array {
+                    class: array_class,
+                    elem: elem_kind,
+                    capacity: capacity * slots_per_elem,
+                    ctx: None,
+                },
+            ],
+            &[(0, 0, 1)],
+            &[0],
+        );
+        rt.charge(2 * rt.cost().alloc_object);
+        RawArray {
             rt: rt.clone(),
             data: Vec::new(),
             obj,
-            arr: None,
-            capacity: 0,
+            arr: Some(arr),
+            capacity,
             slots_per_elem,
             elem_kind,
             array_class,
             disposed: false,
-        };
-        if !lazy {
-            raw.allocate_array(capacity);
         }
-        raw
     }
 
     pub(crate) fn obj(&self) -> ObjId {
@@ -85,7 +116,8 @@ impl<T: Elem> RawArray<T> {
     }
 
     pub(crate) fn get(&self, i: usize) -> Option<&T> {
-        self.rt.charge(self.rt.cost().array_access * self.slots_per_elem as u64);
+        self.rt
+            .charge(self.rt.cost().array_access * self.slots_per_elem as u64);
         self.data.get(i)
     }
 
@@ -121,8 +153,7 @@ impl<T: Elem> RawArray<T> {
         self.data.insert(i, v);
         let cost = self.rt.cost();
         self.rt.charge(
-            cost.array_access
-                + cost.elem_copy * (shifted as u64) * self.slots_per_elem as u64,
+            cost.array_access + cost.elem_copy * (shifted as u64) * self.slots_per_elem as u64,
         );
         self.resync_slots_from(i);
         self.sync_size();
@@ -260,9 +291,7 @@ impl<T: Elem> RawArray<T> {
     }
 
     fn sync_size(&self) {
-        self.rt
-            .heap()
-            .set_meta(self.obj, 0, self.data.len() as i64);
+        self.rt.heap().set_meta(self.obj, 0, self.data.len() as i64);
     }
 
     /// Unroots the impl object so the GC can reclaim the whole structure.
@@ -287,7 +316,16 @@ mod tests {
 
     fn raw(rt: &Runtime, cap: u32, lazy: bool) -> RawArray<i64> {
         let c = rt.classes();
-        RawArray::new(rt, c.array_list, c.object_array, ElemKind::Ref, cap, 1, lazy, None)
+        RawArray::new(
+            rt,
+            c.array_list,
+            c.object_array,
+            ElemKind::Ref,
+            cap,
+            1,
+            lazy,
+            None,
+        )
     }
 
     #[test]
@@ -346,8 +384,16 @@ mod tests {
         let p1 = heap.alloc_scalar(pclass, 0, 0, None);
         let p2 = heap.alloc_scalar(pclass, 0, 0, None);
         let c = rt.classes();
-        let mut r: RawArray<HeapVal> =
-            RawArray::new(&rt, c.array_list, c.object_array, ElemKind::Ref, 4, 1, false, None);
+        let mut r: RawArray<HeapVal> = RawArray::new(
+            &rt,
+            c.array_list,
+            c.object_array,
+            ElemKind::Ref,
+            4,
+            1,
+            false,
+            None,
+        );
         r.push(HeapVal(p1));
         r.push(HeapVal(p2));
         // Payloads are reachable through the raw array's impl object.

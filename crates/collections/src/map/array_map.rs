@@ -59,7 +59,16 @@ impl<K: Elem, V: Elem> ArrayMapImpl<K, V> {
     pub fn new_lazy(rt: &Runtime, ctx: Option<ContextId>) -> Self {
         let c = rt.classes();
         ArrayMapImpl {
-            raw: RawArray::new(rt, c.lazy_map, c.object_array, ElemKind::Ref, 0, 2, true, ctx),
+            raw: RawArray::new(
+                rt,
+                c.lazy_map,
+                c.object_array,
+                ElemKind::Ref,
+                0,
+                2,
+                true,
+                ctx,
+            ),
             name: "LazyMap",
         }
     }

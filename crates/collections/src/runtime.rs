@@ -50,15 +50,23 @@ impl ClassIds {
         use AdtDescriptor as D;
         use CollectionKind as K;
         let backing = SemanticMap::backing;
-        let arr1 = |k| backing(k, D::ArrayBacked { array_field: 0, slots_per_elem: 1 });
+        let arr1 = |k| {
+            backing(
+                k,
+                D::ArrayBacked {
+                    array_field: 0,
+                    slots_per_elem: 1,
+                },
+            )
+        };
         ClassIds {
-            list_wrapper: heap.register_class("Chameleon$List", Some(SemanticMap::wrapper(K::List))),
+            list_wrapper: heap
+                .register_class("Chameleon$List", Some(SemanticMap::wrapper(K::List))),
             set_wrapper: heap.register_class("Chameleon$Set", Some(SemanticMap::wrapper(K::Set))),
             map_wrapper: heap.register_class("Chameleon$Map", Some(SemanticMap::wrapper(K::Map))),
             array_list: heap.register_class("ArrayList", Some(arr1(K::List))),
             lazy_array_list: heap.register_class("LazyArrayList", Some(arr1(K::List))),
-            singleton_list: heap
-                .register_class("SingletonList", Some(backing(K::List, D::Inline))),
+            singleton_list: heap.register_class("SingletonList", Some(backing(K::List, D::Inline))),
             int_array: heap.register_class("IntArray", Some(arr1(K::List))),
             linked_list: heap.register_class(
                 "LinkedList",
@@ -95,11 +103,23 @@ impl ClassIds {
             linked_hash_map_entry: heap.register_class("LinkedHashMap$Entry", None),
             array_map: heap.register_class(
                 "ArrayMap",
-                Some(backing(K::Map, D::ArrayBacked { array_field: 0, slots_per_elem: 2 })),
+                Some(backing(
+                    K::Map,
+                    D::ArrayBacked {
+                        array_field: 0,
+                        slots_per_elem: 2,
+                    },
+                )),
             ),
             lazy_map: heap.register_class(
                 "LazyMap",
-                Some(backing(K::Map, D::ArrayBacked { array_field: 0, slots_per_elem: 2 })),
+                Some(backing(
+                    K::Map,
+                    D::ArrayBacked {
+                        array_field: 0,
+                        slots_per_elem: 2,
+                    },
+                )),
             ),
             size_adapting_map: heap.register_class(
                 "SizeAdaptingMap",
@@ -246,7 +266,10 @@ mod tests {
         let heap = Heap::new();
         let rt = Runtime::new(heap.clone());
         assert_eq!(heap.class_name(rt.classes().array_list), "ArrayList");
-        assert_eq!(heap.class_name(rt.classes().hash_map_entry), "HashMap$Entry");
+        assert_eq!(
+            heap.class_name(rt.classes().hash_map_entry),
+            "HashMap$Entry"
+        );
         // A second runtime over the same heap reuses registrations.
         let rt2 = Runtime::new(heap);
         assert_eq!(rt.classes().array_list, rt2.classes().array_list);

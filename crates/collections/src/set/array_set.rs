@@ -56,7 +56,16 @@ impl<T: Elem> ArraySetImpl<T> {
     pub fn new_lazy(rt: &Runtime, ctx: Option<ContextId>) -> Self {
         let c = rt.classes();
         ArraySetImpl {
-            raw: RawArray::new(rt, c.lazy_set, c.object_array, ElemKind::Ref, 0, 1, true, ctx),
+            raw: RawArray::new(
+                rt,
+                c.lazy_set,
+                c.object_array,
+                ElemKind::Ref,
+                0,
+                1,
+                true,
+                ctx,
+            ),
             name: "LazySet",
         }
     }
@@ -180,6 +189,9 @@ mod tests {
         let t1 = rt.clock().now();
         s.contains(&0); // first element
         let hit = rt.clock().now() - t1;
-        assert!(miss > 50 * hit.max(1) / 10, "miss {miss} vs early hit {hit}");
+        assert!(
+            miss > 50 * hit.max(1) / 10,
+            "miss {miss} vs early hit {hit}"
+        );
     }
 }

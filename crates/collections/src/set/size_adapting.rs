@@ -72,8 +72,7 @@ impl<T: Elem> SizeAdaptingSetImpl<T> {
             return;
         }
         let elems = self.inner.snapshot();
-        let mut hash: Box<dyn SetImpl<T>> =
-            Box::new(HashSetImpl::new(&self.rt, None, None));
+        let mut hash: Box<dyn SetImpl<T>> = Box::new(HashSetImpl::new(&self.rt, None, None));
         for e in elems {
             hash.add(e);
         }

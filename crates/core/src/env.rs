@@ -10,9 +10,7 @@
 
 use crate::metrics::RunMetrics;
 use crate::workload::Workload;
-use chameleon_collections::factory::{
-    CaptureConfig, CaptureMethod, CollectionFactory, Selection,
-};
+use chameleon_collections::factory::{CaptureConfig, CaptureMethod, CollectionFactory, Selection};
 use chameleon_collections::{CostModel, ListChoice, MapChoice, Runtime, SetChoice};
 use chameleon_heap::{GcConfig, Heap, HeapConfig};
 use chameleon_profiler::{ProfileReport, Profiler};

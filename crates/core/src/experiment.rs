@@ -45,12 +45,18 @@ impl ExperimentResult {
     /// Running-time improvement at the original minimal heap (Fig. 7's
     /// metric).
     pub fn time_improvement(&self) -> Improvement {
-        Improvement::new(self.time_before.sim_time as f64, self.time_after.sim_time as f64)
+        Improvement::new(
+            self.time_before.sim_time as f64,
+            self.time_after.sim_time as f64,
+        )
     }
 
     /// GC-count improvement (reported for PMD in §5.3).
     pub fn gc_improvement(&self) -> Improvement {
-        Improvement::new(self.time_before.gc_count as f64, self.time_after.gc_count as f64)
+        Improvement::new(
+            self.time_before.gc_count as f64,
+            self.time_after.gc_count as f64,
+        )
     }
 }
 

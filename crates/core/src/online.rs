@@ -11,8 +11,8 @@
 use crate::env::{portable_updates, Env, EnvConfig, PortableUpdate};
 use crate::metrics::RunMetrics;
 use crate::workload::Workload;
-use chameleon_collections::runtime::{InstanceStats, StatsSink};
 use chameleon_collections::factory::CaptureController;
+use chameleon_collections::runtime::{InstanceStats, StatsSink};
 use chameleon_collections::SelectionPolicy;
 use chameleon_heap::{ContextId, Heap};
 use chameleon_profiler::{ProfileReport, Profiler};
@@ -200,7 +200,11 @@ mod tests {
                 ..OnlineConfig::default()
             },
         );
-        assert!(result.evaluations >= 2, "evaluations: {}", result.evaluations);
+        assert!(
+            result.evaluations >= 2,
+            "evaluations: {}",
+            result.evaluations
+        );
         assert!(result.replacements >= 1);
         // The context's instances must show a mixture of implementations:
         // HashMap early, ArrayMap after the first evaluation.

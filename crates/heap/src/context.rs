@@ -7,11 +7,21 @@
 //! frames and contexts so the rest of the system can pass around cheap
 //! 32-bit [`ContextId`]s, and provides [`CallStackSim`], the simulated call
 //! stack that workloads push frames onto.
+//!
+//! Both intern tables are allocation-free on the hit path: frame lookup
+//! borrows the candidate `&str` directly, and context lookup probes with a
+//! borrowed `(src_type, frames)` key via the `Borrow<dyn ContextKey>`
+//! trick, so the per-allocation capture path performs zero `String` (or any
+//! other) allocations once its frames and contexts are warm. Miss counters
+//! make that property testable.
 
+use crate::heap::Heap;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Interned identifier of one stack frame (e.g. `"tvla.util.HashMapFactory:31"`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,6 +41,75 @@ pub struct ContextRecord {
     pub stack: Vec<FrameId>,
 }
 
+/// Borrow target that lets the context table probe its hash map with a
+/// `(&str, &[FrameId])` pair without building an owned key first.
+trait ContextKey {
+    fn parts(&self) -> (&str, &[FrameId]);
+}
+
+/// Owned form of a context key, stored in the intern map. `Arc<str>` keeps
+/// the insert path to a single string allocation shared with nothing else.
+struct OwnedContextKey {
+    src_type: Arc<str>,
+    stack: Box<[FrameId]>,
+}
+
+/// Borrowed probe key built on the stack for lookups.
+struct BorrowedContextKey<'a> {
+    src_type: &'a str,
+    stack: &'a [FrameId],
+}
+
+impl ContextKey for OwnedContextKey {
+    fn parts(&self) -> (&str, &[FrameId]) {
+        (&self.src_type, &self.stack)
+    }
+}
+
+impl ContextKey for BorrowedContextKey<'_> {
+    fn parts(&self) -> (&str, &[FrameId]) {
+        (self.src_type, self.stack)
+    }
+}
+
+impl<'a> std::borrow::Borrow<dyn ContextKey + 'a> for OwnedContextKey {
+    fn borrow(&self) -> &(dyn ContextKey + 'a) {
+        self
+    }
+}
+
+// The owned key must hash exactly like the trait object so borrowed lookups
+// land in the same bucket; both therefore delegate to `parts()`.
+impl Hash for dyn ContextKey + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let (src, stack) = self.parts();
+        src.hash(state);
+        stack.hash(state);
+    }
+}
+
+impl PartialEq for dyn ContextKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.parts() == other.parts()
+    }
+}
+
+impl Eq for dyn ContextKey + '_ {}
+
+impl Hash for OwnedContextKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (self as &dyn ContextKey).hash(state)
+    }
+}
+
+impl PartialEq for OwnedContextKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.parts() == other.parts()
+    }
+}
+
+impl Eq for OwnedContextKey {}
+
 /// Intern table for frames and allocation contexts.
 ///
 /// # Examples
@@ -47,12 +126,25 @@ pub struct ContextRecord {
 ///     "HashMap:tvla.util.HashMapFactory:31;tvla.core.base.BaseTVS:50"
 /// );
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ContextTable {
-    frames: Vec<String>,
-    frame_ids: HashMap<String, FrameId>,
+    frames: Vec<Arc<str>>,
+    frame_ids: HashMap<Arc<str>, FrameId>,
     records: Vec<ContextRecord>,
-    record_ids: HashMap<ContextRecord, ContextId>,
+    record_ids: HashMap<OwnedContextKey, ContextId>,
+    frame_misses: u64,
+    context_misses: u64,
+}
+
+impl fmt::Debug for ContextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContextTable")
+            .field("frames", &self.frames.len())
+            .field("contexts", &self.records.len())
+            .field("frame_misses", &self.frame_misses)
+            .field("context_misses", &self.context_misses)
+            .finish()
+    }
 }
 
 impl ContextTable {
@@ -62,13 +154,19 @@ impl ContextTable {
     }
 
     /// Interns a stack frame by its display name.
+    ///
+    /// The hit path is a borrowed lookup (zero allocations); a miss performs
+    /// exactly one string allocation, shared between the id vector and the
+    /// lookup map.
     pub fn intern_frame(&mut self, name: &str) -> FrameId {
         if let Some(id) = self.frame_ids.get(name) {
             return *id;
         }
+        self.frame_misses += 1;
         let id = FrameId(self.frames.len() as u32);
-        self.frames.push(name.to_owned());
-        self.frame_ids.insert(name.to_owned(), id);
+        let shared: Arc<str> = Arc::from(name);
+        self.frames.push(Arc::clone(&shared));
+        self.frame_ids.insert(shared, id);
         id
     }
 
@@ -84,18 +182,30 @@ impl ContextTable {
     /// Interns the context `(src_type, stack truncated to depth)`.
     ///
     /// `stack` is innermost-first; only the first `depth` frames participate
-    /// in the context identity, mirroring the paper's partial contexts.
+    /// in the context identity, mirroring the paper's partial contexts. The
+    /// hit path probes with a borrowed key and allocates nothing.
     pub fn intern(&mut self, src_type: &str, stack: &[FrameId], depth: usize) -> ContextId {
-        let rec = ContextRecord {
-            src_type: src_type.to_owned(),
-            stack: stack.iter().take(depth).copied().collect(),
+        let truncated = &stack[..depth.min(stack.len())];
+        let probe = BorrowedContextKey {
+            src_type,
+            stack: truncated,
         };
-        if let Some(id) = self.record_ids.get(&rec) {
+        if let Some(id) = self.record_ids.get(&probe as &dyn ContextKey) {
             return *id;
         }
+        self.context_misses += 1;
         let id = ContextId(self.records.len() as u32);
-        self.records.push(rec.clone());
-        self.record_ids.insert(rec, id);
+        self.records.push(ContextRecord {
+            src_type: src_type.to_owned(),
+            stack: truncated.to_vec(),
+        });
+        self.record_ids.insert(
+            OwnedContextKey {
+                src_type: Arc::from(src_type),
+                stack: truncated.into(),
+            },
+            id,
+        );
         id
     }
 
@@ -116,6 +226,16 @@ impl ContextTable {
     /// Whether no context has been interned yet.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// Number of frame interns that missed the table (i.e. allocated).
+    pub fn frame_misses(&self) -> u64 {
+        self.frame_misses
+    }
+
+    /// Number of context interns that missed the table (i.e. allocated).
+    pub fn context_misses(&self) -> u64 {
+        self.context_misses
     }
 
     /// Formats a context the way the paper prints suggestions:
@@ -149,12 +269,50 @@ impl fmt::Display for ContextRecord {
     }
 }
 
+/// Stack-buffer size for [`CallStackSim::with_top`]; capture depths beyond
+/// this (the paper uses 2–3) fall back to a heap buffer.
+const TOP_BUF: usize = 16;
+
+/// Frames the stack can resolve without consulting a heap: either interned
+/// into a bound [`Heap`]'s context table or into a private local table.
+struct StackInner {
+    /// Heap whose context table issues this stack's [`FrameId`]s, if bound.
+    heap: Option<Heap>,
+    /// Local interner used when no heap is bound (names still resolvable).
+    local: ContextTable,
+    /// Name → id cache; hit path is a borrowed lookup, and the `Arc<str>`
+    /// key doubles as the stored name (clone = refcount bump, no allocation).
+    cache: HashMap<Arc<str>, FrameId>,
+    /// Current stack, outermost first: `(id, name)` pairs.
+    frames: Vec<(FrameId, Arc<str>)>,
+}
+
+impl StackInner {
+    fn intern(&mut self, name: &str) -> (FrameId, Arc<str>) {
+        if let Some((key, id)) = self.cache.get_key_value(name) {
+            return (*id, Arc::clone(key));
+        }
+        let id = match &self.heap {
+            Some(heap) => heap.intern_frame(name),
+            None => self.local.intern_frame(name),
+        };
+        let shared: Arc<str> = Arc::from(name);
+        self.cache.insert(Arc::clone(&shared), id);
+        (id, shared)
+    }
+}
+
 /// A simulated thread call stack.
 ///
 /// Workloads push a frame when "entering a method" and the guard pops it on
 /// scope exit; collection factories snapshot the top frames to build the
 /// allocation context. The stack is deliberately single-threaded (the
 /// workloads are), cheap to clone, and shares its frames across clones.
+///
+/// Frames are interned to [`FrameId`]s on first entry; re-entering a frame
+/// the stack has seen before allocates nothing, which keeps the
+/// per-allocation capture path ([`CallStackSim::with_top`]) allocation-free
+/// once warm.
 ///
 /// # Examples
 ///
@@ -169,45 +327,117 @@ impl fmt::Display for ContextRecord {
 /// }
 /// assert!(stack.snapshot_names().is_empty());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct CallStackSim {
-    frames: Rc<RefCell<Vec<String>>>,
+    inner: Rc<RefCell<StackInner>>,
+}
+
+impl fmt::Debug for CallStackSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("CallStackSim")
+            .field("depth", &inner.frames.len())
+            .field("bound_to_heap", &inner.heap.is_some())
+            .finish()
+    }
+}
+
+impl Default for CallStackSim {
+    fn default() -> Self {
+        CallStackSim::with_heap(None)
+    }
 }
 
 /// RAII guard returned by [`CallStackSim::enter`]; pops its frame on drop.
-#[derive(Debug)]
 pub struct FrameGuard {
-    frames: Rc<RefCell<Vec<String>>>,
+    inner: Rc<RefCell<StackInner>>,
+}
+
+impl fmt::Debug for FrameGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrameGuard")
+            .field("depth", &self.inner.borrow().frames.len())
+            .finish()
+    }
 }
 
 impl CallStackSim {
-    /// Creates an empty simulated call stack.
+    fn with_heap(heap: Option<Heap>) -> Self {
+        CallStackSim {
+            inner: Rc::new(RefCell::new(StackInner {
+                heap,
+                local: ContextTable::new(),
+                cache: HashMap::new(),
+                frames: Vec::new(),
+            })),
+        }
+    }
+
+    /// Creates an empty simulated call stack with a private frame interner.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates a stack whose frames are interned directly into `heap`'s
+    /// context table, so [`CallStackSim::with_top`] yields ids that
+    /// [`Heap::intern_context_ids`] accepts without translation.
+    pub fn for_heap(heap: Heap) -> Self {
+        CallStackSim::with_heap(Some(heap))
+    }
+
     /// Pushes `frame` and returns a guard that pops it when dropped.
     pub fn enter(&self, frame: &str) -> FrameGuard {
-        self.frames.borrow_mut().push(frame.to_owned());
+        let mut inner = self.inner.borrow_mut();
+        let entry = inner.intern(frame);
+        inner.frames.push(entry);
         FrameGuard {
-            frames: Rc::clone(&self.frames),
+            inner: Rc::clone(&self.inner),
         }
     }
 
     /// Current depth of the simulated stack.
     pub fn depth(&self) -> usize {
-        self.frames.borrow().len()
+        self.inner.borrow().frames.len()
     }
 
     /// Snapshot of frame names, innermost first.
     pub fn snapshot_names(&self) -> Vec<String> {
-        self.frames.borrow().iter().rev().cloned().collect()
+        self.inner
+            .borrow()
+            .frames
+            .iter()
+            .rev()
+            .map(|(_, name)| name.to_string())
+            .collect()
+    }
+
+    /// Calls `f` with the top `depth` frame ids, innermost first, without
+    /// allocating (for depths up to an internal stack-buffer size).
+    ///
+    /// The ids are only meaningful to the table they were interned into:
+    /// the bound heap's for [`CallStackSim::for_heap`] stacks, the private
+    /// local table otherwise.
+    pub fn with_top<R>(&self, depth: usize, f: impl FnOnce(&[FrameId]) -> R) -> R {
+        let inner = self.inner.borrow();
+        let frames = &inner.frames;
+        let n = depth.min(frames.len());
+        let top = frames[frames.len() - n..].iter().rev();
+        if n <= TOP_BUF {
+            let mut buf = [FrameId(0); TOP_BUF];
+            for (slot, (id, _)) in buf.iter_mut().zip(top) {
+                *slot = *id;
+            }
+            f(&buf[..n])
+        } else {
+            let ids: Vec<FrameId> = top.map(|(id, _)| *id).collect();
+            f(&ids)
+        }
     }
 }
 
 impl Drop for FrameGuard {
     fn drop(&mut self) {
-        self.frames.borrow_mut().pop();
+        self.inner.borrow_mut().frames.pop();
     }
 }
 
@@ -265,6 +495,39 @@ mod tests {
     }
 
     #[test]
+    fn warm_interns_do_not_miss() {
+        let mut t = ContextTable::new();
+        let a = t.intern_frame("A.m:1");
+        let b = t.intern_frame("B.m:2");
+        let _ = t.intern("HashMap", &[a, b], 2);
+        assert_eq!(t.frame_misses(), 2);
+        assert_eq!(t.context_misses(), 1);
+        for _ in 0..100 {
+            let a2 = t.intern_frame("A.m:1");
+            let _ = t.intern("HashMap", &[a2, b], 2);
+        }
+        assert_eq!(t.frame_misses(), 2, "warm frame interns must not allocate");
+        assert_eq!(
+            t.context_misses(),
+            1,
+            "warm context interns must not allocate"
+        );
+    }
+
+    #[test]
+    fn borrowed_and_owned_keys_agree_on_truncation() {
+        let mut t = ContextTable::new();
+        let a = t.intern_frame("A.m:1");
+        let b = t.intern_frame("B.m:2");
+        // Interned via a longer stack truncated to 1: must hit the same
+        // bucket as the directly-short probe.
+        let c1 = t.intern("ArrayList", &[a, b], 1);
+        let c2 = t.intern("ArrayList", &[a], 1);
+        assert_eq!(c1, c2);
+        assert_eq!(t.context_misses(), 1);
+    }
+
+    #[test]
     fn call_stack_sim_nesting() {
         let s = CallStackSim::new();
         assert_eq!(s.depth(), 0);
@@ -283,5 +546,39 @@ mod tests {
         let s2 = s.clone();
         let _a = s.enter("a");
         assert_eq!(s2.depth(), 1);
+    }
+
+    #[test]
+    fn with_top_yields_innermost_first() {
+        let s = CallStackSim::new();
+        let _a = s.enter("a");
+        let _b = s.enter("b");
+        let _c = s.enter("c");
+        let names = s.snapshot_names();
+        assert_eq!(names, vec!["c", "b", "a"]);
+        s.with_top(2, |ids| assert_eq!(ids.len(), 2));
+        // Ids are stable per name: re-entering reuses the same id.
+        let id_c = s.with_top(1, |ids| ids[0]);
+        drop(_c);
+        let _c2 = s.enter("c");
+        assert_eq!(s.with_top(1, |ids| ids[0]), id_c);
+    }
+
+    #[test]
+    fn with_top_deeper_than_buffer_falls_back() {
+        let s = CallStackSim::new();
+        let _guards: Vec<_> = (0..TOP_BUF + 4)
+            .map(|i| s.enter(&format!("f{i}")))
+            .collect();
+        s.with_top(TOP_BUF + 2, |ids| assert_eq!(ids.len(), TOP_BUF + 2));
+    }
+
+    #[test]
+    fn heap_bound_stack_interns_into_heap_table() {
+        let heap = Heap::new();
+        let s = CallStackSim::for_heap(heap.clone());
+        let _a = s.enter("Site.m:1");
+        let ctx = s.with_top(2, |ids| heap.intern_context_ids("HashMap", ids, 2));
+        assert_eq!(heap.format_context(ctx), "HashMap:Site.m:1");
     }
 }

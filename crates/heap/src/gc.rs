@@ -2,75 +2,112 @@
 //!
 //! The collector performs a standard mark phase (optionally parallel, one
 //! worker per configured thread, mirroring the paper's "number of parallel
-//! threads is the same as the number of cores"), then — before sweeping —
-//! walks every marked object whose class registered a *top-level* semantic
-//! map to compute per-collection live/used/core statistics and attribute
-//! them to the allocation context recorded in the object (§4.3). Finally it
-//! sweeps unmarked objects and charges the simulated clock for the pause.
+//! threads is the same as the number of cores"), then a *single fused pass*
+//! over the slab that simultaneously gathers live/type statistics, walks
+//! every marked object whose class registered a *top-level* semantic map to
+//! compute per-collection live/used/core statistics attributed to the
+//! allocation context recorded in the object (§4.3), and identifies the
+//! garbage to sweep. The fused pass is sharded across `GcConfig::threads`
+//! workers over disjoint slab chunks; each worker fills dense per-class and
+//! per-context accumulators that merge with plain `u64` addition, so the
+//! resulting [`CycleStats`] are byte-for-byte identical for any thread
+//! count. Finally the recorded garbage is swept and the simulated clock is
+//! charged for the pause.
+//!
+//! Marking uses an epoch-stamped mark array kept in `HeapInner` (a slot is
+//! marked iff its stamp equals the current cycle's epoch), so no per-cycle
+//! mark allocation or clearing is needed.
 
 use crate::heap::HeapInner;
 use crate::object::{ElemKind, ObjBody, ObjId, Object};
 use crate::semantic::{AdtDescriptor, SemanticMap};
 use crate::stats::{AdtTotals, CycleStats};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Runs one full collection cycle on the heap.
 pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
-    let marks = mark(inner);
+    // Take the reusable mark array out of the heap so workers can share
+    // `&HeapInner` while holding an independent borrow of the marks.
+    let mut marks = std::mem::take(&mut inner.marks);
+    let epoch = next_epoch(inner, &mut marks);
+    if marks.len() < inner.slab.len() {
+        marks.extend((marks.len()..inner.slab.len()).map(|_| AtomicU32::new(0)));
+    }
 
-    // ----- statistics over the marked (live) sub-heap -------------------------
+    mark(inner, &marks, epoch);
+
+    // ----- fused live/semantic/sweep scan (sharded) ----------------------------
+    let threads = inner.gc_config.threads.max(1);
+    let n_classes = inner.classes.len();
+    let n_contexts = inner.contexts.len();
+    let accs: Vec<ScanAcc> = if threads == 1 || inner.slab.len() < 2 {
+        vec![scan_chunk(
+            inner,
+            &marks,
+            epoch,
+            0..inner.slab.len(),
+            n_classes,
+            n_contexts,
+        )]
+    } else {
+        let chunk = inner.slab.len().div_ceil(threads);
+        let shared: &HeapInner = inner;
+        let marks_ref: &[AtomicU32] = &marks;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..inner.slab.len())
+                .step_by(chunk)
+                .map(|start| {
+                    let range = start..(start + chunk).min(shared.slab.len());
+                    s.spawn(move || {
+                        scan_chunk(shared, marks_ref, epoch, range, n_classes, n_contexts)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("gc scan worker panicked"))
+                .collect()
+        })
+    };
+
+    // ----- merge (order-independent u64 sums; dense ids are pre-sorted) --------
     let mut live_bytes = 0u64;
     let mut live_objects = 0u64;
-    let mut type_dist: HashMap<crate::object::ClassId, (u64, u64)> = HashMap::new();
-    for (i, slot) in inner.slab.iter().enumerate() {
-        let Some(o) = slot else { continue };
-        if !marks[i].load(Ordering::Relaxed) {
-            continue;
-        }
-        live_bytes += u64::from(o.size);
-        live_objects += 1;
-        let e = type_dist.entry(o.class).or_insert((0, 0));
-        e.0 += u64::from(o.size);
-        e.1 += 1;
-    }
-
-    // ----- semantic collection accounting --------------------------------------
-    let mut collection = AdtTotals::default();
-    let mut per_context: HashMap<crate::context::ContextId, AdtTotals> = HashMap::new();
-    for (i, slot) in inner.slab.iter().enumerate() {
-        let Some(o) = slot else { continue };
-        if !marks[i].load(Ordering::Relaxed) {
-            continue;
-        }
-        let Some(map) = inner.classes.info(o.class).semantic_map else {
-            continue;
-        };
-        if !map.top_level {
-            continue;
-        }
-        let mut totals = adt_stats(inner, o, map);
-        totals.count = 1;
-        collection.add(totals);
-        if let Some(ctx) = o.ctx {
-            per_context.entry(ctx).or_default().add(totals);
-        }
-    }
-
-    // ----- sweep ----------------------------------------------------------------
     let mut swept_bytes = 0u64;
     let mut swept_objects = 0u64;
-    for (i, slot) in inner.slab.iter_mut().enumerate() {
-        if slot.is_some() && !marks[i].load(Ordering::Relaxed) {
-            let o = slot.take().expect("checked is_some");
-            swept_bytes += u64::from(o.size);
-            swept_objects += 1;
-            inner.free.push(i as u32);
+    let mut collection = AdtTotals::default();
+    let mut per_ctx_dense = vec![AdtTotals::default(); n_contexts];
+    let mut type_dense = vec![(0u64, 0u64); n_classes];
+    for acc in &accs {
+        live_bytes += acc.live_bytes;
+        live_objects += acc.live_objects;
+        swept_bytes += acc.swept_bytes;
+        swept_objects += acc.swept_objects;
+        collection.add(acc.collection);
+        for (merged, t) in per_ctx_dense.iter_mut().zip(&acc.per_context) {
+            merged.add(*t);
+        }
+        for (merged, t) in type_dense.iter_mut().zip(&acc.type_dist) {
+            merged.0 += t.0;
+            merged.1 += t.1;
+        }
+    }
+
+    // ----- apply the sweep ------------------------------------------------------
+    // Workers are chunk-ordered and each sweep list is ascending, so the
+    // concatenation frees slots in ascending index order — the same free-list
+    // order a sequential sweep produces.
+    for acc in &accs {
+        for &i in &acc.sweep_list {
+            inner.slab[i as usize] = None;
+            inner.free.push(i);
         }
     }
     inner.heap_bytes = inner.heap_bytes.saturating_sub(swept_bytes);
     inner.generation = inner.generation.wrapping_add(1).max(1);
     inner.gc_count += 1;
+    inner.marks = marks;
 
     // ----- clock ----------------------------------------------------------------
     let at_units = if let Some(clock) = &inner.clock {
@@ -81,10 +118,18 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
         0
     };
 
-    let mut per_context: Vec<_> = per_context.into_iter().collect();
-    per_context.sort_by_key(|(ctx, _)| *ctx);
-    let mut type_distribution: Vec<_> = type_dist.into_iter().map(|(c, (b, n))| (c, b, n)).collect();
-    type_distribution.sort_by_key(|(c, _, _)| *c);
+    let per_context: Vec<_> = per_ctx_dense
+        .into_iter()
+        .enumerate()
+        .filter(|(_, t)| t.count > 0)
+        .map(|(i, t)| (crate::context::ContextId(i as u32), t))
+        .collect();
+    let type_distribution: Vec<_> = type_dense
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(i, (b, n))| (crate::object::ClassId(i as u32), b, n))
+        .collect();
 
     let stats = CycleStats {
         cycle: inner.gc_count,
@@ -101,36 +146,118 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
     stats
 }
 
-/// Marks reachable objects; returns one atomic mark bit per slab slot.
-fn mark(inner: &HeapInner) -> Vec<AtomicBool> {
-    let marks: Vec<AtomicBool> = (0..inner.slab.len()).map(|_| AtomicBool::new(false)).collect();
+/// Advances the mark epoch, resetting stamps on the (rare) u32 wraparound
+/// so a slot marked billions of cycles ago can never alias a fresh epoch.
+fn next_epoch(inner: &mut HeapInner, marks: &mut [AtomicU32]) -> u32 {
+    inner.mark_epoch = inner.mark_epoch.wrapping_add(1);
+    if inner.mark_epoch == 0 {
+        for m in marks.iter_mut() {
+            *m.get_mut() = 0;
+        }
+        inner.mark_epoch = 1;
+    }
+    inner.mark_epoch
+}
+
+/// Per-worker accumulator of the fused scan. Dense vectors indexed by
+/// `ClassId`/`ContextId` keep merging exact and order-independent.
+struct ScanAcc {
+    live_bytes: u64,
+    live_objects: u64,
+    swept_bytes: u64,
+    swept_objects: u64,
+    /// Slab indices to free, ascending within this worker's chunk.
+    sweep_list: Vec<u32>,
+    collection: AdtTotals,
+    per_context: Vec<AdtTotals>,
+    type_dist: Vec<(u64, u64)>,
+}
+
+/// Scans one slab chunk: live/type accounting, semantic ADT accounting for
+/// top-level collections, and garbage identification. Read-only over the
+/// whole heap (semantic walks may chase references outside the chunk); the
+/// sweep itself is applied by the caller after every worker has finished.
+fn scan_chunk(
+    inner: &HeapInner,
+    marks: &[AtomicU32],
+    epoch: u32,
+    range: Range<usize>,
+    n_classes: usize,
+    n_contexts: usize,
+) -> ScanAcc {
+    let mut acc = ScanAcc {
+        live_bytes: 0,
+        live_objects: 0,
+        swept_bytes: 0,
+        swept_objects: 0,
+        sweep_list: Vec::new(),
+        collection: AdtTotals::default(),
+        per_context: vec![AdtTotals::default(); n_contexts],
+        type_dist: vec![(0, 0); n_classes],
+    };
+    for i in range {
+        let Some(o) = inner.slab[i].as_ref() else {
+            continue;
+        };
+        if marks[i].load(Ordering::Relaxed) != epoch {
+            acc.swept_bytes += u64::from(o.size);
+            acc.swept_objects += 1;
+            acc.sweep_list.push(i as u32);
+            continue;
+        }
+        acc.live_bytes += u64::from(o.size);
+        acc.live_objects += 1;
+        let slot = &mut acc.type_dist[o.class.0 as usize];
+        slot.0 += u64::from(o.size);
+        slot.1 += 1;
+        let Some(map) = inner.classes.info(o.class).semantic_map else {
+            continue;
+        };
+        if !map.top_level {
+            continue;
+        }
+        let mut totals = adt_stats(inner, o, map);
+        totals.count = 1;
+        acc.collection.add(totals);
+        if let Some(ctx) = o.ctx {
+            acc.per_context[ctx.0 as usize].add(totals);
+        }
+    }
+    acc
+}
+
+/// Marks reachable objects by stamping `epoch` into the shared mark array.
+fn mark(inner: &HeapInner, marks: &[AtomicU32], epoch: u32) {
     let roots: Vec<ObjId> = inner.roots.keys().copied().collect();
     let threads = inner.gc_config.threads.max(1);
     if threads == 1 || roots.len() < 2 {
         let mut stack: Vec<u32> = Vec::new();
         for r in roots {
-            trace_from(inner, &marks, r, &mut stack);
+            trace_from(inner, marks, epoch, r, &mut stack);
         }
     } else {
         let chunk = roots.len().div_ceil(threads);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for part in roots.chunks(chunk) {
-                let marks = &marks;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut stack: Vec<u32> = Vec::new();
                     for r in part {
-                        trace_from(inner, marks, *r, &mut stack);
+                        trace_from(inner, marks, epoch, *r, &mut stack);
                     }
                 });
             }
-        })
-        .expect("marking thread panicked");
+        });
     }
-    marks
 }
 
-fn trace_from(inner: &HeapInner, marks: &[AtomicBool], root: ObjId, stack: &mut Vec<u32>) {
-    if !claim(inner, marks, root) {
+fn trace_from(
+    inner: &HeapInner,
+    marks: &[AtomicU32],
+    epoch: u32,
+    root: ObjId,
+    stack: &mut Vec<u32>,
+) {
+    if !claim(inner, marks, epoch, root) {
         return;
     }
     stack.push(root.index);
@@ -139,16 +266,16 @@ fn trace_from(inner: &HeapInner, marks: &[AtomicBool], root: ObjId, stack: &mut 
             continue;
         };
         for child in o.refs_iter() {
-            if claim(inner, marks, child) {
+            if claim(inner, marks, epoch, child) {
                 stack.push(child.index);
             }
         }
     }
 }
 
-/// Atomically claims the mark bit; returns true if this caller marked it.
+/// Atomically claims the mark stamp; returns true if this caller marked it.
 /// Stale ids (swept or reused slots) are ignored rather than traced.
-fn claim(inner: &HeapInner, marks: &[AtomicBool], obj: ObjId) -> bool {
+fn claim(inner: &HeapInner, marks: &[AtomicU32], epoch: u32, obj: ObjId) -> bool {
     let Some(slot) = inner.slab.get(obj.index as usize) else {
         return false;
     };
@@ -156,7 +283,7 @@ fn claim(inner: &HeapInner, marks: &[AtomicBool], obj: ObjId) -> bool {
     if o.generation != obj.generation {
         return false;
     }
-    !marks[obj.index as usize].swap(true, Ordering::Relaxed)
+    marks[obj.index as usize].swap(epoch, Ordering::Relaxed) != epoch
 }
 
 /// Computes live/used/core for one collection object according to its
@@ -220,7 +347,10 @@ pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> Ad
             let mut slack = 0u64;
             if let Some(arr) = scalar_ref(obj, array_field).and_then(|a| resolve_opt(inner, a)) {
                 live += u64::from(arr.size);
-                if let ObjBody::Array { slots, capacity, .. } = &arr.body {
+                if let ObjBody::Array {
+                    slots, capacity, ..
+                } = &arr.body
+                {
                     let used_buckets = obj.meta.get(1).copied().unwrap_or(0).max(0) as u32;
                     slack = u64::from((capacity.saturating_sub(used_buckets)) * model.ref_bytes);
                     // Walk every bucket chain; entries link through ref field 0.
@@ -233,7 +363,9 @@ pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> Ad
                                 break;
                             }
                             steps += 1;
-                            let Some(entry) = resolve_opt(inner, id) else { break };
+                            let Some(entry) = resolve_opt(inner, id) else {
+                                break;
+                            };
                             live += u64::from(entry.size);
                             cur = scalar_ref(entry, 0);
                         }
@@ -259,7 +391,9 @@ pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> Ad
                         break;
                     }
                     steps += 1;
-                    let Some(entry) = resolve_opt(inner, id) else { break };
+                    let Some(entry) = resolve_opt(inner, id) else {
+                        break;
+                    };
                     live += u64::from(entry.size);
                     cur = scalar_ref(entry, 0).filter(|next| *next != head);
                 }
@@ -356,15 +490,20 @@ mod tests {
         let stats = heap.gc();
         let m = heap.model();
         let fixed = u64::from(m.object_size(1, 0)) + u64::from(m.object_size(1, 8));
-        assert_eq!(stats.collection.used, fixed + u64::from(m.ref_array_size(10)) - 40);
+        assert_eq!(
+            stats.collection.used,
+            fixed + u64::from(m.ref_array_size(10)) - 40
+        );
         assert_eq!(stats.collection.core, u64::from(m.core_size(0)));
     }
 
     #[test]
     fn chained_hash_accounting() {
         let heap = Heap::new();
-        let wrapper_class =
-            heap.register_class("MapWrapper", Some(SemanticMap::wrapper(CollectionKind::Map)));
+        let wrapper_class = heap.register_class(
+            "MapWrapper",
+            Some(SemanticMap::wrapper(CollectionKind::Map)),
+        );
         let impl_class = heap.register_class(
             "HashMapImpl",
             Some(SemanticMap::backing(
@@ -474,9 +613,23 @@ mod tests {
         };
         let seq = build(1);
         let par = build(4);
-        assert_eq!(seq.live_objects, par.live_objects);
-        assert_eq!(seq.live_bytes, par.live_bytes);
-        assert_eq!(seq.swept_objects, par.swept_objects);
+        // Full byte-for-byte equivalence, not just live/swept counts.
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn epoch_marks_survive_many_cycles() {
+        let heap = Heap::new();
+        let class = heap.register_class("Node", None);
+        let keep = heap.alloc_scalar(class, 0, 8, None);
+        heap.add_root(keep);
+        for _ in 0..50 {
+            let _garbage = heap.alloc_scalar(class, 0, 8, None);
+            let stats = heap.gc();
+            assert_eq!(stats.live_objects, 1);
+            assert_eq!(stats.swept_objects, 1);
+        }
+        assert!(heap.is_live(keep));
     }
 
     #[test]
@@ -489,7 +642,11 @@ mod tests {
         heap.add_root(o1);
         heap.add_root(o2);
         let stats = heap.gc();
-        let sum: u64 = stats.type_distribution.iter().map(|(_, bytes, _)| bytes).sum();
+        let sum: u64 = stats
+            .type_distribution
+            .iter()
+            .map(|(_, bytes, _)| bytes)
+            .sum();
         assert_eq!(sum, stats.live_bytes);
         assert_eq!(stats.type_distribution.len(), 2);
     }

@@ -8,7 +8,7 @@
 //! J9-instrumented GC did.
 
 use crate::clock::SimClock;
-use crate::context::{ContextId, ContextTable};
+use crate::context::{ContextId, ContextTable, FrameId};
 use crate::gc;
 use crate::layout::MemoryModel;
 use crate::object::{ClassId, ElemKind, ObjBody, ObjId, Object, ObjectView};
@@ -17,6 +17,7 @@ use crate::stats::CycleStats;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::AtomicU32;
 use std::sync::Arc;
 
 /// Panic payload used for the simulated `OutOfMemoryError`.
@@ -100,6 +101,11 @@ pub(crate) struct HeapInner {
     pub(crate) total_allocated_bytes: u64,
     pub(crate) total_allocated_objects: u64,
     pub(crate) gc_count: u64,
+    /// Reusable epoch-stamped mark array (slot i is marked iff
+    /// `marks[i] == mark_epoch`); lives here so collection cycles neither
+    /// allocate nor clear marks.
+    pub(crate) marks: Vec<AtomicU32>,
+    pub(crate) mark_epoch: u32,
 }
 
 /// Shared handle to a simulated heap.
@@ -169,6 +175,8 @@ impl Heap {
                 total_allocated_bytes: 0,
                 total_allocated_objects: 0,
                 gc_count: 0,
+                marks: Vec::new(),
+                mark_epoch: 0,
             })),
         }
     }
@@ -222,6 +230,46 @@ impl Heap {
         inner.contexts.intern(src_type, &ids, depth)
     }
 
+    /// Interns a single stack frame into this heap's context table.
+    ///
+    /// The hit path is a borrowed lookup: no allocation once the frame is
+    /// warm. [`CallStackSim::for_heap`](crate::context::CallStackSim::for_heap)
+    /// stacks use this so their frame ids are directly valid for
+    /// [`Heap::intern_context_ids`].
+    pub fn intern_frame(&self, name: &str) -> FrameId {
+        self.inner.lock().contexts.intern_frame(name)
+    }
+
+    /// Resolves a frame id previously returned by [`Heap::intern_frame`].
+    pub fn frame_name(&self, frame: FrameId) -> String {
+        self.inner.lock().contexts.frame_name(frame).to_owned()
+    }
+
+    /// Interns an allocation context from already-interned frame ids
+    /// (innermost first, truncated to `depth`).
+    ///
+    /// This is the hot capture path: one lock, a borrowed-key probe, and
+    /// zero allocations when the context is already known.
+    pub fn intern_context_ids(
+        &self,
+        src_type: &str,
+        frames: &[FrameId],
+        depth: usize,
+    ) -> ContextId {
+        self.inner.lock().contexts.intern(src_type, frames, depth)
+    }
+
+    /// `(frame_misses, context_misses)` of the context table: how many
+    /// intern calls actually allocated. Warm capture paths leave both
+    /// counters unchanged, which tests assert on.
+    pub fn context_intern_misses(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (
+            inner.contexts.frame_misses(),
+            inner.contexts.context_misses(),
+        )
+    }
+
     /// Formats a context in the paper's `Type:frame;frame` style.
     pub fn format_context(&self, ctx: ContextId) -> String {
         self.inner.lock().contexts.format(ctx)
@@ -271,7 +319,7 @@ impl Heap {
     ) -> ObjId {
         let mut inner = self.inner.lock();
         let size = inner.model.object_size(ref_fields, prim_bytes);
-        inner.ensure_room(size);
+        inner.ensure_room(u64::from(size));
         let body = ObjBody::Scalar {
             refs: vec![None; ref_fields as usize].into(),
             prim_bytes,
@@ -298,7 +346,7 @@ impl Heap {
             ElemKind::Prim { bytes_per_elem } => bytes_per_elem,
         };
         let size = inner.model.array_size(elem_bytes, capacity);
-        inner.ensure_room(size);
+        inner.ensure_room(u64::from(size));
         let slots = match elem {
             ElemKind::Ref => vec![None; capacity as usize].into(),
             ElemKind::Prim { .. } => Vec::new().into(),
@@ -309,6 +357,86 @@ impl Heap {
             capacity,
         };
         inner.insert(class, size, ctx, body)
+    }
+
+    /// Allocates `N` objects, wires `links` between them and registers
+    /// `roots`, all under a single heap lock and a single capacity check.
+    ///
+    /// Collection constructors allocate a wrapper, an implementation object
+    /// and often a backing array together; doing that through three
+    /// `alloc_*` calls takes the lock three times and — worse — can run a
+    /// capacity-pressure GC between the allocations, sweeping the fresh,
+    /// not-yet-linked objects. `alloc_batch` reserves room for the whole
+    /// group up front, so a mid-batch GC is impossible.
+    ///
+    /// `links` entries are `(src, field, dst)` indices into the request
+    /// array: object `src` gets its reference field (or array slot) `field`
+    /// pointed at object `dst`. `roots` lists request indices to register as
+    /// GC roots.
+    ///
+    /// # Panics
+    ///
+    /// Panics with an [`OutOfMemory`] payload if the heap is capped and the
+    /// combined batch does not fit even after a GC.
+    pub fn alloc_batch<const N: usize>(
+        &self,
+        reqs: [BatchAlloc; N],
+        links: &[(usize, usize, usize)],
+        roots: &[usize],
+    ) -> [ObjId; N] {
+        let mut inner = self.inner.lock();
+        let model = inner.model;
+        let sizes = reqs.map(|r| r.size(&model));
+        inner.ensure_room(sizes.iter().map(|s| u64::from(*s)).sum());
+        let mut ids = [ObjId {
+            index: 0,
+            generation: 0,
+        }; N];
+        for (i, req) in reqs.into_iter().enumerate() {
+            let (class, ctx, body) = match req {
+                BatchAlloc::Scalar {
+                    class,
+                    ref_fields,
+                    prim_bytes,
+                    ctx,
+                } => (
+                    class,
+                    ctx,
+                    ObjBody::Scalar {
+                        refs: vec![None; ref_fields as usize].into(),
+                        prim_bytes,
+                    },
+                ),
+                BatchAlloc::Array {
+                    class,
+                    elem,
+                    capacity,
+                    ctx,
+                } => (
+                    class,
+                    ctx,
+                    ObjBody::Array {
+                        elem,
+                        slots: match elem {
+                            ElemKind::Ref => vec![None; capacity as usize].into(),
+                            ElemKind::Prim { .. } => Vec::new().into(),
+                        },
+                        capacity,
+                    },
+                ),
+            };
+            ids[i] = inner.insert(class, sizes[i], ctx, body);
+        }
+        for &(src, field, dst) in links {
+            match &mut inner.resolve_mut(ids[src]).body {
+                ObjBody::Scalar { refs, .. } => refs[field] = Some(ids[dst]),
+                ObjBody::Array { slots, .. } => slots[field] = Some(ids[dst]),
+            }
+        }
+        for &root in roots {
+            *inner.roots.entry(ids[root]).or_insert(0) += 1;
+        }
+        ids
     }
 
     // ----- object access --------------------------------------------------------
@@ -473,26 +601,71 @@ impl Heap {
         let inner = self.inner.lock();
         inner.slab.len() - inner.free.len()
     }
+}
 
+/// One allocation request inside a [`Heap::alloc_batch`] call.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchAlloc {
+    /// A scalar object (see [`Heap::alloc_scalar`]).
+    Scalar {
+        /// Class to allocate as.
+        class: ClassId,
+        /// Number of reference fields (initially null).
+        ref_fields: u32,
+        /// Bytes of primitive payload.
+        prim_bytes: u32,
+        /// Allocation context to record, if any.
+        ctx: Option<ContextId>,
+    },
+    /// An array object (see [`Heap::alloc_array`]).
+    Array {
+        /// Class to allocate as.
+        class: ClassId,
+        /// Element kind.
+        elem: ElemKind,
+        /// Capacity in elements.
+        capacity: u32,
+        /// Allocation context to record, if any.
+        ctx: Option<ContextId>,
+    },
+}
+
+impl BatchAlloc {
+    fn size(&self, model: &MemoryModel) -> u32 {
+        match *self {
+            BatchAlloc::Scalar {
+                ref_fields,
+                prim_bytes,
+                ..
+            } => model.object_size(ref_fields, prim_bytes),
+            BatchAlloc::Array { elem, capacity, .. } => {
+                let elem_bytes = match elem {
+                    ElemKind::Ref => model.ref_bytes,
+                    ElemKind::Prim { bytes_per_elem } => bytes_per_elem,
+                };
+                model.array_size(elem_bytes, capacity)
+            }
+        }
+    }
 }
 
 impl HeapInner {
-    fn ensure_room(&mut self, size: u32) {
+    fn ensure_room(&mut self, size: u64) {
         if let Some(interval) = self.gc_interval_bytes {
-            if self.bytes_since_gc + u64::from(size) > interval {
+            if self.bytes_since_gc + size > interval {
                 gc::collect(self);
                 self.bytes_since_gc = 0;
             }
         }
         let Some(cap) = self.capacity else { return };
-        if self.heap_bytes + u64::from(size) <= cap {
+        if self.heap_bytes + size <= cap {
             return;
         }
         gc::collect(self);
         self.bytes_since_gc = 0;
-        if self.heap_bytes + u64::from(size) > cap {
+        if self.heap_bytes + size > cap {
             std::panic::panic_any(OutOfMemory {
-                requested: u64::from(size),
+                requested: size,
                 capacity: cap,
                 live_after_gc: self.heap_bytes,
             });
@@ -690,11 +863,7 @@ mod tests {
     #[test]
     fn context_frames_are_portable() {
         let heap = Heap::new();
-        let ctx = heap.intern_context(
-            "HashMap",
-            &["F.m:31".to_owned(), "G.n:50".to_owned()],
-            2,
-        );
+        let ctx = heap.intern_context("HashMap", &["F.m:31".to_owned(), "G.n:50".to_owned()], 2);
         let frames = heap.context_frames(ctx);
         let heap2 = Heap::new();
         let ctx2 = heap2.intern_context("HashMap", &frames, 2);

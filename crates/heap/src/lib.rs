@@ -60,7 +60,7 @@ pub mod stats;
 
 pub use clock::SimClock;
 pub use context::{CallStackSim, ContextId, ContextTable, FrameId};
-pub use heap::{GcConfig, Heap, HeapConfig, OutOfMemory};
+pub use heap::{BatchAlloc, GcConfig, Heap, HeapConfig, OutOfMemory};
 pub use layout::MemoryModel;
 pub use object::{ClassId, ElemKind, ObjId, ObjectView};
 pub use semantic::{AdtDescriptor, CollectionKind, SemanticMap};

@@ -112,8 +112,14 @@ mod tests {
 
     #[test]
     fn obj_id_equality_includes_generation() {
-        let a = ObjId { index: 3, generation: 1 };
-        let b = ObjId { index: 3, generation: 2 };
+        let a = ObjId {
+            index: 3,
+            generation: 1,
+        };
+        let b = ObjId {
+            index: 3,
+            generation: 2,
+        };
         assert_ne!(a, b);
         assert_eq!(a.index(), b.index());
     }
@@ -126,7 +132,15 @@ mod tests {
             size: 16,
             ctx: None,
             body: ObjBody::Scalar {
-                refs: vec![None, Some(ObjId { index: 7, generation: 0 }), None].into(),
+                refs: vec![
+                    None,
+                    Some(ObjId {
+                        index: 7,
+                        generation: 0,
+                    }),
+                    None,
+                ]
+                .into(),
                 prim_bytes: 0,
             },
             meta: Vec::new(),

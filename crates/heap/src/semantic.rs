@@ -205,7 +205,10 @@ mod tests {
     fn registry_is_idempotent_by_name() {
         let mut r = ClassRegistry::new();
         let a = r.register("ArrayList", None);
-        let b = r.register("ArrayList", Some(SemanticMap::wrapper(CollectionKind::List)));
+        let b = r.register(
+            "ArrayList",
+            Some(SemanticMap::wrapper(CollectionKind::List)),
+        );
         assert_eq!(a, b);
         // Original (None) registration wins.
         assert!(r.info(a).semantic_map.is_none());

@@ -37,7 +37,10 @@ impl AdtTotals {
 }
 
 /// Statistics of one GC cycle — the per-cycle rows of the paper's Table 3.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field; the GC equivalence tests use it to
+/// assert that parallel and sequential cycles produce byte-identical stats.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CycleStats {
     /// Cycle ordinal (1-based).
     pub cycle: u64,
@@ -231,7 +234,11 @@ mod tests {
             core: 0,
             count: 1,
         };
-        let c1 = cycle(0, AdtTotals::default(), vec![(ctx_a, t(50, 20)), (ctx_b, t(10, 10))]);
+        let c1 = cycle(
+            0,
+            AdtTotals::default(),
+            vec![(ctx_a, t(50, 20)), (ctx_b, t(10, 10))],
+        );
         let c2 = cycle(0, AdtTotals::default(), vec![(ctx_a, t(30, 25))]);
         let per = aggregate_contexts(&[c1, c2]);
         assert_eq!(per[&ctx_a].total.live, 80);

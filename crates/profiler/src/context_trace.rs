@@ -124,7 +124,11 @@ impl ContextTrace {
 
     /// Standard deviation of the per-instance maximal size.
     pub fn max_size_std(&self) -> f64 {
-        std_dev(self.instances, self.max_size_sum as f64, self.max_size_sumsq)
+        std_dev(
+            self.instances,
+            self.max_size_sum as f64,
+            self.max_size_sumsq,
+        )
     }
 
     /// Average size at death.

@@ -487,6 +487,9 @@ mod tests {
             message: None,
             span: Span::default(),
         };
-        assert_eq!(r.to_string(), "HashMap : (maxSize < 16) -> ArrayMap(maxSize)");
+        assert_eq!(
+            r.to_string(),
+            "HashMap : (maxSize < 16) -> ArrayMap(maxSize)"
+        );
     }
 }

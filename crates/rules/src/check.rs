@@ -197,7 +197,9 @@ mod tests {
         let src = "HashMap : maxSize > 0 -> TreeMap";
         let r = parse_rule(src).expect("parses");
         let err = validate(&r, &params(&[]), src).expect_err("rejects");
-        assert!(err.message.contains("unknown target implementation `TreeMap`"));
+        assert!(err
+            .message
+            .contains("unknown target implementation `TreeMap`"));
     }
 
     #[test]

@@ -68,8 +68,7 @@ impl RuleEngine {
     /// Engine preloaded with the Table 2 built-in rules.
     pub fn builtin() -> Self {
         let mut e = RuleEngine::new();
-        e.add_rules(BUILTIN_RULES)
-            .expect("builtin rules are valid");
+        e.add_rules(BUILTIN_RULES).expect("builtin rules are valid");
         e
     }
 

@@ -172,7 +172,11 @@ mod tests {
     use crate::token::TokenKind as K;
 
     fn kinds(src: &str) -> Vec<K> {
-        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -187,9 +187,7 @@ impl<'a> Parser<'a> {
     fn capacity(&mut self) -> Result<CapacityExpr, RuleError> {
         let t = self.bump();
         match t.kind {
-            TokenKind::Number(n) if n >= 0.0 && n.fract() == 0.0 => {
-                Ok(CapacityExpr::Int(n as u32))
-            }
+            TokenKind::Number(n) if n >= 0.0 && n.fract() == 0.0 => Ok(CapacityExpr::Int(n as u32)),
             TokenKind::Ident(ref s) if s == "maxSize" => Ok(CapacityExpr::MaxSize),
             other => Err(RuleError::new(
                 format!("expected an integer or `maxSize`, found {other}"),

@@ -327,15 +327,33 @@ mod tests {
         };
         assert!(matches!(
             lazy("ArrayList"),
-            Some(PolicyUpdate::List(_, Selection { choice: ListChoice::LazyArrayList, .. }))
+            Some(PolicyUpdate::List(
+                _,
+                Selection {
+                    choice: ListChoice::LazyArrayList,
+                    ..
+                }
+            ))
         ));
         assert!(matches!(
             lazy("HashSet"),
-            Some(PolicyUpdate::Set(_, Selection { choice: SetChoice::LazySet, .. }))
+            Some(PolicyUpdate::Set(
+                _,
+                Selection {
+                    choice: SetChoice::LazySet,
+                    ..
+                }
+            ))
         ));
         assert!(matches!(
             lazy("HashMap"),
-            Some(PolicyUpdate::Map(_, Selection { choice: MapChoice::LazyMap, .. }))
+            Some(PolicyUpdate::Map(
+                _,
+                Selection {
+                    choice: MapChoice::LazyMap,
+                    ..
+                }
+            ))
         ));
     }
 
@@ -371,7 +389,11 @@ mod tests {
 
     #[test]
     fn advice_and_uncaptured_are_not_applicable() {
-        let s = suggestion("HashMap", Action::Advice("eliminate temporaries".into()), None);
+        let s = suggestion(
+            "HashMap",
+            Action::Advice("eliminate temporaries".into()),
+            None,
+        );
         assert!(s.policy_update().is_none());
         let mut s2 = suggestion(
             "HashMap",
@@ -411,7 +433,13 @@ mod tests {
         );
         assert!(matches!(
             s.policy_update(),
-            Some(PolicyUpdate::Map(_, Selection { choice: MapChoice::SizeAdapting(13), .. }))
+            Some(PolicyUpdate::Map(
+                _,
+                Selection {
+                    choice: MapChoice::SizeAdapting(13),
+                    ..
+                }
+            ))
         ));
     }
 }

@@ -142,8 +142,10 @@ mod tests {
         // The large stable symbol sets are already optimal: no suggestion
         // should replace them with array-backed implementations.
         assert!(
-            !suggestions.iter().any(|s| s.label.contains("SourceFileScope")
-                && (s.rule_text.contains("ArraySet") || s.rule_text.contains("Lazy"))),
+            !suggestions
+                .iter()
+                .any(|s| s.label.contains("SourceFileScope")
+                    && (s.rule_text.contains("ArraySet") || s.rule_text.contains("Lazy"))),
             "{suggestions:#?}"
         );
     }

@@ -168,16 +168,13 @@ mod tests {
         assert!(
             suggestions
                 .iter()
-                .any(|s| s.label.contains("useBoxes.tmp:143")
-                    && s.rule_text.contains("Eliminate")),
+                .any(|s| s.label.contains("useBoxes.tmp:143") && s.rule_text.contains("Eliminate")),
             "copy temporaries: {suggestions:#?}"
         );
         // The aggregation list outgrows its capacity.
         assert!(
-            suggestions
-                .iter()
-                .any(|s| s.label.contains("useBoxes:141")
-                    && matches!(s.action, chameleon_rules::Action::SetInitialCapacity(_))),
+            suggestions.iter().any(|s| s.label.contains("useBoxes:141")
+                && matches!(s.action, chameleon_rules::Action::SetInitialCapacity(_))),
             "capacity tuning: {suggestions:#?}"
         );
     }

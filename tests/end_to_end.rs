@@ -33,7 +33,10 @@ fn full_methodology_improves_synthetic_small_maps() {
 #[test]
 fn every_paper_workload_profiles_and_suggests() {
     let workloads: Vec<Box<dyn Workload>> = vec![
-        Box::new(Tvla { states: 60, rounds: 2 }),
+        Box::new(Tvla {
+            states: 60,
+            rounds: 2,
+        }),
         Box::new(Bloat {
             wave_nodes: 30,
             waves: 2,

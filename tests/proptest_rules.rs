@@ -31,10 +31,7 @@ fn metric() -> impl Strategy<Value = String> {
 }
 
 fn atom() -> impl Strategy<Value = String> {
-    prop_oneof![
-        metric(),
-        (0u32..1000).prop_map(|n| n.to_string()),
-    ]
+    prop_oneof![metric(), (0u32..1000).prop_map(|n| n.to_string()),]
 }
 
 fn arith() -> impl Strategy<Value = String> {
@@ -45,7 +42,14 @@ fn arith() -> impl Strategy<Value = String> {
 fn comparison() -> impl Strategy<Value = String> {
     (
         prop_oneof![atom(), arith()],
-        prop_oneof![Just("=="), Just("!="), Just("<"), Just("<="), Just(">"), Just(">=")],
+        prop_oneof![
+            Just("=="),
+            Just("!="),
+            Just("<"),
+            Just("<="),
+            Just(">"),
+            Just(">=")
+        ],
         atom(),
     )
         .prop_map(|(l, op, r)| format!("{l} {op} {r}"))
@@ -54,7 +58,11 @@ fn comparison() -> impl Strategy<Value = String> {
 fn condition() -> impl Strategy<Value = String> {
     prop_oneof![
         comparison(),
-        (comparison(), prop_oneof![Just("&&"), Just("||")], comparison())
+        (
+            comparison(),
+            prop_oneof![Just("&&"), Just("||")],
+            comparison()
+        )
             .prop_map(|(a, op, b)| format!("{a} {op} {b}")),
         comparison().prop_map(|c| format!("!({c})")),
     ]
