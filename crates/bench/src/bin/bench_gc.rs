@@ -8,6 +8,7 @@ use chameleon_collections::factory::CollectionFactory;
 use chameleon_collections::Runtime;
 use chameleon_heap::semantic::{AdtDescriptor, CollectionKind, SemanticMap};
 use chameleon_heap::{ElemKind, GcConfig, Heap, HeapConfig};
+use chameleon_telemetry::Telemetry;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -130,6 +131,41 @@ fn main() {
         );
     }
     json.push_str("\n  ],\n");
+
+    // Telemetry overhead: the identical GC workload with the telemetry
+    // layer enabled vs. absent. Cycles are interleaved (off, on, off, on,
+    // ...) so load drift hits both sides equally, and the comparison uses
+    // per-side minima, which are far less noise-sensitive than medians.
+    const OVERHEAD_CYCLES: usize = 15;
+    let plain_heap = populate(1);
+    let telemetry = Telemetry::new();
+    let traced_heap = populate(1);
+    traced_heap.attach_telemetry(&telemetry);
+    plain_heap.gc(); // settle: sweep construction garbage once
+    traced_heap.gc();
+    let mut off_us = Vec::with_capacity(OVERHEAD_CYCLES);
+    let mut on_us = Vec::with_capacity(OVERHEAD_CYCLES);
+    for _ in 0..OVERHEAD_CYCLES {
+        let t0 = Instant::now();
+        black_box(plain_heap.gc().live_objects);
+        off_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        let t0 = Instant::now();
+        black_box(traced_heap.gc().live_objects);
+        on_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let min_off = off_us.iter().copied().fold(f64::INFINITY, f64::min);
+    let min_on = on_us.iter().copied().fold(f64::INFINITY, f64::min);
+    let overhead_pct = 100.0 * (min_on - min_off) / min_off;
+    println!(
+        "telemetry_overhead: off {min_off:.1} us, on {min_on:.1} us ({overhead_pct:+.2}%, \
+         {} event(s))",
+        telemetry.event_count()
+    );
+    let _ = writeln!(
+        json,
+        "  \"telemetry_overhead\": {{\"min_off_us\": {min_off:.2}, \"min_on_us\": {min_on:.2}, \"overhead_pct\": {overhead_pct:.2}, \"cycles\": {OVERHEAD_CYCLES}, \"events\": {}}},",
+        telemetry.event_count()
+    );
 
     // Warm context capture: ns/op and intern misses over the timed loop.
     let f = CollectionFactory::new(Runtime::new(Heap::new()));

@@ -15,13 +15,26 @@ pub struct Invocation {
 }
 
 /// Option keys that take no value.
-const FLAGS: &[&str] = &["help", "manual-lazy", "throwable"];
+const FLAGS: &[&str] = &["help", "manual-lazy", "throwable", "telemetry"];
+
+/// Option keys that take a value. Anything not listed here or in [`FLAGS`]
+/// is rejected: a mistyped `--option` would otherwise silently swallow the
+/// next positional as its "value".
+const VALUE_OPTIONS: &[&str] = &[
+    "depth",
+    "sample",
+    "top",
+    "eval-every",
+    "shutoff-below",
+    "trace-out",
+];
 
 /// Parses raw arguments (without the binary name).
 ///
 /// # Errors
 ///
-/// Returns a message when a value-taking option has no value.
+/// Returns a message when an option key is unknown (listing the valid
+/// ones) or when a value-taking option has no value.
 pub fn parse(args: &[String]) -> Result<Invocation, String> {
     let mut inv = Invocation::default();
     let mut i = 0;
@@ -31,12 +44,17 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
         if let Some(key) = a.strip_prefix("--") {
             if FLAGS.contains(&key) {
                 inv.options.insert(key.to_owned(), "true".to_owned());
-            } else {
+            } else if VALUE_OPTIONS.contains(&key) {
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| format!("option --{key} requires a value"))?;
                 inv.options.insert(key.to_owned(), value.clone());
                 i += 1;
+            } else {
+                return Err(format!(
+                    "unknown option --{key}; valid options: {}",
+                    valid_options().join(", ")
+                ));
             }
         } else if !seen_positional && inv.command.len() < 2 && is_command_word(a) {
             inv.command.push(a.clone());
@@ -49,10 +67,27 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
     Ok(inv)
 }
 
+/// All recognised option keys, `--`-prefixed, flags first.
+fn valid_options() -> Vec<String> {
+    FLAGS
+        .iter()
+        .chain(VALUE_OPTIONS)
+        .map(|k| format!("--{k}"))
+        .collect()
+}
+
 fn is_command_word(a: &str) -> bool {
     matches!(
         a,
-        "profile" | "optimize" | "online" | "rules" | "check" | "eval" | "list-workloads" | "help"
+        "profile"
+            | "optimize"
+            | "online"
+            | "trace"
+            | "rules"
+            | "check"
+            | "eval"
+            | "list-workloads"
+            | "help"
     )
 }
 
@@ -106,6 +141,29 @@ mod tests {
         assert_eq!(inv.num("sample", 1).unwrap(), 1);
         assert!(inv.flag("throwable"));
         assert!(!inv.flag("manual-lazy"));
+    }
+
+    #[test]
+    fn unknown_option_is_rejected_with_the_valid_list() {
+        // `--dept 3` used to swallow `3` as its value and keep going; a
+        // typo must fail loudly instead.
+        let args: Vec<String> = ["profile", "tvla", "--dept", "3"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let err = parse(&args).expect_err("typo rejected");
+        assert!(err.contains("unknown option --dept"), "{err}");
+        assert!(err.contains("--depth"), "should list valid keys: {err}");
+        assert!(err.contains("--telemetry"), "{err}");
+    }
+
+    #[test]
+    fn trace_command_and_telemetry_options() {
+        let inv = p("trace synthetic --telemetry --trace-out out.jsonl");
+        assert_eq!(inv.command, vec!["trace"]);
+        assert_eq!(inv.positional, vec!["synthetic"]);
+        assert!(inv.flag("telemetry"));
+        assert_eq!(inv.options["trace-out"], "out.jsonl");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! chameleon profile <workload> [--depth N] [--sample N] [--top K] [--throwable]
 //! chameleon optimize <workload> [--top K] [--manual-lazy]
 //! chameleon online <workload> [--eval-every N]
+//! chameleon trace <workload> [--telemetry] [--trace-out FILE]
 //! chameleon rules check <file.rules>
 //! chameleon rules eval <file.rules> <workload>
 //! ```
@@ -15,6 +16,7 @@ use args::Invocation;
 use chameleon_collections::factory::{CaptureConfig, CaptureMethod};
 use chameleon_core::{run_online, Chameleon, EnvConfig, OnlineConfig, Workload};
 use chameleon_rules::{parse_rules, RuleEngine};
+use chameleon_telemetry::Telemetry;
 use chameleon_workloads::{Bloat, Findbugs, Fop, Pmd, Soot, Synthetic, Tvla};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -27,6 +29,7 @@ USAGE:
   chameleon profile  <workload> [--depth N] [--sample N] [--top K] [--throwable]
   chameleon optimize <workload> [--top K] [--manual-lazy]
   chameleon online   <workload> [--eval-every N]
+  chameleon trace    <workload> [--telemetry] [--trace-out FILE]
   chameleon rules check <file.rules>
   chameleon rules eval  <file.rules> <workload>
 
@@ -42,6 +45,10 @@ OPTIONS:
   --shutoff-below B  online mode: stop capturing contexts for types whose
                   observed potential is below B bytes (§4.2)
   --manual-lazy   bloat only: include the paper's manual lazy-allocation fix
+  --telemetry     enable the telemetry layer (metrics + JSONL events);
+                  always on for `trace`, opt-in for `profile`
+  --trace-out FILE  write the JSONL event/metric log to FILE
+                  (default: stdout after the report)
 ";
 
 fn workload(name: &str) -> Option<Box<dyn Workload>> {
@@ -100,6 +107,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         ["profile"] => cmd_profile(&inv),
         ["optimize"] => cmd_optimize(&inv),
         ["online"] => cmd_online(&inv),
+        ["trace"] => cmd_trace(&inv),
         ["rules", "check"] => cmd_rules_check(&inv),
         ["rules", "eval"] => cmd_rules_eval(&inv),
         _ => Err(format!("unknown command; try --help\n\n{USAGE}")),
@@ -117,7 +125,11 @@ fn required_workload(inv: &Invocation, pos: usize) -> Result<Box<dyn Workload>, 
 fn cmd_profile(inv: &Invocation) -> Result<(), String> {
     let w = required_workload(inv, 0)?;
     let top = inv.num("top", 10)? as usize;
-    let chameleon = Chameleon::new().with_profile_config(env_from(inv)?);
+    let mut chameleon = Chameleon::new().with_profile_config(env_from(inv)?);
+    let telemetry = inv.flag("telemetry").then(Telemetry::new);
+    if let Some(t) = &telemetry {
+        chameleon = chameleon.with_telemetry(t.clone());
+    }
     let report = chameleon.profile(w.as_ref());
     println!(
         "{} — {} context(s), peak live {} B",
@@ -127,10 +139,77 @@ fn cmd_profile(inv: &Invocation) -> Result<(), String> {
     );
     print!("{}", report.format_top_contexts(top));
     println!("\nsuggestions:");
-    for s in chameleon.engine().evaluate(&report).iter().take(top) {
+    let suggestions = chameleon
+        .engine()
+        .evaluate_traced(&report, telemetry.as_ref());
+    for s in suggestions.iter().take(top) {
         println!("  {s}");
     }
+    if let Some(t) = &telemetry {
+        emit_trace_log(inv, t)?;
+    }
     Ok(())
+}
+
+/// `chameleon trace <workload>`: run the workload with telemetry enabled
+/// and print a human-readable observability report; the raw JSONL goes to
+/// `--trace-out FILE` or, without one, to stdout after the report.
+fn cmd_trace(inv: &Invocation) -> Result<(), String> {
+    let w = required_workload(inv, 0)?;
+    let top = inv.num("top", 10)? as usize;
+    let t = Telemetry::new();
+    let chameleon = Chameleon::new()
+        .with_profile_config(env_from(inv)?)
+        .with_telemetry(t.clone());
+    let report = chameleon.profile(w.as_ref());
+    let suggestions = chameleon.engine().evaluate_traced(&report, Some(&t));
+
+    println!("{} — telemetry report", w.name());
+    println!(
+        "  {} event(s), peak live {} B, {} GC cycle(s)",
+        t.event_count(),
+        report.peak_live(),
+        report.series.len()
+    );
+    println!("\nmetrics:");
+    for m in t.metrics_snapshot() {
+        match m.kind {
+            chameleon_telemetry::MetricKind::Histogram => {
+                let mean = if m.value == 0 {
+                    0.0
+                } else {
+                    m.sum as f64 / m.value as f64
+                };
+                println!("  {:<28} count {:>8}  mean {:.1}", m.name, m.value, mean);
+            }
+            _ => println!("  {:<28} {:>8}", m.name, m.value),
+        }
+    }
+    println!("\nsuggestions ({}):", suggestions.len());
+    for s in suggestions.iter().take(top) {
+        println!("  {s}");
+    }
+    emit_trace_log(inv, &t)
+}
+
+/// Writes the JSONL log where the user asked for it.
+fn emit_trace_log(inv: &Invocation, t: &Telemetry) -> Result<(), String> {
+    let log = t.dump_jsonl();
+    match inv.options.get("trace-out") {
+        Some(path) => {
+            std::fs::write(path, &log).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!(
+                "\ntrace written to {path} ({} line(s))",
+                log.lines().count()
+            );
+            Ok(())
+        }
+        None => {
+            println!("\ntrace (JSONL):");
+            print!("{log}");
+            Ok(())
+        }
+    }
 }
 
 fn cmd_optimize(inv: &Invocation) -> Result<(), String> {
@@ -274,6 +353,32 @@ mod tests {
     #[test]
     fn profile_synthetic_runs() {
         run_str("profile synthetic --top 3").expect("ok");
+    }
+
+    #[test]
+    fn trace_writes_valid_jsonl() {
+        let path = std::env::temp_dir().join("chameleon_cli_trace_test.jsonl");
+        run_str(&format!(
+            "trace synthetic --telemetry --trace-out {}",
+            path.display()
+        ))
+        .expect("ok");
+        let log = std::fs::read_to_string(&path).expect("trace file written");
+        let lines =
+            chameleon_telemetry::json::validate_jsonl(&log, &["ev", "t"]).expect("valid JSONL");
+        assert!(lines > 0, "trace must not be empty");
+        assert!(log.contains("\"ev\":\"gc_cycle\""), "{log}");
+        assert!(log.contains("\"ev\":\"rule_decision\""), "{log}");
+        assert!(log.contains("\"ev\":\"workload_begin\""), "{log}");
+        assert!(log.contains("\"ev\":\"metric\""), "{log}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mistyped_option_fails_fast() {
+        let err = run_str("profile synthetic --to 3").expect_err("typo");
+        assert!(err.contains("unknown option --to"), "{err}");
+        assert!(err.contains("--top"), "{err}");
     }
 
     #[test]

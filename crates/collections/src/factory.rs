@@ -260,6 +260,17 @@ impl CollectionFactory {
         self.stack.enter(frame)
     }
 
+    /// Marks a workload phase boundary in the telemetry event stream (a
+    /// `phase` event stamped with the current SimClock reading). A no-op
+    /// without an enabled telemetry handle on the runtime.
+    pub fn phase(&self, name: &str) {
+        if let Some(t) = self.rt.telemetry().filter(|t| t.is_enabled()) {
+            if let Some(mut e) = t.event("phase", self.rt.clock().now()) {
+                e.str("name", name);
+            }
+        }
+    }
+
     /// The simulated call stack (shared across clones).
     pub fn stack(&self) -> &CallStackSim {
         &self.stack
@@ -671,6 +682,57 @@ mod tests {
             let _m = f.new_map::<i64, i64>(None);
         }
         assert_eq!(heap.context_intern_misses(), (frame_misses, ctx_misses));
+    }
+
+    #[test]
+    fn warm_capture_interns_nothing_with_disabled_telemetry() {
+        use chameleon_telemetry::Telemetry;
+        // Attaching a disabled telemetry handle must preserve the
+        // zero-allocation warm capture path: the instrumented sites only
+        // check the enabled flag, nothing else.
+        let f = factory();
+        let t = Telemetry::disabled();
+        f.runtime().attach_telemetry(&t);
+        let heap = f.runtime().heap().clone();
+        let _g = f.enter("Hot.site:7");
+        let _warmup = f.new_map::<i64, i64>(None);
+        let (frame_misses, ctx_misses) = heap.context_intern_misses();
+        for _ in 0..1000 {
+            let _m = f.new_map::<i64, i64>(None);
+        }
+        assert_eq!(heap.context_intern_misses(), (frame_misses, ctx_misses));
+        assert_eq!(t.event_count(), 0, "disabled telemetry stayed silent");
+        f.phase("warm"); // disabled: must not emit
+        assert_eq!(t.event_count(), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_ops_at_death_and_phases() {
+        use chameleon_telemetry::Telemetry;
+        let f = factory();
+        let t = Telemetry::new();
+        f.runtime().attach_telemetry(&t);
+        f.phase("build");
+        let mut m = f.new_map::<i64, i64>(None);
+        for i in 0..5 {
+            m.put(i, i);
+        }
+        let _ = m.get(&3);
+        drop(m); // death folds op counts into telemetry
+        f.phase("done");
+        assert_eq!(t.counter("coll.deaths").get(), 1);
+        assert_eq!(t.counter("coll.ops.add").get(), 5);
+        assert_eq!(t.counter("coll.ops.get(Object)").get(), 1);
+        let op_cost = t.histogram("coll.op_cost_units", &[1, 1024]);
+        assert!(op_cost.count() >= 6, "charge() feeds the cost histogram");
+        assert!(op_cost.sum() > 0);
+        let log = t.drain_events();
+        let phases: Vec<_> = log
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"phase\""))
+            .collect();
+        assert_eq!(phases.len(), 2, "{log}");
+        assert!(phases[0].contains("\"name\":\"build\""));
     }
 
     #[test]

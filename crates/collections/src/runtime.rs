@@ -7,11 +7,46 @@
 //! semantic maps for all collection types at startup (§4.3.2).
 
 use crate::cost::CostModel;
-use crate::ops::OpCounts;
+use crate::ops::{Op, OpCounts};
 use chameleon_heap::semantic::{AdtDescriptor, CollectionKind, SemanticMap};
 use chameleon_heap::{ClassId, ContextId, Heap, SimClock};
+use chameleon_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Histogram bounds for logical collection sizes (`max_size` at death).
+const SIZE_BUCKETS: [u64; 10] = [0, 1, 2, 4, 8, 16, 64, 256, 1024, 16384];
+
+/// Histogram bounds for per-operation cost in SimClock units.
+const OP_COST_BUCKETS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 1024];
+
+/// Pre-resolved telemetry handles for the collection runtime: one counter
+/// per operation kind plus death-count and max-size distributions, all
+/// folded in when an instance dies (the same funnel the profiler uses).
+struct CollTelemetry {
+    t: Telemetry,
+    /// `coll.ops.<metric-name>`, indexed by [`Op::index`].
+    ops: Vec<Counter>,
+    /// `coll.deaths` — instances whose statistics were folded in.
+    deaths: Counter,
+    /// `coll.max_size` — distribution of per-instance peak sizes.
+    max_size: Histogram,
+}
+
+impl CollTelemetry {
+    fn new(t: &Telemetry) -> Self {
+        CollTelemetry {
+            ops: Op::ALL
+                .iter()
+                .map(|op| t.counter(&format!("coll.ops.{}", op.metric_name())))
+                .collect(),
+            deaths: t.counter("coll.deaths"),
+            max_size: t.histogram("coll.max_size", &SIZE_BUCKETS),
+            t: t.clone(),
+        }
+    }
+}
 
 /// Ids of every class the collection library allocates.
 #[derive(Debug, Clone, Copy)]
@@ -161,6 +196,14 @@ struct RuntimeInner {
     cost: CostModel,
     classes: ClassIds,
     sink: Mutex<Option<Arc<dyn StatsSink>>>,
+    telemetry: Mutex<Option<CollTelemetry>>,
+    // Fast-path guard: lets `report_death` skip the telemetry lock
+    // entirely when no handle was ever attached.
+    telemetry_attached: AtomicBool,
+    // Per-op cost histogram, outside the mutex: `charge` runs on every
+    // collection operation, so its telemetry check must be a single
+    // atomic load when detached (OnceLock::get) or disabled.
+    op_cost: OnceLock<(Telemetry, Histogram)>,
 }
 
 /// Shared collection runtime handle.
@@ -208,6 +251,9 @@ impl Runtime {
                 cost,
                 classes,
                 sink: Mutex::new(None),
+                telemetry: Mutex::new(None),
+                telemetry_attached: AtomicBool::new(false),
+                op_cost: OnceLock::new(),
             }),
         }
     }
@@ -232,9 +278,15 @@ impl Runtime {
         &self.inner.classes
     }
 
-    /// Charges `units` to the clock.
+    /// Charges `units` to the clock, recording the per-op cost
+    /// distribution when telemetry is attached and enabled.
     pub fn charge(&self, units: u64) {
         self.inner.clock.charge(units);
+        if let Some((t, h)) = self.inner.op_cost.get() {
+            if t.is_enabled() {
+                h.record(units);
+            }
+        }
     }
 
     /// Installs the death-statistics sink (normally the profiler).
@@ -247,10 +299,50 @@ impl Runtime {
         *self.inner.sink.lock() = None;
     }
 
+    /// Attaches a telemetry handle (also attaching it to the underlying
+    /// heap). Per-op counters are resolved once, here; death reports then
+    /// fold operation counts into them when the handle is enabled. The
+    /// per-op cost histogram binds to the *first* handle ever attached
+    /// (it lives outside the lock so `charge` stays a single atomic load
+    /// when detached).
+    pub fn attach_telemetry(&self, telemetry: &Telemetry) {
+        self.inner.heap.attach_telemetry(telemetry);
+        *self.inner.telemetry.lock() = Some(CollTelemetry::new(telemetry));
+        let _ = self.inner.op_cost.set((
+            telemetry.clone(),
+            telemetry.histogram("coll.op_cost_units", &OP_COST_BUCKETS),
+        ));
+        self.inner.telemetry_attached.store(true, Ordering::Release);
+    }
+
+    /// The attached telemetry handle, if any (cloned; cheap).
+    pub fn telemetry(&self) -> Option<Telemetry> {
+        self.inner.telemetry.lock().as_ref().map(|c| c.t.clone())
+    }
+
     /// Delivers death statistics to the sink, if any.
     pub fn report_death(&self, ctx: Option<ContextId>, stats: &InstanceStats) {
+        if self.inner.telemetry_attached.load(Ordering::Acquire) {
+            self.fold_death_telemetry(stats);
+        }
         if let Some(sink) = self.inner.sink.lock().as_ref() {
             sink.on_death(ctx, stats);
+        }
+    }
+
+    fn fold_death_telemetry(&self, stats: &InstanceStats) {
+        if let Some(tel) = self
+            .inner
+            .telemetry
+            .lock()
+            .as_ref()
+            .filter(|tel| tel.t.is_enabled())
+        {
+            tel.deaths.inc();
+            tel.max_size.record(stats.max_size);
+            for (op, n) in stats.ops.iter_nonzero() {
+                tel.ops[op.index()].add(n);
+            }
         }
     }
 }

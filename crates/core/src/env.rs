@@ -15,6 +15,7 @@ use chameleon_collections::{CostModel, ListChoice, MapChoice, Runtime, SetChoice
 use chameleon_heap::{GcConfig, Heap, HeapConfig};
 use chameleon_profiler::{ProfileReport, Profiler};
 use chameleon_rules::{PolicyUpdate, Suggestion};
+use chameleon_telemetry::Telemetry;
 use std::sync::Arc;
 
 /// Environment construction parameters.
@@ -34,6 +35,9 @@ pub struct EnvConfig {
     pub gc_threads: usize,
     /// Object layout model (the paper's 32-bit JVM by default).
     pub model: chameleon_heap::MemoryModel,
+    /// Telemetry sink to attach to the heap and runtime (None = no
+    /// observability; the hot paths stay branch-only).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for EnvConfig {
@@ -46,6 +50,7 @@ impl Default for EnvConfig {
             profiling: true,
             gc_threads: 1,
             model: chameleon_heap::MemoryModel::jvm32(),
+            telemetry: None,
         }
     }
 }
@@ -140,6 +145,9 @@ impl Env {
             model: config.model,
         });
         let rt = Runtime::with_cost(heap.clone(), config.cost);
+        if let Some(t) = &config.telemetry {
+            rt.attach_telemetry(t);
+        }
         let profiler = config.profiling.then(|| Profiler::install(&rt));
         let factory = CollectionFactory::with_capture(rt.clone(), config.capture.clone());
         Env {
@@ -170,9 +178,31 @@ impl Env {
 
     /// Runs `workload` to completion and performs a final GC so end-of-run
     /// live data is recorded.
+    ///
+    /// When telemetry is attached and enabled, the run is bracketed by
+    /// `workload_begin` / `workload_end` events on the shared `SimClock`;
+    /// the end event carries the run's headline metrics.
     pub fn run(&self, workload: &dyn Workload) {
+        let telemetry = self.rt.telemetry().filter(|t| t.is_enabled());
+        if let Some(t) = &telemetry {
+            if let Some(mut e) = t.event("workload_begin", self.rt.clock().now()) {
+                e.str("name", workload.name());
+            }
+        }
         workload.run(&self.factory);
         self.heap.gc();
+        if let Some(t) = &telemetry {
+            let m = self.metrics();
+            if let Some(mut e) = t.event("workload_end", m.sim_time) {
+                e.str("name", workload.name())
+                    .num("sim_time", m.sim_time)
+                    .num("peak_live_bytes", m.peak_live_bytes)
+                    .num("gc_count", m.gc_count)
+                    .num("allocated_bytes", m.total_allocated_bytes)
+                    .num("allocated_objects", m.total_allocated_objects)
+                    .num("capture_count", m.capture_count);
+            }
+        }
     }
 
     /// Extracts the run's metrics.

@@ -75,8 +75,8 @@ pub fn run_experiment(
     env.run(workload);
     let report = env.report();
 
-    // Step 2: rule evaluation.
-    let suggestions = engine.evaluate(&report);
+    // Step 2: rule evaluation (audited when telemetry is attached).
+    let suggestions = engine.evaluate_traced(&report, profile_config.telemetry.as_ref());
 
     // Step 3: portable policy from the top-k applicable suggestions.
     let applicable: Vec<Suggestion> = suggestions

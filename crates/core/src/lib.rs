@@ -97,6 +97,18 @@ impl Chameleon {
         self
     }
 
+    /// Attaches a telemetry sink: profiling runs emit metrics and JSONL
+    /// events (GC cycles, workload spans, rule-decision audits).
+    pub fn with_telemetry(mut self, telemetry: chameleon_telemetry::Telemetry) -> Self {
+        self.profile_config.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&chameleon_telemetry::Telemetry> {
+        self.profile_config.telemetry.as_ref()
+    }
+
     /// The rule engine in use.
     pub fn engine(&self) -> &RuleEngine {
         &self.engine

@@ -71,4 +71,36 @@ mod tests {
         assert_eq!(Improvement::new(0.0, 10.0).pct(), 0.0);
         assert!(Improvement::new(10.0, 0.0).factor().is_infinite());
     }
+
+    #[test]
+    fn zero_baseline_never_divides() {
+        // A run that allocated nothing must not report NaN/inf percentages.
+        let i = Improvement::new(0.0, 0.0);
+        assert_eq!(i.pct(), 0.0);
+        assert!(i.pct().is_finite());
+        let worse_from_nothing = Improvement::new(0.0, 1.0e9);
+        assert_eq!(worse_from_nothing.pct(), 0.0);
+        assert!(worse_from_nothing.pct().is_finite());
+    }
+
+    #[test]
+    fn negative_deltas_report_regressions() {
+        // after > before = regression = negative percentage, factor < 1.
+        let slower = Improvement::new(50.0, 200.0);
+        assert!((slower.pct() + 300.0).abs() < 1e-9);
+        assert!((slower.factor() - 0.25).abs() < 1e-9);
+        // Sign conventions survive tiny deltas without cancelling to zero.
+        let barely = Improvement::new(100.0, 100.000001);
+        assert!(barely.pct() < 0.0);
+        // And an identical pair is exactly zero, not a rounding artifact.
+        assert_eq!(Improvement::new(42.0, 42.0).pct(), 0.0);
+    }
+
+    #[test]
+    fn improvement_is_symmetric_under_factor_inverse() {
+        let a = Improvement::new(80.0, 20.0);
+        let b = Improvement::new(20.0, 80.0);
+        assert!((a.factor() * b.factor() - 1.0).abs() < 1e-9);
+        assert!(a.pct() > 0.0 && b.pct() < 0.0);
+    }
 }

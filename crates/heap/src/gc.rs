@@ -22,11 +22,16 @@ use crate::heap::HeapInner;
 use crate::object::{ElemKind, ObjBody, ObjId, Object};
 use crate::semantic::{AdtDescriptor, SemanticMap};
 use crate::stats::{AdtTotals, CycleStats};
+use chameleon_telemetry::SpanTimer;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Runs one full collection cycle on the heap.
 pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
+    // Wall-clock phase timing happens only with telemetry enabled; the
+    // simulated results below never depend on it.
+    let timed = inner.telemetry.as_ref().is_some_and(|ht| ht.on());
+
     // Take the reusable mark array out of the heap so workers can share
     // `&HeapInner` while holding an independent borrow of the marks.
     let mut marks = std::mem::take(&mut inner.marks);
@@ -35,9 +40,12 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
         marks.extend((marks.len()..inner.slab.len()).map(|_| AtomicU32::new(0)));
     }
 
+    let mark_timer = timed.then(SpanTimer::start);
     mark(inner, &marks, epoch);
+    let mark_ns = mark_timer.map_or(0, |t| t.elapsed_ns());
 
     // ----- fused live/semantic/sweep scan (sharded) ----------------------------
+    let scan_timer = timed.then(SpanTimer::start);
     let threads = inner.gc_config.threads.max(1);
     let n_classes = inner.classes.len();
     let n_contexts = inner.contexts.len();
@@ -49,6 +57,7 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
             0..inner.slab.len(),
             n_classes,
             n_contexts,
+            timed,
         )]
     } else {
         let chunk = inner.slab.len().div_ceil(threads);
@@ -60,7 +69,9 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
                 .map(|start| {
                     let range = start..(start + chunk).min(shared.slab.len());
                     s.spawn(move || {
-                        scan_chunk(shared, marks_ref, epoch, range, n_classes, n_contexts)
+                        scan_chunk(
+                            shared, marks_ref, epoch, range, n_classes, n_contexts, timed,
+                        )
                     })
                 })
                 .collect();
@@ -70,6 +81,7 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
                 .collect()
         })
     };
+    let scan_ns = scan_timer.map_or(0, |t| t.elapsed_ns());
 
     // ----- merge (order-independent u64 sums; dense ids are pre-sorted) --------
     let mut live_bytes = 0u64;
@@ -98,21 +110,26 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
     // Workers are chunk-ordered and each sweep list is ascending, so the
     // concatenation frees slots in ascending index order — the same free-list
     // order a sequential sweep produces.
+    let sweep_timer = timed.then(SpanTimer::start);
     for acc in &accs {
         for &i in &acc.sweep_list {
             inner.slab[i as usize] = None;
             inner.free.push(i);
         }
     }
+    let sweep_ns = sweep_timer.map_or(0, |t| t.elapsed_ns());
     inner.heap_bytes = inner.heap_bytes.saturating_sub(swept_bytes);
     inner.generation = inner.generation.wrapping_add(1).max(1);
     inner.gc_count += 1;
     inner.marks = marks;
 
     // ----- clock ----------------------------------------------------------------
+    // The pause cost is a pure function of config and live bytes, so it is
+    // recorded in the stats even when no clock is attached to charge it.
+    let cfg = inner.gc_config;
+    let pause_cost_units = cfg.cost_per_cycle + (live_bytes / 1024) * cfg.cost_per_live_kib;
     let at_units = if let Some(clock) = &inner.clock {
-        let cfg = inner.gc_config;
-        clock.charge(cfg.cost_per_cycle + (live_bytes / 1024) * cfg.cost_per_live_kib);
+        clock.charge(pause_cost_units);
         clock.now()
     } else {
         0
@@ -138,10 +155,39 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
         live_objects,
         swept_bytes,
         swept_objects,
+        pause_cost_units,
         collection,
         per_context,
         type_distribution,
     };
+
+    if timed {
+        if let Some(ht) = inner.telemetry.as_ref() {
+            ht.gc_cycles.inc();
+            ht.gc_pause_units.record(pause_cost_units);
+            ht.gc_marked_objects.add(live_objects);
+            ht.gc_swept_objects.add(swept_objects);
+            let shard_ns: Vec<u64> = accs.iter().map(|a| a.elapsed_ns).collect();
+            if let Some(mut e) = ht.t.event("gc_cycle", at_units) {
+                e.num("cycle", stats.cycle)
+                    .num("live_bytes", live_bytes)
+                    .num("live_objects", live_objects)
+                    .num("swept_bytes", swept_bytes)
+                    .num("swept_objects", swept_objects)
+                    .num("pause_units", pause_cost_units)
+                    .num("threads", threads as u64)
+                    .num("mark_ns", mark_ns)
+                    .num("scan_ns", scan_ns)
+                    .num("sweep_ns", sweep_ns)
+                    .nums("shard_scan_ns", &shard_ns)
+                    .num("coll_live", stats.collection.live)
+                    .num("coll_used", stats.collection.used)
+                    .num("coll_core", stats.collection.core)
+                    .num("coll_count", stats.collection.count);
+            }
+        }
+    }
+
     inner.cycles.push(stats.clone());
     stats
 }
@@ -171,12 +217,16 @@ struct ScanAcc {
     collection: AdtTotals,
     per_context: Vec<AdtTotals>,
     type_dist: Vec<(u64, u64)>,
+    /// Wall-clock nanoseconds this worker spent scanning (0 when telemetry
+    /// is off; never feeds into the simulated statistics).
+    elapsed_ns: u64,
 }
 
 /// Scans one slab chunk: live/type accounting, semantic ADT accounting for
 /// top-level collections, and garbage identification. Read-only over the
 /// whole heap (semantic walks may chase references outside the chunk); the
 /// sweep itself is applied by the caller after every worker has finished.
+#[allow(clippy::too_many_arguments)]
 fn scan_chunk(
     inner: &HeapInner,
     marks: &[AtomicU32],
@@ -184,7 +234,9 @@ fn scan_chunk(
     range: Range<usize>,
     n_classes: usize,
     n_contexts: usize,
+    timed: bool,
 ) -> ScanAcc {
+    let timer = timed.then(SpanTimer::start);
     let mut acc = ScanAcc {
         live_bytes: 0,
         live_objects: 0,
@@ -194,6 +246,7 @@ fn scan_chunk(
         collection: AdtTotals::default(),
         per_context: vec![AdtTotals::default(); n_contexts],
         type_dist: vec![(0, 0); n_classes],
+        elapsed_ns: 0,
     };
     for i in range {
         let Some(o) = inner.slab[i].as_ref() else {
@@ -223,6 +276,7 @@ fn scan_chunk(
             acc.per_context[ctx.0 as usize].add(totals);
         }
     }
+    acc.elapsed_ns = timer.map_or(0, |t| t.elapsed_ns());
     acc
 }
 
@@ -660,7 +714,63 @@ mod tests {
         let class = heap.register_class("A", None);
         let o = heap.alloc_scalar(class, 0, 0, None);
         heap.add_root(o);
-        heap.gc();
+        let stats = heap.gc();
         assert!(clock.now() >= GcConfig::default().cost_per_cycle);
+        assert_eq!(
+            stats.pause_cost_units,
+            clock.now(),
+            "one cycle == one charge"
+        );
+    }
+
+    #[test]
+    fn pause_cost_recorded_without_clock() {
+        let heap = Heap::new();
+        let class = heap.register_class("A", None);
+        let o = heap.alloc_scalar(class, 0, 2048, None);
+        heap.add_root(o);
+        let stats = heap.gc();
+        let cfg = GcConfig::default();
+        assert_eq!(
+            stats.pause_cost_units,
+            cfg.cost_per_cycle + (stats.live_bytes / 1024) * cfg.cost_per_live_kib
+        );
+        assert_eq!(stats.at_units, 0, "no clock attached");
+    }
+
+    #[test]
+    fn telemetry_records_gc_cycles_only_when_enabled() {
+        use chameleon_telemetry::{json, Telemetry};
+        let heap = Heap::new();
+        let t = Telemetry::disabled();
+        heap.attach_telemetry(&t);
+        let class = heap.register_class("A", None);
+        let o = heap.alloc_scalar(class, 0, 0, None);
+        heap.add_root(o);
+
+        let disabled_stats = heap.gc();
+        assert_eq!(t.event_count(), 0, "disabled telemetry emits nothing");
+        assert_eq!(t.counter("heap.gc.cycles").get(), 0);
+
+        t.set_enabled(true);
+        let enabled_stats = heap.gc();
+        assert_eq!(
+            disabled_stats.pause_cost_units, enabled_stats.pause_cost_units,
+            "telemetry must not perturb simulated results"
+        );
+        assert_eq!(t.counter("heap.gc.cycles").get(), 1);
+        let log = t.drain_events();
+        json::validate_jsonl(&log, &["ev", "t", "cycle", "pause_units", "shard_scan_ns"])
+            .expect("gc_cycle event is valid JSONL");
+        let ev = json::parse(log.lines().next().unwrap()).unwrap();
+        assert_eq!(ev.get("ev").unwrap().as_str(), Some("gc_cycle"));
+        assert_eq!(
+            ev.get("pause_units").unwrap().as_u64(),
+            Some(enabled_stats.pause_cost_units)
+        );
+        assert_eq!(
+            ev.get("live_objects").unwrap().as_u64(),
+            Some(enabled_stats.live_objects)
+        );
     }
 }

@@ -14,6 +14,8 @@ use crate::layout::MemoryModel;
 use crate::object::{ClassId, ElemKind, ObjBody, ObjId, Object, ObjectView};
 use crate::semantic::{ClassRegistry, SemanticMap};
 use crate::stats::CycleStats;
+use crate::telemetry::HeapTelemetry;
+use chameleon_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -106,6 +108,9 @@ pub(crate) struct HeapInner {
     /// allocate nor clear marks.
     pub(crate) marks: Vec<AtomicU32>,
     pub(crate) mark_epoch: u32,
+    /// Pre-resolved telemetry handles; `None` (the default) keeps every hot
+    /// path exactly as uninstrumented.
+    pub(crate) telemetry: Option<HeapTelemetry>,
 }
 
 /// Shared handle to a simulated heap.
@@ -177,6 +182,7 @@ impl Heap {
                 gc_count: 0,
                 marks: Vec::new(),
                 mark_epoch: 0,
+                telemetry: None,
             })),
         }
     }
@@ -194,6 +200,15 @@ impl Heap {
     /// it.
     pub fn attach_clock(&self, clock: SimClock) {
         self.inner.lock().clock = Some(clock);
+    }
+
+    /// Attaches a telemetry handle. Metric handles are resolved once, here;
+    /// afterwards the allocation/capture/GC paths pay one enabled-check when
+    /// the handle is disabled and lock-free atomics when enabled. Telemetry
+    /// never charges the [`SimClock`], so simulated results are identical
+    /// with it on, off, or absent.
+    pub fn attach_telemetry(&self, telemetry: &Telemetry) {
+        self.inner.lock().telemetry = Some(HeapTelemetry::new(telemetry));
     }
 
     /// The layout model this heap uses.
@@ -237,7 +252,15 @@ impl Heap {
     /// stacks use this so their frame ids are directly valid for
     /// [`Heap::intern_context_ids`].
     pub fn intern_frame(&self, name: &str) -> FrameId {
-        self.inner.lock().contexts.intern_frame(name)
+        let mut inner = self.inner.lock();
+        let misses_before = inner.contexts.frame_misses();
+        let id = inner.contexts.intern_frame(name);
+        if let Some(ht) = inner.telemetry.as_ref().filter(|ht| ht.on()) {
+            if inner.contexts.frame_misses() != misses_before {
+                ht.frame_misses.inc();
+            }
+        }
+        id
     }
 
     /// Resolves a frame id previously returned by [`Heap::intern_frame`].
@@ -256,7 +279,17 @@ impl Heap {
         frames: &[FrameId],
         depth: usize,
     ) -> ContextId {
-        self.inner.lock().contexts.intern(src_type, frames, depth)
+        let mut inner = self.inner.lock();
+        let misses_before = inner.contexts.context_misses();
+        let ctx = inner.contexts.intern(src_type, frames, depth);
+        if let Some(ht) = inner.telemetry.as_ref().filter(|ht| ht.on()) {
+            if inner.contexts.context_misses() == misses_before {
+                ht.ctx_hits.inc();
+            } else {
+                ht.ctx_misses.inc();
+            }
+        }
+        ctx
     }
 
     /// `(frame_misses, context_misses)` of the context table: how many
@@ -387,7 +420,11 @@ impl Heap {
         let mut inner = self.inner.lock();
         let model = inner.model;
         let sizes = reqs.map(|r| r.size(&model));
-        inner.ensure_room(sizes.iter().map(|s| u64::from(*s)).sum());
+        let batch_bytes: u64 = sizes.iter().map(|s| u64::from(*s)).sum();
+        if let Some(ht) = inner.telemetry.as_ref().filter(|ht| ht.on()) {
+            ht.alloc_batch_bytes.record(batch_bytes);
+        }
+        inner.ensure_room(batch_bytes);
         let mut ids = [ObjId {
             index: 0,
             generation: 0,

@@ -57,6 +57,7 @@ pub mod layout;
 pub mod object;
 pub mod semantic;
 pub mod stats;
+mod telemetry;
 
 pub use clock::SimClock;
 pub use context::{CallStackSim, ContextId, ContextTable, FrameId};

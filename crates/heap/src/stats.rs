@@ -4,6 +4,7 @@
 use crate::context::ContextId;
 use crate::object::ClassId;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Live/used/core byte totals plus a collection-object count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,6 +55,10 @@ pub struct CycleStats {
     pub swept_bytes: u64,
     /// Objects reclaimed by the sweep.
     pub swept_objects: u64,
+    /// Simulated cost units the cycle's stop-the-world pause charged — a
+    /// pure function of `GcConfig` and live bytes, recorded even when no
+    /// clock is attached.
+    pub pause_cost_units: u64,
     /// Collection totals over the whole heap.
     pub collection: AdtTotals,
     /// Collection totals per allocation context.
@@ -76,6 +81,48 @@ impl CycleStats {
     /// Percentage (0–100) of live data that is *core* collection space.
     pub fn collection_core_pct(&self) -> f64 {
         pct(self.collection.core, self.live_bytes)
+    }
+
+    /// Multi-line summary with a per-class top-`top_n` live-size breakdown;
+    /// `class_name` resolves ids to display names. The first line is the
+    /// [`fmt::Display`] rendering.
+    pub fn format_summary(&self, class_name: &dyn Fn(ClassId) -> String, top_n: usize) -> String {
+        let mut out = format!("{self}\n");
+        let mut by_size: Vec<_> = self.type_distribution.clone();
+        by_size.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0 .0.cmp(&b.0 .0)));
+        for (class, bytes, objects) in by_size.into_iter().take(top_n) {
+            out.push_str(&format!(
+                "  {:>10} B  {:>8} objs  {}\n",
+                bytes,
+                objects,
+                class_name(class)
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for CycleStats {
+    /// One-line cycle summary: pause cost, live/swept totals and the
+    /// collection live/used/core triple.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {} @ {} units: pause {} units, live {} B / {} objs, \
+             swept {} B / {} objs, collections live {} B used {} B core {} B ({} objs, {:.1}% of live)",
+            self.cycle,
+            self.at_units,
+            self.pause_cost_units,
+            self.live_bytes,
+            self.live_objects,
+            self.swept_bytes,
+            self.swept_objects,
+            self.collection.live,
+            self.collection.used,
+            self.collection.core,
+            self.collection.count,
+            self.collection_live_pct(),
+        )
     }
 }
 
@@ -190,6 +237,42 @@ mod tests {
     fn percentages_of_empty_heap_are_zero() {
         let c = CycleStats::default();
         assert_eq!(c.collection_live_pct(), 0.0);
+    }
+
+    #[test]
+    fn display_and_summary_render_totals() {
+        let c = CycleStats {
+            cycle: 3,
+            at_units: 1_000,
+            live_bytes: 2_000,
+            live_objects: 20,
+            swept_bytes: 500,
+            swept_objects: 5,
+            pause_cost_units: 51_200,
+            collection: AdtTotals {
+                live: 1_000,
+                used: 600,
+                core: 300,
+                count: 4,
+            },
+            per_context: vec![],
+            type_distribution: vec![
+                (ClassId(0), 1_500, 10),
+                (ClassId(1), 300, 6),
+                (ClassId(2), 200, 4),
+            ],
+        };
+        let line = c.to_string();
+        assert!(line.contains("cycle 3 @ 1000 units"), "{line}");
+        assert!(line.contains("pause 51200 units"), "{line}");
+        assert!(line.contains("live 2000 B / 20 objs"), "{line}");
+        assert!(line.contains("50.0% of live"), "{line}");
+
+        let summary = c.format_summary(&|c| format!("Class{}", c.0), 2);
+        assert!(summary.starts_with(&line));
+        assert!(summary.contains("Class0"), "{summary}");
+        assert!(summary.contains("Class1"), "{summary}");
+        assert!(!summary.contains("Class2"), "top-2 only: {summary}");
     }
 
     #[test]

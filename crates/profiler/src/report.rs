@@ -232,6 +232,57 @@ mod tests {
     }
 
     #[test]
+    fn empty_run_yields_empty_series_and_finite_percentages() {
+        // No GC ever ran: no cycles, no series points, and the potential
+        // percentage math must not divide by zero.
+        let heap = Heap::new();
+        let rt = Runtime::new(heap.clone());
+        let profiler = Profiler::install(&rt);
+        let f = CollectionFactory::new(rt);
+        {
+            let _g = f.enter("E.alloc:1");
+            let mut m = f.new_map::<i64, i64>(None);
+            m.put(1, 1);
+        }
+        let report = ProfileReport::build(&profiler, &heap);
+        assert!(report.series.is_empty());
+        assert_eq!(report.peak_live(), 0);
+        for c in &report.contexts {
+            assert!(c.potential_pct.is_finite(), "{c:?}");
+            assert_eq!(c.potential_bytes, 0);
+        }
+        assert!(report.format_top_contexts(5).contains("potential"));
+    }
+
+    #[test]
+    fn single_cycle_series_point_is_well_formed() {
+        let heap = Heap::new();
+        let rt = Runtime::new(heap.clone());
+        let profiler = Profiler::install(&rt);
+        let f = CollectionFactory::new(rt);
+        let mut keep = Vec::new();
+        {
+            let _g = f.enter("S.alloc:1");
+            for _ in 0..4 {
+                let mut m = f.new_map::<i64, i64>(None);
+                m.put(1, 1);
+                keep.push(m);
+            }
+        }
+        heap.gc();
+        let report = ProfileReport::build(&profiler, &heap);
+        assert_eq!(report.series.len(), 1);
+        let p = report.series[0];
+        assert_eq!(p.cycle, 1);
+        assert!(p.heap_live > 0);
+        for pct in [p.live_pct, p.used_pct, p.core_pct] {
+            assert!(pct.is_finite() && (0.0..=100.0).contains(&pct), "{p:?}");
+        }
+        assert!(p.core_pct <= p.used_pct + 1e-9);
+        assert!(p.used_pct <= p.live_pct + 1e-9);
+    }
+
+    #[test]
     fn formatted_summary_mentions_context() {
         let (report, _heap) = small_run();
         let text = report.format_top_contexts(2);

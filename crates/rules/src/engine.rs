@@ -21,6 +21,7 @@ use crate::eval::{eval, MetricEnv, Value};
 use crate::parser::parse_rules;
 use crate::suggest::Suggestion;
 use chameleon_profiler::{ProfileReport, StabilityConfig};
+use chameleon_telemetry::Telemetry;
 use std::collections::HashMap;
 
 /// The Chameleon rule engine.
@@ -119,11 +120,26 @@ impl RuleEngine {
     /// suggestion per context (rule order is priority order). Suggestions
     /// come back in the report's ranking order (highest potential first).
     pub fn evaluate(&self, report: &ProfileReport) -> Vec<Suggestion> {
+        self.evaluate_traced(report, None)
+    }
+
+    /// Like [`RuleEngine::evaluate`], additionally emitting one
+    /// `rule_decision` audit event per examined context to `telemetry`
+    /// (when enabled): the metric values the engine saw, whether a rule
+    /// fired, and — if one did — the rule text and the rendered suggestion.
+    /// The paper's §4 reports become reconstructible from the event log.
+    pub fn evaluate_traced(
+        &self,
+        report: &ProfileReport,
+        telemetry: Option<&Telemetry>,
+    ) -> Vec<Suggestion> {
+        let telemetry = telemetry.filter(|t| t.is_enabled());
         let mut out = Vec::new();
         for profile in &report.contexts {
             if profile.trace.instances == 0 {
                 continue;
             }
+            let before = out.len();
             let env = MetricEnv {
                 trace: &profile.trace,
                 heap: &profile.heap,
@@ -180,6 +196,30 @@ impl RuleEngine {
                     rule_text: rule.to_string(),
                 });
                 break; // first matching rule wins for this context
+            }
+            if let Some(t) = telemetry {
+                let fired = out.len() > before;
+                if let Some(mut e) = t.event("rule_decision", 0) {
+                    e.str("label", &profile.label)
+                        .str("src_type", &profile.src_type)
+                        .num("instances", profile.trace.instances)
+                        .num("potential_bytes", profile.potential_bytes)
+                        .float("max_size_avg", profile.trace.max_size_avg())
+                        .num("max_size_peak", profile.trace.max_size_peak)
+                        .float("all_ops_avg", profile.trace.all_ops_avg())
+                        .float("never_used_fraction", profile.trace.never_used_fraction())
+                        .bool("size_stable", size_stable)
+                        .bool("fired", fired);
+                    if let Some(s) = fired.then(|| out.last()).flatten() {
+                        e.str("rule_text", &s.rule_text)
+                            .str("category", &format!("{:?}", s.category))
+                            .str("current_impl", &s.current_impl)
+                            .str("suggestion", &s.to_string());
+                        if let Some(c) = s.resolved_capacity {
+                            e.num("resolved_capacity", u64::from(c));
+                        }
+                    }
+                }
             }
         }
         out
@@ -356,6 +396,60 @@ mod tests {
             .find(|s| s.src_type == "HashMap")
             .expect("fires");
         assert!(s.rule_text.contains("LinkedHashMap"));
+    }
+
+    #[test]
+    fn decision_audit_reconstructs_suggestions() {
+        let (report, _heap) = profile_small_program();
+        let engine = RuleEngine::builtin();
+        let expected: Vec<String> = engine
+            .evaluate(&report)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(!expected.is_empty());
+
+        let t = Telemetry::new();
+        let traced = engine.evaluate_traced(&report, Some(&t));
+        assert_eq!(
+            traced.len(),
+            expected.len(),
+            "tracing must not alter output"
+        );
+
+        let log = t.drain_events();
+        let examined = report
+            .contexts
+            .iter()
+            .filter(|p| p.trace.instances > 0)
+            .count();
+        let lines = chameleon_telemetry::json::validate_jsonl(
+            &log,
+            &["ev", "t", "label", "src_type", "instances", "fired"],
+        )
+        .expect("audit log is valid JSONL");
+        assert_eq!(lines, examined, "one rule_decision per examined context");
+
+        // The fired events alone reconstruct the suggestion list exactly.
+        let mut reconstructed = Vec::new();
+        for line in log.lines() {
+            let v = chameleon_telemetry::json::parse(line).unwrap();
+            assert_eq!(v.get("ev").unwrap().as_str(), Some("rule_decision"));
+            if v.get("fired").unwrap().as_bool() == Some(true) {
+                reconstructed.push(v.get("suggestion").unwrap().as_str().unwrap().to_owned());
+                assert!(v.get("rule_text").is_some());
+                assert!(v.get("category").is_some());
+            } else {
+                assert!(v.get("suggestion").is_none());
+            }
+        }
+        assert_eq!(reconstructed, expected);
+
+        // Disabled telemetry records nothing and still returns suggestions.
+        let off = Telemetry::disabled();
+        let quiet = engine.evaluate_traced(&report, Some(&off));
+        assert_eq!(quiet.len(), expected.len());
+        assert_eq!(off.event_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! # chameleon-telemetry
+//!
+//! Dependency-free observability layer for the Chameleon reproduction:
+//!
+//! * [`metrics`] — an atomic metrics registry (counters, gauges,
+//!   fixed-bucket histograms) that instrumented components pre-resolve into
+//!   cheap cloneable handles, so the hot path pays one relaxed atomic add;
+//! * [`Telemetry`] — the shared handle bundling the registry, a global
+//!   enabled flag (one relaxed load on every instrumented fast path) and a
+//!   structured JSONL event sink;
+//! * [`json`] — a hand-rolled JSON writer (escaping) and a minimal parser
+//!   used to validate emitted event logs and to reconstruct decision audits
+//!   in tests, keeping the workspace free of external dependencies.
+//!
+//! The contract instrumented crates follow (documented in DESIGN.md §8):
+//! with no `Telemetry` attached — or one attached but disabled — the
+//! instrumented hot paths (allocation, context capture, GC) perform **zero
+//! extra allocations**; everything beyond the enabled-check happens only
+//! when telemetry is on.
+//!
+//! # Examples
+//!
+//! ```
+//! use chameleon_telemetry::Telemetry;
+//!
+//! let t = Telemetry::new();
+//! let gcs = t.counter("gc.cycles");
+//! gcs.inc();
+//! if let Some(mut e) = t.event("gc_cycle", 1234) {
+//!     e.num("cycle", 1);
+//!     e.str("heap", "main");
+//! }
+//! assert_eq!(t.event_count(), 1);
+//! let log = t.events_snapshot();
+//! assert!(log.contains("\"ev\":\"gc_cycle\""));
+//! chameleon_telemetry::json::validate_jsonl(&log, &["ev", "t"]).unwrap();
+//! ```
+
+pub mod json;
+pub mod metrics;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricKind, MetricSnapshot};
+
+use metrics::Registry;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Default histogram bucket bounds for byte-sized quantities (powers of
+/// four from 64 B to 16 MiB).
+pub const BYTE_BUCKETS: [u64; 10] = [
+    64,
+    256,
+    1024,
+    4096,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+    16 << 20,
+];
+
+/// Default histogram bucket bounds for simulated cost units.
+pub const UNIT_BUCKETS: [u64; 10] = [
+    1_000,
+    10_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    25_000_000,
+    100_000_000,
+];
+
+struct Inner {
+    enabled: AtomicBool,
+    registry: Registry,
+    events: Mutex<EventSink>,
+    event_count: AtomicU64,
+}
+
+#[derive(Default)]
+struct EventSink {
+    buf: String,
+}
+
+/// Shared telemetry handle: registry + enabled flag + JSONL event sink.
+///
+/// Cloning is a reference-count bump; all clones observe the same state.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("events", &self.event_count())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// Creates an enabled telemetry handle.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(true),
+                registry: Registry::new(),
+                events: Mutex::new(EventSink::default()),
+                event_count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Creates a handle that starts disabled (attachable everywhere at zero
+    /// cost beyond the enabled-check; flip on with [`Telemetry::set_enabled`]).
+    pub fn disabled() -> Self {
+        let t = Telemetry::new();
+        t.set_enabled(false);
+        t
+    }
+
+    /// Switches event and metric recording on or off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The cheap enabled-check every instrumented fast path performs first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    // ----- metrics --------------------------------------------------------------
+
+    /// Resolves (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.registry.counter(name)
+    }
+
+    /// Resolves (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner.registry.gauge(name)
+    }
+
+    /// Resolves (registering on first use) the histogram `name` with
+    /// `bounds` (ascending upper bucket bounds; an overflow bucket is added).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.inner.registry.histogram(name, bounds)
+    }
+
+    /// Snapshots every registered metric, sorted by name.
+    pub fn metrics_snapshot(&self) -> Vec<MetricSnapshot> {
+        self.inner.registry.snapshot()
+    }
+
+    // ----- events ---------------------------------------------------------------
+
+    /// Starts a structured event of `kind` at simulated time `t` (cost
+    /// units; 0 when no clock governs the emitting component). Returns
+    /// `None` when disabled — instrumented sites do all field formatting
+    /// inside the `if let`, keeping the disabled path free.
+    pub fn event(&self, kind: &str, t: u64) -> Option<Event<'_>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let guard = self.inner.events.lock().unwrap_or_else(|e| e.into_inner());
+        self.inner.event_count.fetch_add(1, Ordering::Relaxed);
+        Some(Event::begin(guard, kind, t))
+    }
+
+    /// Number of events recorded so far.
+    pub fn event_count(&self) -> u64 {
+        self.inner.event_count.load(Ordering::Relaxed)
+    }
+
+    /// Clones the JSONL event log recorded so far.
+    pub fn events_snapshot(&self) -> String {
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .buf
+            .clone()
+    }
+
+    /// Takes the JSONL event log, leaving the sink empty (the event counter
+    /// keeps running).
+    pub fn drain_events(&self) -> String {
+        std::mem::take(
+            &mut self
+                .inner
+                .events
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .buf,
+        )
+    }
+
+    /// Renders every registered metric as one `{"ev":"metric",...}` JSONL
+    /// line, for appending to an event log at dump time.
+    pub fn metrics_jsonl(&self) -> String {
+        let mut out = String::new();
+        for m in self.metrics_snapshot() {
+            m.write_jsonl(&mut out);
+        }
+        out
+    }
+
+    /// The full dump an exporter writes to disk: all events followed by the
+    /// metric snapshot lines.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = self.events_snapshot();
+        out.push_str(&self.metrics_jsonl());
+        out
+    }
+}
+
+/// Builder for one JSONL event line; the opening `{"ev":...,"t":...}` is
+/// written on creation, fields append, and the closing brace + newline land
+/// on drop. Holds the sink lock for its (short) lifetime.
+pub struct Event<'a> {
+    guard: MutexGuard<'a, EventSink>,
+}
+
+impl<'a> Event<'a> {
+    fn begin(mut guard: MutexGuard<'a, EventSink>, kind: &str, t: u64) -> Self {
+        guard.buf.push_str("{\"ev\":");
+        json::write_str(&mut guard.buf, kind);
+        guard.buf.push_str(",\"t\":");
+        push_u64(&mut guard.buf, t);
+        Event { guard }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.guard.buf.push(',');
+        json::write_str(&mut self.guard.buf, key);
+        self.guard.buf.push(':');
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn num(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        push_u64(&mut self.guard.buf, value);
+        self
+    }
+
+    /// Appends a signed integer field.
+    pub fn inum(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let buf = &mut self.guard.buf;
+        if value < 0 {
+            buf.push('-');
+            push_u64(buf, value.unsigned_abs());
+        } else {
+            push_u64(buf, value as u64);
+        }
+        self
+    }
+
+    /// Appends a float field (JSON-safe: non-finite values become `null`).
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = fmt::Write::write_fmt(&mut self.guard.buf, format_args!("{value}"));
+        } else {
+            self.guard.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Appends a string field (escaped).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        json::write_str(&mut self.guard.buf, value);
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.guard
+            .buf
+            .push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends an array of unsigned integers.
+    pub fn nums(&mut self, key: &str, values: &[u64]) -> &mut Self {
+        self.key(key);
+        self.guard.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.guard.buf.push(',');
+            }
+            push_u64(&mut self.guard.buf, *v);
+        }
+        self.guard.buf.push(']');
+        self
+    }
+}
+
+impl Drop for Event<'_> {
+    fn drop(&mut self) {
+        self.guard.buf.push_str("}\n");
+    }
+}
+
+fn push_u64(buf: &mut String, v: u64) {
+    let _ = fmt::Write::write_fmt(buf, format_args!("{v}"));
+}
+
+/// Wall-clock span timer for bracketing phases (GC mark/scan/sweep, workload
+/// phases). Purely a convenience over [`Instant`]; the caller decides which
+/// event the elapsed time lands in.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts the timer.
+    pub fn start() -> Self {
+        SpanTimer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since start (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_emits_nothing() {
+        let t = Telemetry::disabled();
+        assert!(t.event("x", 0).is_none());
+        assert_eq!(t.event_count(), 0);
+        t.set_enabled(true);
+        t.event("x", 1).unwrap().num("n", 2);
+        assert_eq!(t.event_count(), 1);
+        assert_eq!(t.events_snapshot(), "{\"ev\":\"x\",\"t\":1,\"n\":2}\n");
+    }
+
+    #[test]
+    fn event_fields_are_escaped_json() {
+        let t = Telemetry::new();
+        t.event("decision", 7)
+            .unwrap()
+            .str("label", "HashMap:\"A\".m:1\\x")
+            .inum("delta", -3)
+            .float("pct", 12.5)
+            .bool("fired", true)
+            .nums("shards", &[1, 2, 3]);
+        let log = t.drain_events();
+        let v = json::parse(log.trim()).expect("parses");
+        assert_eq!(
+            v.get("label").unwrap().as_str().unwrap(),
+            "HashMap:\"A\".m:1\\x"
+        );
+        assert_eq!(v.get("delta").unwrap().as_f64().unwrap(), -3.0);
+        assert!(v.get("fired").unwrap().as_bool().unwrap());
+        assert!(t.events_snapshot().is_empty(), "drained");
+        assert_eq!(t.event_count(), 1);
+    }
+
+    #[test]
+    fn dump_appends_metric_lines() {
+        let t = Telemetry::new();
+        t.counter("a.count").add(3);
+        drop(t.event("x", 0));
+        let dump = t.dump_jsonl();
+        json::validate_jsonl(&dump, &["ev"]).expect("all lines valid");
+        assert!(dump.contains("\"name\":\"a.count\""));
+    }
+
+    #[test]
+    fn span_timer_monotone() {
+        let sp = SpanTimer::start();
+        let a = sp.elapsed_ns();
+        let b = sp.elapsed_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,365 @@
+//! Atomic metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! Instrumented components resolve their metrics once (at telemetry attach
+//! time) into cloneable handles; recording is then a relaxed atomic
+//! operation with no lock and no allocation — cheap enough to sit behind a
+//! single enabled-check on hot paths.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    v: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Fresh unregistered counter (tests, ad-hoc use).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-value gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    v: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Fresh unregistered gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Stores `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if larger (high-watermark use).
+    #[inline]
+    pub fn max_with(&self, v: u64) {
+        self.v.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+struct HistInner {
+    /// Ascending upper bounds; values `> bounds.last()` land in the
+    /// overflow bucket `counts[bounds.len()]`.
+    bounds: Box<[u64]>,
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-bucket histogram handle.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("bounds", &self.inner.bounds)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Fresh unregistered histogram over ascending `bounds`.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "ascending bounds");
+        Histogram {
+            inner: Arc::new(HistInner {
+                bounds: bounds.into(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let i = self
+            .inner
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.counts[i].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        match self.count() {
+            0 => 0.0,
+            n => self.sum() as f64 / n as f64,
+        }
+    }
+
+    /// Snapshot of per-bucket counts (the final entry is the overflow
+    /// bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The configured upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Last-value gauge.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+/// Point-in-time view of one registered metric.
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Metric kind.
+    pub kind: MetricKind,
+    /// Counter/gauge value; histogram observation count.
+    pub value: u64,
+    /// Histogram sum (0 for counters/gauges).
+    pub sum: u64,
+    /// Histogram bucket bounds (empty for counters/gauges).
+    pub bounds: Vec<u64>,
+    /// Histogram bucket counts incl. overflow (empty for counters/gauges).
+    pub buckets: Vec<u64>,
+}
+
+impl MetricSnapshot {
+    /// Appends this snapshot as one `{"ev":"metric",...}` JSONL line.
+    pub fn write_jsonl(&self, out: &mut String) {
+        use fmt::Write as _;
+        out.push_str("{\"ev\":\"metric\",\"t\":0,\"name\":");
+        json::write_str(out, &self.name);
+        let kind = match self.kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        };
+        let _ = write!(out, ",\"kind\":\"{kind}\",\"value\":{}", self.value);
+        if self.kind == MetricKind::Histogram {
+            let _ = write!(out, ",\"sum\":{}", self.sum);
+            let join = |xs: &[u64]| {
+                xs.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = write!(
+                out,
+                ",\"bounds\":[{}],\"buckets\":[{}]",
+                join(&self.bounds),
+                join(&self.buckets)
+            );
+        }
+        out.push_str("}\n");
+    }
+}
+
+/// Name-keyed metric registry (interior-locked; resolution is rare, the
+/// returned handles are lock-free).
+pub(crate) struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry {
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn resolve(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_owned()).or_insert_with(make).clone()
+    }
+
+    pub(crate) fn counter(&self, name: &str) -> Counter {
+        match self.resolve(name, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric `{name}` already registered with another kind"),
+        }
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> Gauge {
+        match self.resolve(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric `{name}` already registered with another kind"),
+        }
+    }
+
+    pub(crate) fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        match self.resolve(name, || Metric::Histogram(Histogram::new(bounds))) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric `{name}` already registered with another kind"),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter()
+            .map(|(name, m)| match m {
+                Metric::Counter(c) => MetricSnapshot {
+                    name: name.clone(),
+                    kind: MetricKind::Counter,
+                    value: c.get(),
+                    sum: 0,
+                    bounds: Vec::new(),
+                    buckets: Vec::new(),
+                },
+                Metric::Gauge(g) => MetricSnapshot {
+                    name: name.clone(),
+                    kind: MetricKind::Gauge,
+                    value: g.get(),
+                    sum: 0,
+                    bounds: Vec::new(),
+                    buckets: Vec::new(),
+                },
+                Metric::Histogram(h) => MetricSnapshot {
+                    name: name.clone(),
+                    kind: MetricKind::Histogram,
+                    value: h.count(),
+                    sum: h.sum(),
+                    bounds: h.bounds().to_vec(),
+                    buckets: h.bucket_counts(),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let shared = c.clone();
+        shared.inc();
+        assert_eq!(c.get(), 6, "clones share state");
+
+        let g = Gauge::new();
+        g.set(9);
+        g.max_with(4);
+        assert_eq!(g.get(), 9);
+        g.max_with(12);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(10);
+        h.record(50);
+        h.record(1000);
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1065);
+        assert!((h.mean() - 266.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_resolves_idempotently() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].name, "x");
+        assert_eq!(snap[0].value, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_jsonl_parses() {
+        let r = Registry::new();
+        r.histogram("h", &[1, 2]).record(3);
+        r.counter("c").inc();
+        let mut out = String::new();
+        for m in r.snapshot() {
+            m.write_jsonl(&mut out);
+        }
+        crate::json::validate_jsonl(&out, &["ev", "name", "kind", "value"]).expect("valid");
+    }
+}

@@ -25,4 +25,5 @@ pub use chameleon_core as core;
 pub use chameleon_heap as heap;
 pub use chameleon_profiler as profiler;
 pub use chameleon_rules as rules;
+pub use chameleon_telemetry as telemetry;
 pub use chameleon_workloads as workloads;
