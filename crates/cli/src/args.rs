@@ -15,7 +15,7 @@ pub struct Invocation {
 }
 
 /// Option keys that take no value.
-const FLAGS: &[&str] = &["help", "manual-lazy", "throwable", "telemetry"];
+const FLAGS: &[&str] = &["help", "manual-lazy", "throwable", "telemetry", "builtin"];
 
 /// Option keys that take a value. Anything not listed here or in [`FLAGS`]
 /// is rejected: a mistyped `--option` would otherwise silently swallow the
@@ -27,6 +27,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "eval-every",
     "shutoff-below",
     "trace-out",
+    "format",
+    "deny",
 ];
 
 /// Parses raw arguments (without the binary name).
@@ -86,6 +88,7 @@ fn is_command_word(a: &str) -> bool {
             | "rules"
             | "check"
             | "eval"
+            | "lint"
             | "list-workloads"
             | "help"
     )
@@ -180,6 +183,19 @@ mod tests {
     fn bad_number_is_an_error() {
         let inv = p("profile tvla --depth x");
         assert!(inv.num("depth", 2).is_err());
+    }
+
+    #[test]
+    fn lint_command_and_options() {
+        let inv = p("lint my.rules --format json --deny warn");
+        assert_eq!(inv.command, vec!["lint"]);
+        assert_eq!(inv.positional, vec!["my.rules"]);
+        assert_eq!(inv.options["format"], "json");
+        assert_eq!(inv.options["deny"], "warn");
+        let inv = p("lint --builtin");
+        assert_eq!(inv.command, vec!["lint"]);
+        assert!(inv.flag("builtin"));
+        assert!(inv.positional.is_empty());
     }
 
     #[test]

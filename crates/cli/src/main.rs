@@ -8,6 +8,7 @@
 //! chameleon trace <workload> [--telemetry] [--trace-out FILE]
 //! chameleon rules check <file.rules>
 //! chameleon rules eval <file.rules> <workload>
+//! chameleon lint <file.rules | --builtin> [--format text|json] [--deny LEVEL]
 //! ```
 
 mod args;
@@ -15,7 +16,7 @@ mod args;
 use args::Invocation;
 use chameleon_collections::factory::{CaptureConfig, CaptureMethod};
 use chameleon_core::{run_online, Chameleon, EnvConfig, OnlineConfig, Workload};
-use chameleon_rules::{parse_rules, RuleEngine};
+use chameleon_rules::{analyze, parse_rules, RuleEngine, Severity, BUILTIN_RULES, DEFAULT_PARAMS};
 use chameleon_telemetry::Telemetry;
 use chameleon_workloads::{Bloat, Findbugs, Fop, Pmd, Soot, Synthetic, Tvla};
 use std::process::ExitCode;
@@ -32,6 +33,7 @@ USAGE:
   chameleon trace    <workload> [--telemetry] [--trace-out FILE]
   chameleon rules check <file.rules>
   chameleon rules eval  <file.rules> <workload>
+  chameleon lint <file.rules | --builtin> [--format text|json] [--deny LEVEL]
 
 WORKLOADS:
   tvla, bloat, fop, findbugs, pmd, soot, synthetic
@@ -49,6 +51,10 @@ OPTIONS:
                   always on for `trace`, opt-in for `profile`
   --trace-out FILE  write the JSONL event/metric log to FILE
                   (default: stdout after the report)
+  --builtin       lint: analyze the built-in Table 2 rule set
+  --format F      lint: output `text` (default) or `json`
+  --deny LEVEL    lint: exit non-zero on findings at or above
+                  `info`, `warn`, or `error` (default error)
 ";
 
 fn workload(name: &str) -> Option<Box<dyn Workload>> {
@@ -110,6 +116,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         ["trace"] => cmd_trace(&inv),
         ["rules", "check"] => cmd_rules_check(&inv),
         ["rules", "eval"] => cmd_rules_eval(&inv),
+        ["lint"] => cmd_lint(&inv),
         _ => Err(format!("unknown command; try --help\n\n{USAGE}")),
     }
 }
@@ -303,6 +310,48 @@ fn cmd_rules_check(inv: &Invocation) -> Result<(), String> {
     }
 }
 
+/// `chameleon lint <file.rules | --builtin>`: run the whole-ruleset static
+/// analyzer (satisfiability, shadowing, kind-soundness, parameter hygiene)
+/// against the default parameter bindings.
+fn cmd_lint(inv: &Invocation) -> Result<(), String> {
+    let src = if inv.flag("builtin") {
+        BUILTIN_RULES.to_owned()
+    } else {
+        let path = inv
+            .positional
+            .first()
+            .ok_or_else(|| "missing rules file (or pass --builtin)".to_owned())?;
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    let deny = match inv.options.get("deny").map(String::as_str) {
+        None => Severity::Error,
+        Some(level) => Severity::parse(level)
+            .ok_or_else(|| format!("bad --deny level `{level}` (use info, warn, or error)"))?,
+    };
+    let params = DEFAULT_PARAMS
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
+    let rules = parse_rules(&src).map_err(|e| e.render())?;
+    let report = analyze(&rules, &params, &src);
+    match inv.options.get("format").map(String::as_str) {
+        None | Some("text") => println!("{}", report.render(&src)),
+        Some("json") => println!("{}", report.to_json(&src)),
+        Some(other) => return Err(format!("bad --format `{other}` (use text or json)")),
+    }
+    let denied = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity >= deny)
+        .count();
+    if denied > 0 {
+        return Err(format!(
+            "lint failed: {denied} finding(s) at or above `{deny}`"
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_rules_eval(inv: &Invocation) -> Result<(), String> {
     let path = inv
         .positional
@@ -379,6 +428,43 @@ mod tests {
         let err = run_str("profile synthetic --to 3").expect_err("typo");
         assert!(err.contains("unknown option --to"), "{err}");
         assert!(err.contains("--top"), "{err}");
+    }
+
+    #[test]
+    fn lint_builtin_is_clean_at_any_deny_level() {
+        run_str("lint --builtin").expect("builtin rules lint clean");
+        run_str("lint --builtin --deny info").expect("clean even at --deny info");
+        run_str("lint --builtin --format json --deny warn").expect("json format works");
+    }
+
+    #[test]
+    fn lint_broken_example_fails_and_reports() {
+        let example = |name: &str| format!("{}/../../examples/{name}", env!("CARGO_MANIFEST_DIR"));
+        let broken = example("broken.rules");
+        let err = run_str(&format!("lint {broken}")).expect_err("errors denied by default");
+        assert!(err.contains("lint failed"), "{err}");
+        let err2 =
+            run_str(&format!("lint {broken} --deny warn")).expect_err("warn level fails too");
+        assert!(err2.contains("at or above `warn`"), "{err2}");
+        // A clean file passes --deny warn despite unused-param infos...
+        let custom = example("custom.rules");
+        run_str(&format!("lint {custom} --deny warn")).expect("custom rules pass");
+        // ...and those infos only bite at --deny info.
+        let err3 = run_str(&format!("lint {custom} --deny info")).expect_err("infos denied");
+        assert!(err3.contains("at or above `info`"), "{err3}");
+    }
+
+    #[test]
+    fn lint_rejects_bad_flags_and_missing_file() {
+        assert!(run_str("lint")
+            .expect_err("no input")
+            .contains("missing rules file"));
+        assert!(run_str("lint --builtin --deny loud")
+            .expect_err("bad level")
+            .contains("bad --deny"));
+        assert!(run_str("lint --builtin --format yaml")
+            .expect_err("bad format")
+            .contains("bad --format"));
     }
 
     #[test]

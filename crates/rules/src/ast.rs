@@ -2,6 +2,7 @@
 //! resolution and pretty-printing.
 
 use crate::diag::Span;
+use crate::kinds::{self, Kind};
 use chameleon_collections::Op;
 use std::fmt;
 
@@ -33,14 +34,24 @@ impl TypePat {
     }
 
     /// Whether a context whose requested type is `src_type` matches.
+    /// Kind membership is resolved against the shared [`kinds`] registry.
     pub fn matches(&self, src_type: &str) -> bool {
         match self {
             TypePat::Any => true,
-            TypePat::List => matches!(src_type, "ArrayList" | "LinkedList" | "IntArray"),
-            TypePat::Set => matches!(src_type, "HashSet" | "LinkedHashSet"),
-            TypePat::Map => matches!(src_type, "HashMap" | "LinkedHashMap"),
+            TypePat::List => kinds::kind_of_requested(src_type) == Some(Kind::List),
+            TypePat::Set => kinds::kind_of_requested(src_type) == Some(Kind::Set),
+            TypePat::Map => kinds::kind_of_requested(src_type) == Some(Kind::Map),
             TypePat::Named(n) => n == src_type,
         }
+    }
+
+    /// The set of known requested types this pattern can match, from the
+    /// shared registry. A `Named` pattern over an unknown type yields an
+    /// empty set (such a rule can never fire on factory-produced contexts).
+    pub fn matched_types(&self) -> Vec<&'static str> {
+        kinds::all_requested_types()
+            .filter(|t| self.matches(t))
+            .collect()
     }
 }
 

@@ -4,6 +4,7 @@
 
 use crate::ast::{Action, BinOp, Expr, Rule};
 use crate::diag::RuleError;
+use crate::kinds;
 use std::collections::HashMap;
 
 /// Expression types.
@@ -15,26 +16,11 @@ pub enum Ty {
     Bool,
 }
 
-/// Known replacement targets (implementation names the engine can build,
-/// plus the kind-generic `Lazy`).
-pub const KNOWN_TARGETS: &[&str] = &[
-    "ArrayList",
-    "LinkedList",
-    "LazyArrayList",
-    "SingletonList",
-    "IntArray",
-    "HashSet",
-    "LinkedHashSet",
-    "ArraySet",
-    "LazySet",
-    "SizeAdaptingSet",
-    "HashMap",
-    "LinkedHashMap",
-    "ArrayMap",
-    "LazyMap",
-    "SizeAdaptingMap",
-    "Lazy",
-];
+/// Renders the legal replacement targets (from the shared [`kinds`]
+/// registry) for error messages.
+fn known_targets_list() -> String {
+    kinds::known_targets().collect::<Vec<_>>().join(", ")
+}
 
 /// Infers the type of `expr`, reporting mismatches against `src` text.
 ///
@@ -129,12 +115,12 @@ pub fn validate(rule: &Rule, params: &HashMap<String, f64>, src: &str) -> Result
         ));
     }
     if let Action::Replace { impl_name, .. } = &rule.action {
-        if !KNOWN_TARGETS.contains(&impl_name.as_str()) {
+        if !kinds::is_known_target(impl_name) {
             return Err(RuleError::new(
                 format!(
                     "unknown target implementation `{impl_name}` \
                      (known: {})",
-                    KNOWN_TARGETS.join(", ")
+                    known_targets_list()
                 ),
                 rule.span,
                 src,

@@ -1,5 +1,16 @@
-//! Diagnostics for the rule language: errors carry byte spans into the rule
-//! source and render with a caret line.
+//! Diagnostics for the rule language.
+//!
+//! Two layers share the span machinery here:
+//!
+//! * [`RuleError`] — a fatal lex/parse/validation error (the first one
+//!   aborts processing), rendered with a caret line;
+//! * [`Diagnostic`] — a non-fatal finding from the whole-ruleset static
+//!   analyzer (`rules::analyze`), carrying a [`Severity`], a stable code,
+//!   and secondary [`Note`]s pointing at related spans ("shadowed by rule
+//!   at line N").
+//!
+//! All positions render as 1-based line:column pairs; columns count
+//! characters (not bytes), so multi-byte source renders correctly.
 
 use std::fmt;
 
@@ -27,6 +38,61 @@ impl Span {
     }
 }
 
+/// 1-based (line, column) of a byte offset in `src`; columns count
+/// characters, not bytes.
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let offset = floor_boundary(src, offset);
+    let mut line = 1usize;
+    let mut col = 1usize;
+    for (i, ch) in src.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// Rounds `i` down to the nearest char boundary of `src`. Lexer spans are
+/// byte offsets; on malformed input they can land inside a multi-byte
+/// character, and rendering must never panic on that.
+fn floor_boundary(src: &str, mut i: usize) -> usize {
+    i = i.min(src.len());
+    while i > 0 && !src.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// Renders the source line containing `offset` with a caret underline for
+/// the part of `span` that falls on that line. For spans continuing past
+/// the line, the underline ends with `...`.
+fn render_snippet(src: &str, span: Span) -> String {
+    let start = floor_boundary(src, span.start);
+    let line_start = src[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = src[line_start..]
+        .find('\n')
+        .map(|i| line_start + i)
+        .unwrap_or(src.len());
+    let line = &src[line_start..line_end];
+    let col_chars = src[line_start..start].chars().count();
+    let underline_end = floor_boundary(src, span.end.min(line_end)).max(start);
+    let width = src[start..underline_end].chars().count().max(1);
+    let continues = span.end > line_end && line_end < src.len();
+    format!(
+        "  | {}\n  | {}{}{}",
+        line,
+        " ".repeat(col_chars),
+        "^".repeat(width),
+        if continues { "..." } else { "" }
+    )
+}
+
 /// An error in rule source: lexing, parsing, or validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuleError {
@@ -34,7 +100,7 @@ pub struct RuleError {
     pub message: String,
     /// Where in the source.
     pub span: Span,
-    /// The offending source line (for rendering).
+    /// The offending source (for rendering).
     pub source: String,
 }
 
@@ -48,35 +114,20 @@ impl RuleError {
         }
     }
 
+    /// 1-based line and character column of the error's start.
+    pub fn line_col(&self) -> (usize, usize) {
+        line_col(&self.source, self.span.start)
+    }
+
     /// Renders the error with the source line and a caret underline.
     pub fn render(&self) -> String {
-        // Find the line containing the span start.
-        let mut line_start = 0usize;
-        let mut line_no = 1usize;
-        for (i, ch) in self.source.char_indices() {
-            if i >= self.span.start {
-                break;
-            }
-            if ch == '\n' {
-                line_start = i + 1;
-                line_no += 1;
-            }
-        }
-        let line_end = self.source[line_start..]
-            .find('\n')
-            .map(|i| line_start + i)
-            .unwrap_or(self.source.len());
-        let line = &self.source[line_start..line_end];
-        let col = self.span.start.saturating_sub(line_start);
-        let width = (self.span.end.min(line_end).saturating_sub(self.span.start)).max(1);
+        let (line_no, col) = self.line_col();
         format!(
-            "error: {}\n --> line {}, column {}\n  | {}\n  | {}{}",
+            "error: {}\n --> line {}, column {}\n{}",
             self.message,
             line_no,
-            col + 1,
-            line,
-            " ".repeat(col),
-            "^".repeat(width)
+            col,
+            render_snippet(&self.source, self.span)
         )
     }
 }
@@ -88,6 +139,120 @@ impl fmt::Display for RuleError {
 }
 
 impl std::error::Error for RuleError {}
+
+/// Severity of an analyzer finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth knowing; never fails a lint run.
+    Info,
+    /// A defect that silently degrades suggestions (e.g. a shadowed rule).
+    Warn,
+    /// A defect that makes a rule meaningless (e.g. an unsatisfiable
+    /// condition or a kind-mismatched target).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name as used by `--deny` and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a `--deny` level name.
+    pub fn parse(name: &str) -> Option<Severity> {
+        match name {
+            "info" => Some(Severity::Info),
+            "warn" | "warning" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A secondary span attached to a [`Diagnostic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Note {
+    /// What this span contributes (e.g. "shadowed by this rule").
+    pub message: String,
+    /// Where in the same source.
+    pub span: Span,
+}
+
+/// One analyzer finding over a ruleset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `unsatisfiable-condition`,
+    /// `shadowed-rule`, `kind-mismatch`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Primary span.
+    pub span: Span,
+    /// Secondary spans with labels.
+    pub notes: Vec<Note>,
+}
+
+impl Diagnostic {
+    /// Creates a finding without notes.
+    pub fn new(
+        severity: Severity,
+        code: &'static str,
+        message: impl Into<String>,
+        span: Span,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity,
+            code,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a secondary span.
+    pub fn with_note(mut self, message: impl Into<String>, span: Span) -> Diagnostic {
+        self.notes.push(Note {
+            message: message.into(),
+            span,
+        });
+        self
+    }
+
+    /// Renders the finding against its source, caret line and notes
+    /// included.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = line_col(src, self.span.start);
+        let mut out = format!(
+            "{}[{}]: {}\n --> line {}, column {}\n{}",
+            self.severity,
+            self.code,
+            self.message,
+            line,
+            col,
+            render_snippet(src, self.span)
+        );
+        for n in &self.notes {
+            let (nl, nc) = line_col(src, n.span.start);
+            out.push_str(&format!(
+                "\n  = note (line {nl}, column {nc}): {}",
+                n.message
+            ));
+        }
+        out
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -118,5 +283,54 @@ mod tests {
         let rendered = err.render();
         assert!(rendered.contains("line 2"));
         assert!(rendered.contains("C : ??? -> D"));
+    }
+
+    #[test]
+    fn line_col_counts_chars_not_bytes() {
+        // The arrow below is 3 bytes but 1 character.
+        let src = "A : x → 3";
+        let (_, col) = line_col(src, src.find('3').unwrap());
+        assert_eq!(col, 9);
+    }
+
+    #[test]
+    fn multiline_span_renders_first_line_with_continuation() {
+        // A rule spanning 3 lines: the span covers all of it, the snippet
+        // shows line 1 with a trailing `...` underline.
+        let src = "HashMap : maxSize < 16\n    && maxSize > 0\n    -> ArrayMap";
+        let err = RuleError::new("whole-rule finding", Span::new(0, src.len()), src);
+        let rendered = err.render();
+        assert!(rendered.contains("line 1, column 1"), "{rendered}");
+        assert!(rendered.contains("HashMap : maxSize < 16"), "{rendered}");
+        assert!(!rendered.contains("ArrayMap\n"), "{rendered}");
+        assert!(
+            rendered.contains("^..."),
+            "caret must mark continuation: {rendered}"
+        );
+    }
+
+    #[test]
+    fn diagnostic_renders_notes_with_line_numbers() {
+        let src = "A : maxSize > 0 -> ArrayMap;\nA : maxSize > 1 -> ArrayMap";
+        let d = Diagnostic::new(
+            Severity::Warn,
+            "shadowed-rule",
+            "rule can never fire",
+            Span::new(29, src.len()),
+        )
+        .with_note("shadowed by this rule", Span::new(0, 27));
+        let rendered = d.render(src);
+        assert!(rendered.starts_with("warn[shadowed-rule]"), "{rendered}");
+        assert!(rendered.contains("line 2, column 1"), "{rendered}");
+        assert!(rendered.contains("note (line 1, column 1)"), "{rendered}");
+    }
+
+    #[test]
+    fn severity_orders_and_parses() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+        assert_eq!(Severity::parse("warn"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("warning"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("nope"), None);
     }
 }

@@ -13,16 +13,34 @@
 //!   space-optimizing replacement when the potential space savings seems
 //!   negligible", §3.3.1).
 
+use crate::analyze::{analyze, LintReport};
 use crate::ast::{Category, Expr, Metric, Rule, TraceMetric};
 use crate::builtin::{BUILTIN_RULES, DEFAULT_PARAMS};
 use crate::check::validate;
-use crate::diag::RuleError;
+use crate::diag::{line_col, RuleError, Severity};
 use crate::eval::{eval, MetricEnv, Value};
 use crate::parser::parse_rules;
 use crate::suggest::Suggestion;
 use chameleon_profiler::{ProfileReport, StabilityConfig};
 use chameleon_telemetry::Telemetry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How the engine reacts to static-analysis findings on added rulesets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintMode {
+    /// Skip the analyzer entirely.
+    Off,
+    /// Analyze every added batch; keep the findings (see
+    /// [`RuleEngine::lint_reports`]) and surface them as `lint_finding`
+    /// telemetry events, but never reject rules.
+    #[default]
+    Warn,
+    /// Like `Warn`, but [`RuleEngine::add_rules`] fails when the batch has
+    /// any `Error`-severity finding (unsatisfiable condition,
+    /// kind-mismatched target, …) and adds none of its rules.
+    Deny,
+}
 
 /// The Chameleon rule engine.
 ///
@@ -44,6 +62,14 @@ pub struct RuleEngine {
     params: HashMap<String, f64>,
     stability: StabilityConfig,
     min_potential_bytes: u64,
+    lint_mode: LintMode,
+    /// One analyzer report per successfully added batch (paired with the
+    /// batch source). Analysis is per batch: cross-batch shadowing is not
+    /// checked.
+    lint_reports: Vec<(LintReport, String)>,
+    /// How many of `lint_reports` have already been emitted as telemetry
+    /// events (so repeated evaluations do not duplicate them).
+    lint_emitted: AtomicUsize,
 }
 
 impl Default for RuleEngine {
@@ -63,6 +89,9 @@ impl RuleEngine {
                 .collect(),
             stability: StabilityConfig::default(),
             min_potential_bytes: 0,
+            lint_mode: LintMode::default(),
+            lint_reports: Vec::new(),
+            lint_emitted: AtomicUsize::new(0),
         }
     }
 
@@ -73,22 +102,51 @@ impl RuleEngine {
         e
     }
 
-    /// Parses, validates and appends rules from `src`. Returns how many
-    /// rules were added.
+    /// Parses, validates, statically analyzes (per [`LintMode`]) and
+    /// appends rules from `src`. Returns how many rules were added.
     ///
     /// # Errors
     ///
-    /// Returns the first parse or validation error (with span into `src`);
-    /// on error no rules from `src` are added.
+    /// Returns the first parse or validation error (with span into `src`),
+    /// or — in [`LintMode::Deny`] — the most severe analyzer `Error`
+    /// finding; on error no rules from `src` are added.
     pub fn add_rules(&mut self, src: &str) -> Result<usize, RuleError> {
         let parsed = parse_rules(src)?;
         for rule in &parsed {
             validate(rule, &self.params, src)?;
         }
+        if self.lint_mode != LintMode::Off {
+            let mut report = analyze(&parsed, &self.params, src);
+            // The parameter table is engine-global and shared across
+            // batches; "unused in this one batch" is not a finding here.
+            report.diagnostics.retain(|d| d.code != "unused-param");
+            if self.lint_mode == LintMode::Deny {
+                if let Some(err) = report.deny_error(Severity::Error, src) {
+                    return Err(err);
+                }
+            }
+            self.lint_reports.push((report, src.to_owned()));
+        }
         let n = parsed.len();
         self.rules
             .extend(parsed.into_iter().map(|r| (r, src.to_owned())));
         Ok(n)
+    }
+
+    /// Sets how analyzer findings are handled for subsequently added rules.
+    pub fn set_lint_mode(&mut self, mode: LintMode) {
+        self.lint_mode = mode;
+    }
+
+    /// The current lint mode.
+    pub fn lint_mode(&self) -> LintMode {
+        self.lint_mode
+    }
+
+    /// Analyzer reports for every added batch (with the batch source the
+    /// report's spans index into), in addition order.
+    pub fn lint_reports(&self) -> &[(LintReport, String)] {
+        &self.lint_reports
     }
 
     /// Binds (or rebinds) a tuning parameter.
@@ -134,6 +192,9 @@ impl RuleEngine {
         telemetry: Option<&Telemetry>,
     ) -> Vec<Suggestion> {
         let telemetry = telemetry.filter(|t| t.is_enabled());
+        if let Some(t) = telemetry {
+            self.emit_lint_findings(t);
+        }
         let mut out = Vec::new();
         for profile in &report.contexts {
             if profile.trace.instances == 0 {
@@ -223,6 +284,26 @@ impl RuleEngine {
             }
         }
         out
+    }
+
+    /// Emits one `lint_finding` event per analyzer diagnostic, each batch
+    /// at most once over the engine's lifetime.
+    fn emit_lint_findings(&self, t: &Telemetry) {
+        let start = self
+            .lint_emitted
+            .swap(self.lint_reports.len(), Ordering::AcqRel);
+        for (report, src) in self.lint_reports.iter().skip(start) {
+            for d in &report.diagnostics {
+                if let Some(mut e) = t.event("lint_finding", 0) {
+                    let (line, column) = line_col(src, d.span.start);
+                    e.str("severity", d.severity.name())
+                        .str("code", d.code)
+                        .str("message", &d.message)
+                        .num("line", line as u64)
+                        .num("column", column as u64);
+                }
+            }
+        }
     }
 }
 
@@ -450,6 +531,68 @@ mod tests {
         let quiet = engine.evaluate_traced(&report, Some(&off));
         assert_eq!(quiet.len(), expected.len());
         assert_eq!(off.event_count(), 0);
+    }
+
+    #[test]
+    fn lint_modes_gate_defective_rulesets() {
+        // An unsatisfiable condition: Error-severity finding.
+        let bad = r#"HashMap : maxSize > 16 && maxSize < 4 -> ArrayMap "Space: never""#;
+
+        // Warn (default): accepted, finding recorded.
+        let mut warn = RuleEngine::new();
+        assert_eq!(warn.add_rules(bad).expect("warn mode accepts"), 1);
+        let (report, _) = &warn.lint_reports()[0];
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.diagnostics[0].code, "unsatisfiable-condition");
+
+        // Deny: rejected atomically, nothing added.
+        let mut deny = RuleEngine::new();
+        deny.set_lint_mode(LintMode::Deny);
+        let err = deny.add_rules(bad).expect_err("deny mode rejects");
+        assert!(
+            err.message.contains("unsatisfiable-condition"),
+            "{}",
+            err.message
+        );
+        assert!(deny.rules().is_empty());
+        assert!(deny.lint_reports().is_empty());
+        // Clean rules still install in deny mode.
+        assert_eq!(deny.add_rules(BUILTIN_RULES).expect("builtins clean"), 14);
+
+        // Off: accepted with no analysis at all.
+        let mut off = RuleEngine::new();
+        off.set_lint_mode(LintMode::Off);
+        assert_eq!(off.add_rules(bad).expect("off mode accepts"), 1);
+        assert!(off.lint_reports().is_empty());
+    }
+
+    #[test]
+    fn lint_findings_are_emitted_once_per_batch() {
+        let (report, _heap) = profile_small_program();
+        let mut engine = RuleEngine::new();
+        engine
+            .add_rules("HashMap : maxSize < 16 -> ArrayMap;\nHashMap : maxSize < 4 -> ArrayMap")
+            .expect("valid but shadowed");
+        let t = Telemetry::new();
+        engine.evaluate_traced(&report, Some(&t));
+        let first = t.drain_events();
+        let lint_lines: Vec<&str> = first
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"lint_finding\""))
+            .collect();
+        assert_eq!(lint_lines.len(), 1, "{first}");
+        let v = chameleon_telemetry::json::parse(lint_lines[0]).unwrap();
+        assert_eq!(v.get("code").unwrap().as_str(), Some("shadowed-rule"));
+        assert_eq!(v.get("severity").unwrap().as_str(), Some("warn"));
+        assert_eq!(v.get("line").unwrap().as_u64(), Some(2));
+
+        // A second evaluation must not re-emit the same findings.
+        engine.evaluate_traced(&report, Some(&t));
+        let second = t.drain_events();
+        assert!(
+            !second.contains("lint_finding"),
+            "findings re-emitted: {second}"
+        );
     }
 
     #[test]

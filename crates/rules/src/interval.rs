@@ -1,0 +1,363 @@
+//! A one-dimensional interval domain over the metric space.
+//!
+//! Every profiled metric is non-negative, so the analyzer's universe is
+//! `[0, +∞)`. An [`Interval`] is a contiguous range with independently
+//! open/closed endpoints; an [`IntervalSet`] is a normalized (sorted,
+//! disjoint, non-adjacent-merged where exact) union of intervals, closed
+//! under intersection, union and complement — enough to decide
+//! satisfiability and coverage for single-variable rule conditions
+//! exactly.
+
+use std::fmt;
+
+/// A contiguous, possibly unbounded range of metric values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint (`0.0` at the domain floor, never negative after
+    /// clamping).
+    pub lo: f64,
+    /// Whether `lo` itself is included.
+    pub lo_closed: bool,
+    /// Upper endpoint (`f64::INFINITY` for unbounded).
+    pub hi: f64,
+    /// Whether `hi` itself is included (always false for `+∞`).
+    pub hi_closed: bool,
+}
+
+impl Interval {
+    /// The whole metric universe `[0, +∞)`.
+    pub const FULL: Interval = Interval {
+        lo: 0.0,
+        lo_closed: true,
+        hi: f64::INFINITY,
+        hi_closed: false,
+    };
+
+    /// A single point `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval {
+            lo: v,
+            lo_closed: true,
+            hi: v,
+            hi_closed: true,
+        }
+    }
+
+    /// A general interval; callers clamp to the domain via
+    /// [`Interval::clamp_domain`].
+    pub fn new(lo: f64, lo_closed: bool, hi: f64, hi_closed: bool) -> Interval {
+        Interval {
+            lo,
+            lo_closed,
+            hi,
+            hi_closed,
+        }
+    }
+
+    /// Whether the interval contains no value.
+    pub fn is_empty(&self) -> bool {
+        if self.lo.is_nan() || self.hi.is_nan() {
+            return true;
+        }
+        if self.lo > self.hi {
+            return true;
+        }
+        if self.lo == self.hi {
+            // A point is non-empty only if both ends are closed; also an
+            // infinite endpoint can never be attained.
+            return !(self.lo_closed && self.hi_closed) || self.lo.is_infinite();
+        }
+        false
+    }
+
+    /// Intersects with the metric universe `[0, +∞)`.
+    pub fn clamp_domain(mut self) -> Interval {
+        if self.lo < 0.0 {
+            self.lo = 0.0;
+            self.lo_closed = true;
+        }
+        self
+    }
+
+    /// Intersection of two intervals (possibly empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let (lo, lo_closed) = if self.lo > other.lo {
+            (self.lo, self.lo_closed)
+        } else if other.lo > self.lo {
+            (other.lo, other.lo_closed)
+        } else {
+            (self.lo, self.lo_closed && other.lo_closed)
+        };
+        let (hi, hi_closed) = if self.hi < other.hi {
+            (self.hi, self.hi_closed)
+        } else if other.hi < self.hi {
+            (other.hi, other.hi_closed)
+        } else {
+            (self.hi, self.hi_closed && other.hi_closed)
+        };
+        Interval {
+            lo,
+            lo_closed,
+            hi,
+            hi_closed,
+        }
+    }
+
+    /// Whether `self` contains every value of `other` (empty `other` is
+    /// vacuously contained).
+    pub fn covers(&self, other: &Interval) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if self.is_empty() {
+            return false;
+        }
+        let lo_ok =
+            self.lo < other.lo || (self.lo == other.lo && (self.lo_closed || !other.lo_closed));
+        let hi_ok =
+            self.hi > other.hi || (self.hi == other.hi && (self.hi_closed || !other.hi_closed));
+        lo_ok && hi_ok
+    }
+
+    /// Whether the two intervals share at least one value.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Whether the union of two overlapping-or-adjacent intervals is
+    /// contiguous (so they can be merged).
+    fn touches(&self, other: &Interval) -> bool {
+        if self.overlaps(other) {
+            return true;
+        }
+        // Adjacent: [a, b] ∪ (b, c] is contiguous when one side is closed.
+        (self.hi == other.lo && (self.hi_closed || other.lo_closed))
+            || (other.hi == self.lo && (other.hi_closed || self.lo_closed))
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        let open = if self.lo_closed { '[' } else { '(' };
+        let close = if self.hi_closed { ']' } else { ')' };
+        if self.hi.is_infinite() {
+            write!(f, "{open}{}, ∞)", self.lo)
+        } else {
+            write!(f, "{open}{}, {}{close}", self.lo, self.hi)
+        }
+    }
+}
+
+/// A normalized union of disjoint intervals over `[0, +∞)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IntervalSet {
+    parts: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> IntervalSet {
+        IntervalSet { parts: Vec::new() }
+    }
+
+    /// The whole universe `[0, +∞)`.
+    pub fn full() -> IntervalSet {
+        IntervalSet::from(Interval::FULL)
+    }
+
+    /// The normalized member intervals.
+    pub fn parts(&self) -> &[Interval] {
+        &self.parts
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Whether the set is the whole universe.
+    pub fn is_full(&self) -> bool {
+        self.parts.len() == 1 && self.parts[0].covers(&Interval::FULL)
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut all: Vec<Interval> = self.parts.iter().chain(&other.parts).copied().collect();
+        normalize(&mut all);
+        IntervalSet { parts: all }
+    }
+
+    /// Intersection of two sets.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        for a in &self.parts {
+            for b in &other.parts {
+                let i = a.intersect(b);
+                if !i.is_empty() {
+                    out.push(i);
+                }
+            }
+        }
+        normalize(&mut out);
+        IntervalSet { parts: out }
+    }
+
+    /// Complement within `[0, +∞)`.
+    pub fn complement(&self) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut lo = 0.0f64;
+        let mut lo_closed = true;
+        for p in &self.parts {
+            let gap = Interval::new(lo, lo_closed, p.lo, !p.lo_closed);
+            if !gap.is_empty() {
+                out.push(gap);
+            }
+            if p.hi.is_infinite() {
+                return IntervalSet { parts: out };
+            }
+            lo = p.hi;
+            lo_closed = !p.hi_closed;
+        }
+        let tail = Interval::new(lo, lo_closed, f64::INFINITY, false);
+        if !tail.is_empty() {
+            out.push(tail);
+        }
+        IntervalSet { parts: out }
+    }
+
+    /// Whether `self` contains every value of `other`. Exact on the
+    /// normalized representation: each part of `other` must fit inside a
+    /// single part of `self` (normalization merges touching parts, so a
+    /// contiguous range is never split).
+    pub fn covers(&self, other: &IntervalSet) -> bool {
+        other
+            .parts
+            .iter()
+            .all(|o| self.parts.iter().any(|s| s.covers(o)))
+    }
+}
+
+impl From<Interval> for IntervalSet {
+    fn from(iv: Interval) -> IntervalSet {
+        let iv = iv.clamp_domain();
+        if iv.is_empty() {
+            IntervalSet::empty()
+        } else {
+            IntervalSet { parts: vec![iv] }
+        }
+    }
+}
+
+/// Sorts, clamps to the domain, and merges touching intervals in place.
+fn normalize(parts: &mut Vec<Interval>) {
+    parts.retain(|p| !p.clamp_domain().is_empty());
+    for p in parts.iter_mut() {
+        *p = p.clamp_domain();
+    }
+    parts.sort_by(|a, b| {
+        a.lo.partial_cmp(&b.lo)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.lo_closed.cmp(&a.lo_closed))
+    });
+    let mut merged: Vec<Interval> = Vec::with_capacity(parts.len());
+    for p in parts.drain(..) {
+        match merged.last_mut() {
+            Some(last) if last.touches(&p) => {
+                // Extend the previous interval to cover both.
+                if p.hi > last.hi || (p.hi == last.hi && p.hi_closed) {
+                    last.hi = p.hi;
+                    last.hi_closed = p.hi_closed;
+                }
+            }
+            _ => merged.push(p),
+        }
+    }
+    *parts = merged;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, lc: bool, hi: f64, hc: bool) -> Interval {
+        Interval::new(lo, lc, hi, hc)
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(iv(3.0, true, 2.0, true).is_empty());
+        assert!(iv(2.0, true, 2.0, false).is_empty());
+        assert!(!iv(2.0, true, 2.0, true).is_empty());
+        assert!(!Interval::FULL.is_empty());
+        // maxSize < 0 clamped to the domain is empty.
+        assert!(IntervalSet::from(iv(f64::NEG_INFINITY, false, 0.0, false)).is_empty());
+    }
+
+    #[test]
+    fn intersection_respects_openness() {
+        // (5, ∞) ∩ [0, 5] = ∅  — models  x > 5 && x <= 5.
+        let a = iv(5.0, false, f64::INFINITY, false);
+        let b = iv(0.0, true, 5.0, true);
+        assert!(a.intersect(&b).is_empty());
+        // (5, ∞) ∩ [0, 7) = (5, 7).
+        let c = iv(0.0, true, 7.0, false);
+        let i = a.intersect(&c);
+        assert_eq!(i, iv(5.0, false, 7.0, false));
+    }
+
+    #[test]
+    fn union_merges_touching_parts() {
+        // [0, 3) ∪ [3, ∞) = [0, ∞).
+        let s = IntervalSet::from(iv(0.0, true, 3.0, false)).union(&IntervalSet::from(iv(
+            3.0,
+            true,
+            f64::INFINITY,
+            false,
+        )));
+        assert!(s.is_full());
+        // [0, 3) ∪ (3, ∞) leaves the point 3 uncovered.
+        let gap = IntervalSet::from(iv(0.0, true, 3.0, false)).union(&IntervalSet::from(iv(
+            3.0,
+            false,
+            f64::INFINITY,
+            false,
+        )));
+        assert!(!gap.is_full());
+        assert!(!gap.covers(&IntervalSet::from(Interval::point(3.0))));
+    }
+
+    #[test]
+    fn complement_round_trips() {
+        // x != 4  ≡  complement of {4}.
+        let ne = IntervalSet::from(Interval::point(4.0)).complement();
+        assert_eq!(ne.parts().len(), 2);
+        assert!(ne.union(&IntervalSet::from(Interval::point(4.0))).is_full());
+        assert!(ne.complement() == IntervalSet::from(Interval::point(4.0)));
+        assert!(IntervalSet::full().complement().is_empty());
+        assert!(IntervalSet::empty().complement().is_full());
+    }
+
+    #[test]
+    fn coverage_decisions() {
+        // [0, 16) covers (0, 8] but not [0, 16].
+        let big = IntervalSet::from(iv(0.0, true, 16.0, false));
+        assert!(big.covers(&IntervalSet::from(iv(0.0, false, 8.0, true))));
+        assert!(!big.covers(&IntervalSet::from(iv(0.0, true, 16.0, true))));
+        // Union coverage: [0,4) ∪ [4,10) covers [1, 9].
+        let u = IntervalSet::from(iv(0.0, true, 4.0, false))
+            .union(&IntervalSet::from(iv(4.0, true, 10.0, false)));
+        assert!(u.covers(&IntervalSet::from(iv(1.0, true, 9.0, true))));
+        // Everything covers the empty set.
+        assert!(IntervalSet::empty().covers(&IntervalSet::empty()));
+    }
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(Interval::FULL.to_string(), "[0, ∞)");
+        assert_eq!(iv(2.0, false, 5.0, true).to_string(), "(2, 5]");
+        assert_eq!(iv(5.0, true, 2.0, true).to_string(), "∅");
+    }
+}

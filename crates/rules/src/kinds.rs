@@ -1,0 +1,169 @@
+//! The single source of truth for collection-kind knowledge: which
+//! implementation names exist, what kind (list/set/map) each belongs to,
+//! and which of them can appear as a *requested* source type in a profiled
+//! context.
+//!
+//! `TypePat::matches` (ast), the target check (check), the policy
+//! translation (suggest) and the static analyzer (analyze) all read this
+//! one table, so adding an implementation is a one-line change here.
+
+/// Collection kind of an implementation or requested type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kind {
+    /// List-typed.
+    List,
+    /// Set-typed.
+    Set,
+    /// Map-typed.
+    Map,
+}
+
+impl Kind {
+    /// All kinds, in declaration order.
+    pub const ALL: [Kind; 3] = [Kind::List, Kind::Set, Kind::Map];
+
+    /// Whether a suggestion replacing a `self`-kinded context with a
+    /// `target`-kinded implementation is sound. Same-kind is always fine;
+    /// List ↔ Set crossings are allowed as *advisory* suggestions (both are
+    /// Java `Collection`s — the paper's own ruleset suggests
+    /// `ArrayList -> LinkedHashSet`); anything involving `Map` on exactly
+    /// one side is a defect (`Map` does not share the element protocol).
+    pub fn compatible_target(self, target: Kind) -> bool {
+        self == target || (self != Kind::Map && target != Kind::Map)
+    }
+}
+
+/// One row of the implementation registry.
+#[derive(Debug, Clone, Copy)]
+pub struct ImplEntry {
+    /// Implementation name as it appears in rule text.
+    pub name: &'static str,
+    /// Kind, or `None` for the kind-generic `Lazy` target.
+    pub kind: Option<Kind>,
+    /// Whether contexts can *request* this type (i.e. it is a source type
+    /// the factory produces, not only a replacement target).
+    pub requestable: bool,
+}
+
+const fn entry(name: &'static str, kind: Kind, requestable: bool) -> ImplEntry {
+    ImplEntry {
+        name,
+        kind: Some(kind),
+        requestable,
+    }
+}
+
+/// The implementation registry. Order groups by kind for readability; the
+/// lookup helpers below do not depend on order.
+pub const IMPLS: &[ImplEntry] = &[
+    entry("ArrayList", Kind::List, true),
+    entry("LinkedList", Kind::List, true),
+    entry("IntArray", Kind::List, true),
+    entry("LazyArrayList", Kind::List, false),
+    entry("SingletonList", Kind::List, false),
+    entry("HashSet", Kind::Set, true),
+    entry("LinkedHashSet", Kind::Set, true),
+    entry("ArraySet", Kind::Set, false),
+    entry("LazySet", Kind::Set, false),
+    entry("SizeAdaptingSet", Kind::Set, false),
+    entry("HashMap", Kind::Map, true),
+    entry("LinkedHashMap", Kind::Map, true),
+    entry("ArrayMap", Kind::Map, false),
+    entry("LazyMap", Kind::Map, false),
+    entry("SizeAdaptingMap", Kind::Map, false),
+    // The kind-generic lazy target: resolves to LazyArrayList / LazySet /
+    // LazyMap depending on the context's kind.
+    ImplEntry {
+        name: "Lazy",
+        kind: None,
+        requestable: false,
+    },
+];
+
+/// Looks up a registry row by implementation name.
+pub fn lookup(name: &str) -> Option<&'static ImplEntry> {
+    IMPLS.iter().find(|e| e.name == name)
+}
+
+/// The kind of a *requested* source type (`None` for names the factory
+/// never produces, including replacement-only targets like `ArrayMap`).
+pub fn kind_of_requested(src_type: &str) -> Option<Kind> {
+    lookup(src_type)
+        .filter(|e| e.requestable)
+        .and_then(|e| e.kind)
+}
+
+/// The kind a replacement target belongs to; `None` when the name is not a
+/// known target, `Some(None)` when it is kind-generic (`Lazy`).
+pub fn target_kind(name: &str) -> Option<Option<Kind>> {
+    lookup(name).map(|e| e.kind)
+}
+
+/// Whether `name` is a legal replacement target.
+pub fn is_known_target(name: &str) -> bool {
+    lookup(name).is_some()
+}
+
+/// All legal replacement-target names, in registry order (for error
+/// messages).
+pub fn known_targets() -> impl Iterator<Item = &'static str> {
+    IMPLS.iter().map(|e| e.name)
+}
+
+/// All requestable source-type names of `kind`, in registry order.
+pub fn requested_types_of(kind: Kind) -> impl Iterator<Item = &'static str> {
+    IMPLS
+        .iter()
+        .filter(move |e| e.requestable && e.kind == Some(kind))
+        .map(|e| e.name)
+}
+
+/// All requestable source-type names, in registry order.
+pub fn all_requested_types() -> impl Iterator<Item = &'static str> {
+    IMPLS.iter().filter(|e| e.requestable).map(|e| e.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requested_types_partition_by_kind() {
+        let lists: Vec<_> = requested_types_of(Kind::List).collect();
+        assert_eq!(lists, ["ArrayList", "LinkedList", "IntArray"]);
+        let sets: Vec<_> = requested_types_of(Kind::Set).collect();
+        assert_eq!(sets, ["HashSet", "LinkedHashSet"]);
+        let maps: Vec<_> = requested_types_of(Kind::Map).collect();
+        assert_eq!(maps, ["HashMap", "LinkedHashMap"]);
+        assert_eq!(
+            all_requested_types().count(),
+            lists.len() + sets.len() + maps.len()
+        );
+    }
+
+    #[test]
+    fn targets_and_kinds_resolve() {
+        assert!(is_known_target("ArrayMap"));
+        assert!(is_known_target("Lazy"));
+        assert!(!is_known_target("TreeMap"));
+        assert_eq!(target_kind("ArraySet"), Some(Some(Kind::Set)));
+        assert_eq!(target_kind("Lazy"), Some(None));
+        assert_eq!(target_kind("Vector"), None);
+        assert_eq!(kind_of_requested("LinkedHashMap"), Some(Kind::Map));
+        // Replacement-only names are not requestable.
+        assert_eq!(kind_of_requested("ArrayMap"), None);
+        assert_eq!(kind_of_requested("Lazy"), None);
+    }
+
+    #[test]
+    fn cross_kind_compatibility() {
+        assert!(Kind::List.compatible_target(Kind::List));
+        // List <-> Set is an allowed advisory crossing.
+        assert!(Kind::List.compatible_target(Kind::Set));
+        assert!(Kind::Set.compatible_target(Kind::List));
+        // Map never crosses.
+        assert!(!Kind::Map.compatible_target(Kind::List));
+        assert!(!Kind::Set.compatible_target(Kind::Map));
+        assert!(Kind::Map.compatible_target(Kind::Map));
+    }
+}

@@ -12,6 +12,9 @@
 //! * a lexer, recursive-descent [`parser`], and spanned [`diag`]nostics;
 //! * a [`check`] pass (boolean conditions, bound parameters, known
 //!   targets);
+//! * a whole-ruleset static [`analyze`]r (shadowed rules, unsatisfiable
+//!   conditions, kind-mismatched targets) over an [`interval`] abstract
+//!   domain, surfaced as `chameleon lint` and [`engine::LintMode`];
 //! * an [`eval`]uator over per-context metric environments;
 //! * the [`builtin`] Table 2 rule set with named tuning parameters;
 //! * the [`RuleEngine`], which applies the Definition 3.1 stability gate
@@ -33,20 +36,25 @@
 //! engine.set_param("SMALL", 12.0);
 //! ```
 
+pub mod analyze;
 pub mod ast;
 pub mod builtin;
 pub mod check;
 pub mod diag;
 pub mod engine;
 pub mod eval;
+pub mod interval;
+pub mod kinds;
 pub mod lexer;
 pub mod parser;
 pub mod suggest;
 pub mod token;
 
+pub use analyze::{analyze, analyze_source, LintReport};
 pub use ast::{Action, Category, Rule, TypePat};
 pub use builtin::{BUILTIN_RULES, DEFAULT_PARAMS};
-pub use diag::{RuleError, Span};
-pub use engine::RuleEngine;
+pub use diag::{Diagnostic, Note, RuleError, Severity, Span};
+pub use engine::{LintMode, RuleEngine};
+pub use kinds::Kind;
 pub use parser::{parse_rule, parse_rules};
 pub use suggest::{PolicyUpdate, Suggestion};

@@ -2,30 +2,16 @@
 //! factory policy updates.
 
 use crate::ast::{Action, Category};
+use crate::kinds;
+pub use crate::kinds::Kind;
 use chameleon_collections::factory::{ListChoice, MapChoice, Selection, SetChoice};
 use chameleon_heap::ContextId;
 use std::fmt;
 
-/// Collection kind of a requested source type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Kind {
-    /// List-typed context.
-    List,
-    /// Set-typed context.
-    Set,
-    /// Map-typed context.
-    Map,
-}
-
 impl Kind {
-    /// Infers the kind from a requested type name.
+    /// Infers the kind from a requested type name (shared registry).
     pub fn of_src_type(src_type: &str) -> Option<Kind> {
-        match src_type {
-            "ArrayList" | "LinkedList" | "IntArray" => Some(Kind::List),
-            "HashSet" | "LinkedHashSet" => Some(Kind::Set),
-            "HashMap" | "LinkedHashMap" => Some(Kind::Map),
-            _ => None,
-        }
+        kinds::kind_of_requested(src_type)
     }
 }
 

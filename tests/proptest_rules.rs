@@ -1,8 +1,19 @@
 //! Property-based tests of the rule language: pretty-print → reparse
-//! round-trips, evaluator totality, and engine determinism.
+//! round-trips, evaluator totality, engine determinism, and analyzer
+//! totality over both arbitrary bytes and grammar-derived rulesets.
 
-use chameleon_rules::{parse_rule, parse_rules, RuleEngine};
+use chameleon_rules::{
+    analyze_source, parse_rule, parse_rules, RuleEngine, BUILTIN_RULES, DEFAULT_PARAMS,
+};
 use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn default_params() -> HashMap<String, f64> {
+    DEFAULT_PARAMS
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), *v))
+        .collect()
+}
 
 /// Strategy generating syntactically valid rule text from grammar pieces.
 fn metric() -> impl Strategy<Value = String> {
@@ -161,6 +172,38 @@ proptest! {
         prop_assert!(suggestions.len() <= report.contexts.len());
     }
 
+    /// The full front end — lexer, parser, and whole-ruleset analyzer —
+    /// is total on arbitrary byte strings: it may reject, but it must
+    /// never panic, and any report it does produce must render and
+    /// serialise without panicking.
+    #[test]
+    fn analyzer_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let params = default_params();
+        if let Ok(report) = analyze_source(&src, &params) {
+            let _ = report.render(&src);
+            let _ = report.to_json(&src);
+        }
+    }
+
+    /// Grammar-derived rulesets always analyze without panicking, and the
+    /// report is internally consistent: counts match the diagnostic list
+    /// and both output formats succeed.
+    #[test]
+    fn analyzer_total_on_generated_rulesets(texts in prop::collection::vec(rule_text(), 1..6)) {
+        let src = texts.join(";\n");
+        let params = default_params();
+        let report = analyze_source(&src, &params).expect("generated rules parse");
+        prop_assert_eq!(
+            report.diagnostics.len(),
+            report.errors() + report.warnings() + report.infos()
+        );
+        let text = report.render(&src);
+        prop_assert!(!text.is_empty());
+        let json = report.to_json(&src);
+        prop_assert!(json.contains("\"findings\""));
+    }
+
     /// Evaluation is deterministic: same engine, same report, same output.
     #[test]
     fn evaluation_is_deterministic(text in rule_text()) {
@@ -188,4 +231,16 @@ proptest! {
         let b: Vec<String> = engine.evaluate(&report).iter().map(|s| s.to_string()).collect();
         prop_assert_eq!(a, b);
     }
+}
+
+/// Regression gate: the shipped Table 2 ruleset with its default
+/// parameters must lint completely clean — not even an Info finding.
+#[test]
+fn builtin_ruleset_lints_clean() {
+    let report = analyze_source(BUILTIN_RULES, &default_params()).expect("builtin parses");
+    assert!(
+        report.is_clean(),
+        "builtin ruleset must produce zero findings:\n{}",
+        report.render(BUILTIN_RULES)
+    );
 }

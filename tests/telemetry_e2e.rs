@@ -84,6 +84,72 @@ fn jsonl_reconstructs_profile_suggestions() {
     );
 }
 
+/// Satellite: defective rule batches surface as one `lint_finding` JSONL
+/// event per analyzer diagnostic, carrying severity, code, message, and
+/// the 1-based source position of the defect in the submitted batch.
+#[test]
+fn lint_findings_appear_in_jsonl() {
+    use chameleon_collections::Runtime;
+    use chameleon_heap::Heap;
+    use chameleon_profiler::{ProfileReport, Profiler};
+    use chameleon_rules::RuleEngine;
+
+    // A tiny real profile so `evaluate_traced` has contexts to walk.
+    let heap = Heap::new();
+    let rt = Runtime::new(heap.clone());
+    let profiler = Profiler::install(&rt);
+    let f = CollectionFactory::new(rt);
+    {
+        let _g = f.enter("lint.Site:1");
+        let mut m = f.new_map::<i64, i64>(None);
+        m.put(1, 1);
+        heap.gc();
+    }
+    heap.gc();
+    let report = ProfileReport::build(&profiler, &heap);
+
+    // Two seeded defects: an unsatisfiable condition (Error) and a
+    // kind-mismatched target (Error). The default Warn mode keeps the
+    // batch and records the findings.
+    let mut engine = RuleEngine::new();
+    engine
+        .add_rules(
+            "HashMap : maxSize > 32 && maxSize < 16 -> ArrayMap \"Space: never\";\n\
+             LinkedList : #get(int) > 4 -> HashMap",
+        )
+        .expect("warn mode keeps defective batches");
+
+    let t = Telemetry::new();
+    engine.evaluate_traced(&report, Some(&t));
+    let log = t.dump_jsonl();
+    json::validate_jsonl(&log, &["ev", "t"]).expect("log is valid JSONL");
+
+    let mut codes = Vec::new();
+    for line in log.lines() {
+        let v = json::parse(line).expect("line parses");
+        if v.get("ev").and_then(|e| e.as_str()) != Some("lint_finding") {
+            continue;
+        }
+        for key in ["severity", "code", "message"] {
+            assert!(
+                v.get(key).and_then(|x| x.as_str()).is_some(),
+                "lint_finding missing string {key}: {line}"
+            );
+        }
+        let line_no = v.get("line").unwrap().as_u64().unwrap();
+        let col_no = v.get("column").unwrap().as_u64().unwrap();
+        assert!(line_no >= 1 && col_no >= 1, "positions are 1-based: {line}");
+        assert_eq!(v.get("severity").unwrap().as_str(), Some("error"));
+        codes.push(v.get("code").unwrap().as_str().unwrap().to_owned());
+    }
+    codes.sort();
+    assert_eq!(
+        codes,
+        ["kind-mismatch", "unsatisfiable-condition"],
+        "expected exactly the two seeded defects:\n{log}"
+    );
+}
+
 /// Telemetry observes the simulation; it must never perturb it. The same
 /// workload produces bit-identical simulated metrics with telemetry
 /// enabled, disabled, or absent.
