@@ -7,7 +7,7 @@
 use chameleon_collections::factory::CollectionFactory;
 use chameleon_collections::Runtime;
 use chameleon_heap::semantic::{AdtDescriptor, CollectionKind, SemanticMap};
-use chameleon_heap::{ElemKind, GcConfig, Heap, HeapConfig};
+use chameleon_heap::{ElemKind, GcConfig, Heap, HeapConfig, HeapProfConfig};
 use chameleon_telemetry::Telemetry;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -166,6 +166,51 @@ fn main() {
         "  \"telemetry_overhead\": {{\"min_off_us\": {min_off:.2}, \"min_on_us\": {min_on:.2}, \"overhead_pct\": {overhead_pct:.2}, \"cycles\": {OVERHEAD_CYCLES}, \"events\": {}}},",
         telemetry.event_count()
     );
+
+    // Heap-profiling overhead: the identical GC workload with per-cycle
+    // snapshot capture (self bytes, edge sets, dominator retained sizes)
+    // enabled vs. absent, interleaved like the telemetry comparison above.
+    // The documented bound is 100%: a profiled cycle may cost at most 2x a
+    // plain cycle, because capture adds one bounded-size accumulator per
+    // object scanned plus one condensed-graph dominator pass per cycle.
+    const HEAPPROF_BOUND_PCT: f64 = 100.0;
+    const HEAPPROF_CYCLES: usize = 15;
+    let off_heap = populate(1);
+    let on_heap = populate(1);
+    on_heap.set_heap_profiling(Some(HeapProfConfig { every: 1 }));
+    off_heap.gc(); // settle: sweep construction garbage once
+    on_heap.gc();
+    let mut prof_off_us = Vec::with_capacity(HEAPPROF_CYCLES);
+    let mut prof_on_us = Vec::with_capacity(HEAPPROF_CYCLES);
+    for _ in 0..HEAPPROF_CYCLES {
+        let t0 = Instant::now();
+        black_box(off_heap.gc().live_objects);
+        prof_off_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        let t0 = Instant::now();
+        black_box(on_heap.gc().live_objects);
+        prof_on_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let prof_min_off = prof_off_us.iter().copied().fold(f64::INFINITY, f64::min);
+    let prof_min_on = prof_on_us.iter().copied().fold(f64::INFINITY, f64::min);
+    let prof_overhead_pct = 100.0 * (prof_min_on - prof_min_off) / prof_min_off;
+    let snapshots = on_heap.heap_snapshots();
+    let contexts = snapshots.last().map_or(0, |s| s.contexts.len());
+    println!(
+        "heapprof_overhead: off {prof_min_off:.1} us, on {prof_min_on:.1} us \
+         ({prof_overhead_pct:+.2}%, bound {HEAPPROF_BOUND_PCT:.0}%, {} snapshot(s), \
+         {contexts} context(s))",
+        snapshots.len()
+    );
+    let heapprof_json = format!(
+        "{{\"min_off_us\": {prof_min_off:.2}, \"min_on_us\": {prof_min_on:.2}, \
+         \"overhead_pct\": {prof_overhead_pct:.2}, \"bound_pct\": {HEAPPROF_BOUND_PCT:.2}, \
+         \"within_bound\": {}, \"cycles\": {HEAPPROF_CYCLES}, \"snapshots\": {}, \
+         \"contexts\": {contexts}}}\n",
+        prof_overhead_pct <= HEAPPROF_BOUND_PCT,
+        snapshots.len()
+    );
+    std::fs::write("BENCH_heapprof.json", &heapprof_json).expect("write BENCH_heapprof.json");
+    println!("wrote BENCH_heapprof.json");
 
     // Warm context capture: ns/op and intern misses over the timed loop.
     let f = CollectionFactory::new(Runtime::new(Heap::new()));

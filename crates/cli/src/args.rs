@@ -15,7 +15,14 @@ pub struct Invocation {
 }
 
 /// Option keys that take no value.
-const FLAGS: &[&str] = &["help", "manual-lazy", "throwable", "telemetry", "builtin"];
+const FLAGS: &[&str] = &[
+    "help",
+    "manual-lazy",
+    "throwable",
+    "telemetry",
+    "builtin",
+    "heapprof",
+];
 
 /// Option keys that take a value. Anything not listed here or in [`FLAGS`]
 /// is rejected: a mistyped `--option` would otherwise silently swallow the
@@ -29,6 +36,8 @@ const VALUE_OPTIONS: &[&str] = &[
     "trace-out",
     "format",
     "deny",
+    "every",
+    "out",
 ];
 
 /// Parses raw arguments (without the binary name).
@@ -89,6 +98,7 @@ fn is_command_word(a: &str) -> bool {
             | "check"
             | "eval"
             | "lint"
+            | "heapprof"
             | "list-workloads"
             | "help"
     )
@@ -196,6 +206,17 @@ mod tests {
         assert_eq!(inv.command, vec!["lint"]);
         assert!(inv.flag("builtin"));
         assert!(inv.positional.is_empty());
+    }
+
+    #[test]
+    fn heapprof_command_and_options() {
+        let inv = p("heapprof synthetic --every 2 --out profdir");
+        assert_eq!(inv.command, vec!["heapprof"]);
+        assert_eq!(inv.positional, vec!["synthetic"]);
+        assert_eq!(inv.num("every", 1).unwrap(), 2);
+        assert_eq!(inv.options["out"], "profdir");
+        let inv = p("profile synthetic --heapprof");
+        assert!(inv.flag("heapprof"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! chameleon optimize <workload> [--top K] [--manual-lazy]
 //! chameleon online <workload> [--eval-every N]
 //! chameleon trace <workload> [--telemetry] [--trace-out FILE]
+//! chameleon heapprof <workload> [--every N] [--out DIR]
 //! chameleon rules check <file.rules>
 //! chameleon rules eval <file.rules> <workload>
 //! chameleon lint <file.rules | --builtin> [--format text|json] [--deny LEVEL]
@@ -16,8 +17,9 @@ mod args;
 use args::Invocation;
 use chameleon_collections::factory::{CaptureConfig, CaptureMethod};
 use chameleon_core::{run_online, Chameleon, EnvConfig, OnlineConfig, Workload};
+use chameleon_profiler::HeapProfile;
 use chameleon_rules::{analyze, parse_rules, RuleEngine, Severity, BUILTIN_RULES, DEFAULT_PARAMS};
-use chameleon_telemetry::Telemetry;
+use chameleon_telemetry::{DriftConfig, Telemetry};
 use chameleon_workloads::{Bloat, Findbugs, Fop, Pmd, Soot, Synthetic, Tvla};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -28,9 +30,11 @@ chameleon — adaptive selection of collections (PLDI 2009 reproduction)
 USAGE:
   chameleon list-workloads
   chameleon profile  <workload> [--depth N] [--sample N] [--top K] [--throwable]
+                     [--heapprof]
   chameleon optimize <workload> [--top K] [--manual-lazy]
   chameleon online   <workload> [--eval-every N]
   chameleon trace    <workload> [--telemetry] [--trace-out FILE]
+  chameleon heapprof <workload> [--every N] [--out DIR] [--top K]
   chameleon rules check <file.rules>
   chameleon rules eval  <file.rules> <workload>
   chameleon lint <file.rules | --builtin> [--format text|json] [--deny LEVEL]
@@ -51,6 +55,10 @@ OPTIONS:
                   always on for `trace`, opt-in for `profile`
   --trace-out FILE  write the JSONL event/metric log to FILE
                   (default: stdout after the report)
+  --heapprof      profile: capture per-cycle heap snapshots and cite each
+                  suggestion's peak retained cycle
+  --every N       heapprof: capture a snapshot every N GC cycles (default 1)
+  --out DIR       heapprof: output directory (default heapprof-<workload>)
   --builtin       lint: analyze the built-in Table 2 rule set
   --format F      lint: output `text` (default) or `json`
   --deny LEVEL    lint: exit non-zero on findings at or above
@@ -114,6 +122,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         ["optimize"] => cmd_optimize(&inv),
         ["online"] => cmd_online(&inv),
         ["trace"] => cmd_trace(&inv),
+        ["heapprof"] => cmd_heapprof(&inv),
         ["rules", "check"] => cmd_rules_check(&inv),
         ["rules", "eval"] => cmd_rules_eval(&inv),
         ["lint"] => cmd_lint(&inv),
@@ -137,7 +146,11 @@ fn cmd_profile(inv: &Invocation) -> Result<(), String> {
     if let Some(t) = &telemetry {
         chameleon = chameleon.with_telemetry(t.clone());
     }
-    let report = chameleon.profile(w.as_ref());
+    if inv.flag("heapprof") {
+        chameleon = chameleon.with_heap_profiling(inv.num("every", 1)?.max(1));
+    }
+    let env = chameleon.profile_env(w.as_ref());
+    let report = env.report();
     println!(
         "{} — {} context(s), peak live {} B",
         w.name(),
@@ -149,8 +162,16 @@ fn cmd_profile(inv: &Invocation) -> Result<(), String> {
     let suggestions = chameleon
         .engine()
         .evaluate_traced(&report, telemetry.as_ref());
+    let profile = inv
+        .flag("heapprof")
+        .then(|| HeapProfile::from_heap(&env.heap, SERIES_CAPACITY));
     for s in suggestions.iter().take(top) {
         println!("  {s}");
+        if let Some(p) = &profile {
+            if let Some((cycle, retained)) = p.peak(s.ctx) {
+                println!("      peak retained {retained} B at GC cycle {cycle}");
+            }
+        }
     }
     if let Some(t) = &telemetry {
         emit_trace_log(inv, t)?;
@@ -178,6 +199,18 @@ fn cmd_trace(inv: &Invocation) -> Result<(), String> {
         report.peak_live(),
         report.series.len()
     );
+    if let Some(pause) = t
+        .metrics_snapshot()
+        .into_iter()
+        .find(|m| m.name == "heap.gc.pause_units")
+    {
+        println!(
+            "  gc pause: p50 {:.0} / p95 {:.0} units over {} cycle(s)",
+            pause.quantile(0.5),
+            pause.quantile(0.95),
+            pause.value
+        );
+    }
     println!("\nmetrics:");
     for m in t.metrics_snapshot() {
         match m.kind {
@@ -217,6 +250,93 @@ fn emit_trace_log(inv: &Invocation, t: &Telemetry) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// How many points each per-context series keeps before 2:1 downsampling
+/// kicks in (see `chameleon_telemetry::SeriesStore`).
+const SERIES_CAPACITY: usize = 256;
+
+/// `chameleon heapprof <workload>`: run the workload with continuous heap
+/// profiling and write the snapshot JSONL, a collapsed-stack flamegraph of
+/// the peak cycle, and a JSON summary into `--out DIR`.
+fn cmd_heapprof(inv: &Invocation) -> Result<(), String> {
+    let w = required_workload(inv, 0)?;
+    let every = inv.num("every", 1)?.max(1);
+    let top = inv.num("top", 10)? as usize;
+    let out = inv
+        .options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("heapprof-{}", w.name()));
+    // Collect more often than the default profiling interval: snapshots
+    // are only taken at GC cycles, and a bulk-allocating workload would
+    // otherwise finish before the first one.
+    let config = EnvConfig {
+        gc_interval_bytes: Some(32 * 1024),
+        ..env_from(inv)?
+    };
+    let chameleon = Chameleon::new()
+        .with_profile_config(config)
+        .with_heap_profiling(every);
+    let env = chameleon.profile_env(w.as_ref());
+    let profile = HeapProfile::from_heap(&env.heap, SERIES_CAPACITY);
+    if profile.snapshots.is_empty() {
+        return Err(format!(
+            "no snapshots captured: the run performed {} GC cycle(s) with --every {every}",
+            env.heap.gc_count()
+        ));
+    }
+
+    let jsonl = profile.snapshots_jsonl(&env.heap);
+    chameleon_telemetry::json::validate_jsonl(&jsonl, &["ev", "t", "cycle", "contexts"])
+        .map_err(|e| format!("internal error: snapshot JSONL failed validation: {e}"))?;
+    let drift_cfg = DriftConfig::default();
+    let summary = profile.summary_json(&env.heap, top, &drift_cfg);
+    let flamegraph = profile.flamegraph(&env.heap);
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let write = |name: &str, data: &str| {
+        let path = format!("{out}/{name}");
+        std::fs::write(&path, data).map_err(|e| format!("cannot write {path}: {e}"))
+    };
+    write("snapshots.jsonl", &jsonl)?;
+    write("flamegraph.folded", &flamegraph)?;
+    write("summary.json", &summary)?;
+
+    let peak = profile.peak_snapshot().expect("snapshots is non-empty");
+    println!(
+        "{} — {} snapshot(s) (every {} cycle(s)), peak live {} B at cycle {}",
+        w.name(),
+        profile.snapshots.len(),
+        every,
+        peak.live_bytes,
+        peak.cycle
+    );
+    println!("\ntop retained at peak:");
+    for (ctx, cycle, retained) in profile.top_retained(top) {
+        let label = ctx.map_or_else(|| "<no-context>".to_owned(), |c| env.heap.format_context(c));
+        println!("  {retained:>10} B  cycle {cycle:>4}  {label}");
+    }
+    let findings = profile.drift(&drift_cfg);
+    if findings.is_empty() {
+        println!(
+            "\nno drift: no context grew more than {:.0}%",
+            drift_cfg.growth_pct
+        );
+    } else {
+        println!("\ndrift (> {:.0}% growth):", drift_cfg.growth_pct);
+        for f in &findings {
+            println!(
+                "  {}: {:.0} B -> {:.0} B (+{:.0}%)",
+                profile.key_label(&env.heap, f.key),
+                f.first_mean,
+                f.last_mean,
+                f.growth_pct
+            );
+        }
+    }
+    println!("\nwrote {out}/snapshots.jsonl, flamegraph.folded, summary.json");
+    Ok(())
 }
 
 fn cmd_optimize(inv: &Invocation) -> Result<(), String> {
@@ -421,6 +541,34 @@ mod tests {
         assert!(log.contains("\"ev\":\"workload_begin\""), "{log}");
         assert!(log.contains("\"ev\":\"metric\""), "{log}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn heapprof_writes_all_artifacts() {
+        let dir = std::env::temp_dir().join("chameleon_cli_heapprof_test");
+        run_str(&format!(
+            "heapprof synthetic --every 2 --out {}",
+            dir.display()
+        ))
+        .expect("ok");
+        let jsonl = std::fs::read_to_string(dir.join("snapshots.jsonl")).expect("jsonl");
+        let lines = chameleon_telemetry::json::validate_jsonl(&jsonl, &["ev", "t", "cycle"])
+            .expect("valid JSONL");
+        assert!(lines > 0);
+        let fg = std::fs::read_to_string(dir.join("flamegraph.folded")).expect("flamegraph");
+        assert!(!fg.is_empty(), "flamegraph must be non-empty");
+        for line in fg.lines() {
+            let (_, weight) = line.rsplit_once(' ').expect("stack/weight split");
+            weight.parse::<u64>().expect("weight parses");
+        }
+        let summary = std::fs::read_to_string(dir.join("summary.json")).expect("summary");
+        chameleon_telemetry::json::parse(&summary).expect("summary parses");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_with_heapprof_cites_peak_cycles() {
+        run_str("profile synthetic --heapprof --top 3").expect("ok");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::metrics::RunMetrics;
 use crate::workload::Workload;
 use chameleon_collections::factory::{CaptureConfig, CaptureMethod, CollectionFactory, Selection};
 use chameleon_collections::{CostModel, ListChoice, MapChoice, Runtime, SetChoice};
-use chameleon_heap::{GcConfig, Heap, HeapConfig};
+use chameleon_heap::{GcConfig, Heap, HeapConfig, HeapProfConfig};
 use chameleon_profiler::{ProfileReport, Profiler};
 use chameleon_rules::{PolicyUpdate, Suggestion};
 use chameleon_telemetry::Telemetry;
@@ -38,6 +38,10 @@ pub struct EnvConfig {
     /// Telemetry sink to attach to the heap and runtime (None = no
     /// observability; the hot paths stay branch-only).
     pub telemetry: Option<Telemetry>,
+    /// Continuous heap profiling: capture a [`chameleon_heap::HeapSnapshot`]
+    /// every `every` GC cycles (None = off; simulation results are
+    /// bit-identical either way).
+    pub heapprof: Option<HeapProfConfig>,
 }
 
 impl Default for EnvConfig {
@@ -51,6 +55,7 @@ impl Default for EnvConfig {
             gc_threads: 1,
             model: chameleon_heap::MemoryModel::jvm32(),
             telemetry: None,
+            heapprof: None,
         }
     }
 }
@@ -144,6 +149,7 @@ impl Env {
             },
             model: config.model,
         });
+        heap.set_heap_profiling(config.heapprof);
         let rt = Runtime::with_cost(heap.clone(), config.cost);
         if let Some(t) = &config.telemetry {
             rt.attach_telemetry(t);

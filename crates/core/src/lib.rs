@@ -109,6 +109,24 @@ impl Chameleon {
         self.profile_config.telemetry.as_ref()
     }
 
+    /// Enables continuous heap profiling in the profiling environment: a
+    /// heap snapshot with retained-size attribution is captured every
+    /// `every` GC cycles. Simulation results are bit-identical with or
+    /// without it.
+    pub fn with_heap_profiling(mut self, every: u64) -> Self {
+        self.profile_config.heapprof = Some(chameleon_heap::HeapProfConfig { every });
+        self
+    }
+
+    /// Profiles `workload` once and returns the environment itself, so
+    /// callers can reach both the report *and* the heap (snapshots,
+    /// context labels) — `chameleon heapprof` builds its exports this way.
+    pub fn profile_env(&self, workload: &dyn Workload) -> Env {
+        let env = Env::new(&self.profile_config);
+        env.run(workload);
+        env
+    }
+
     /// The rule engine in use.
     pub fn engine(&self) -> &RuleEngine {
         &self.engine

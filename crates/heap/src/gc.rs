@@ -21,6 +21,7 @@
 use crate::heap::HeapInner;
 use crate::object::{ElemKind, ObjBody, ObjId, Object};
 use crate::semantic::{AdtDescriptor, SemanticMap};
+use crate::snapshot::{self, SnapAcc};
 use crate::stats::{AdtTotals, CycleStats};
 use chameleon_telemetry::SpanTimer;
 use std::ops::Range;
@@ -31,6 +32,13 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
     // Wall-clock phase timing happens only with telemetry enabled; the
     // simulated results below never depend on it.
     let timed = inner.telemetry.as_ref().is_some_and(|ht| ht.on());
+
+    // Snapshot capture is due on cycles 1, 1+every, 1+2*every, ... after
+    // profiling was enabled. One Option check per cycle when disabled.
+    let snap_due = inner
+        .heapprof
+        .as_ref()
+        .is_some_and(|s| inner.gc_count.is_multiple_of(s.config.every.max(1)));
 
     // Take the reusable mark array out of the heap so workers can share
     // `&HeapInner` while holding an independent borrow of the marks.
@@ -58,6 +66,7 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
             n_classes,
             n_contexts,
             timed,
+            snap_due,
         )]
     } else {
         let chunk = inner.slab.len().div_ceil(threads);
@@ -70,7 +79,7 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
                     let range = start..(start + chunk).min(shared.slab.len());
                     s.spawn(move || {
                         scan_chunk(
-                            shared, marks_ref, epoch, range, n_classes, n_contexts, timed,
+                            shared, marks_ref, epoch, range, n_classes, n_contexts, timed, snap_due,
                         )
                     })
                 })
@@ -135,6 +144,35 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
         0
     };
 
+    // ----- snapshot assembly ----------------------------------------------------
+    // Pure read-side work: the merged accumulator plus virtual-root edges
+    // resolved against the (already swept, but roots are live) slab. Never
+    // touches the clock or the cycle statistics.
+    let snapshot = snap_due.then(|| {
+        let mut merged = SnapAcc::new(n_contexts);
+        for acc in &accs {
+            if let Some(s) = &acc.snap {
+                merged.merge(s);
+            }
+        }
+        let root_node = (n_contexts + 1) as u32;
+        for id in inner.roots.keys() {
+            if let Some(o) = resolve_opt(inner, *id) {
+                let tnode = o.ctx.map_or(n_contexts as u32, |c| c.0);
+                merged.edges.insert(snapshot::pack_edge(root_node, tnode));
+            }
+        }
+        snapshot::build_snapshot(
+            inner.gc_count,
+            at_units,
+            live_bytes,
+            live_objects,
+            &merged,
+            &per_ctx_dense,
+            collection,
+        )
+    });
+
     let per_context: Vec<_> = per_ctx_dense
         .into_iter()
         .enumerate()
@@ -185,6 +223,22 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
                     .num("coll_core", stats.collection.core)
                     .num("coll_count", stats.collection.count);
             }
+            if let Some(s) = &snapshot {
+                ht.prof_snapshots.inc();
+                if let Some(mut e) = ht.t.event("heap_snapshot", at_units) {
+                    e.num("cycle", s.cycle)
+                        .num("live_bytes", s.live_bytes)
+                        .num("live_objects", s.live_objects)
+                        .num("retained_root", s.retained_root)
+                        .num("contexts", s.contexts.len() as u64);
+                }
+            }
+        }
+    }
+
+    if let Some(s) = snapshot {
+        if let Some(state) = inner.heapprof.as_mut() {
+            state.snapshots.push(s);
         }
     }
 
@@ -217,6 +271,9 @@ struct ScanAcc {
     collection: AdtTotals,
     per_context: Vec<AdtTotals>,
     type_dist: Vec<(u64, u64)>,
+    /// Snapshot accumulator, filled only on cycles where heap profiling is
+    /// due; `None` keeps the scan loop free of snapshot branches' work.
+    snap: Option<SnapAcc>,
     /// Wall-clock nanoseconds this worker spent scanning (0 when telemetry
     /// is off; never feeds into the simulated statistics).
     elapsed_ns: u64,
@@ -235,6 +292,7 @@ fn scan_chunk(
     n_classes: usize,
     n_contexts: usize,
     timed: bool,
+    snap_due: bool,
 ) -> ScanAcc {
     let timer = timed.then(SpanTimer::start);
     let mut acc = ScanAcc {
@@ -246,6 +304,7 @@ fn scan_chunk(
         collection: AdtTotals::default(),
         per_context: vec![AdtTotals::default(); n_contexts],
         type_dist: vec![(0, 0); n_classes],
+        snap: snap_due.then(|| SnapAcc::new(n_contexts)),
         elapsed_ns: 0,
     };
     for i in range {
@@ -263,6 +322,22 @@ fn scan_chunk(
         let slot = &mut acc.type_dist[o.class.0 as usize];
         slot.0 += u64::from(o.size);
         slot.1 += 1;
+        if let Some(snap) = acc.snap.as_mut() {
+            // Live objects reachable from this one are marked by
+            // construction, so every resolvable reference is a live edge.
+            let node = o.ctx.map_or(n_contexts as u32, |c| c.0);
+            snap.self_bytes[node as usize] += u64::from(o.size);
+            snap.objects[node as usize] += 1;
+            for child in o.refs_iter() {
+                if let Some(target) = resolve_opt(inner, child) {
+                    let tnode = target.ctx.map_or(n_contexts as u32, |c| c.0);
+                    snap.edges_in[tnode as usize] += 1;
+                    if tnode != node {
+                        snap.edges.insert(snapshot::pack_edge(node, tnode));
+                    }
+                }
+            }
+        }
         let Some(map) = inner.classes.info(o.class).semantic_map else {
             continue;
         };
@@ -736,6 +811,108 @@ mod tests {
             cfg.cost_per_cycle + (stats.live_bytes / 1024) * cfg.cost_per_live_kib
         );
         assert_eq!(stats.at_units, 0, "no clock attached");
+    }
+
+    #[test]
+    fn snapshot_capture_reconciles_with_cycle_stats() {
+        use crate::snapshot::HeapProfConfig;
+        let heap = Heap::new();
+        heap.set_heap_profiling(Some(HeapProfConfig { every: 1 }));
+        let _w = array_list_fixture(&heap, 10, 3);
+        let stats = heap.gc();
+        let snaps = heap.heap_snapshots();
+        assert_eq!(snaps.len(), 1);
+        let s = &snaps[0];
+        assert_eq!(s.cycle, stats.cycle);
+        assert_eq!(s.live_bytes, stats.live_bytes);
+        assert_eq!(s.live_objects, stats.live_objects);
+        let self_sum: u64 = s.contexts.iter().map(|c| c.self_bytes).sum();
+        assert_eq!(self_sum, stats.live_bytes, "self bytes partition the heap");
+        assert_eq!(s.retained_root, stats.live_bytes);
+        // The rooted wrapper's context dominates the context-less impl and
+        // backing array, so it retains the entire live heap.
+        let ctx_snap = s.contexts.iter().find(|c| c.ctx.is_some()).unwrap();
+        assert_eq!(ctx_snap.retained_bytes, stats.live_bytes);
+        assert_eq!(ctx_snap.coll, stats.per_context[0].1);
+        // Wrapper -> impl and impl -> array are the only resolvable edges
+        // into the no-context bucket.
+        let none_snap = s.contexts.iter().find(|c| c.ctx.is_none()).unwrap();
+        assert_eq!(none_snap.edges_in, 2);
+        assert_eq!(none_snap.objects, 2);
+    }
+
+    #[test]
+    fn snapshot_cadence_follows_every() {
+        use crate::snapshot::HeapProfConfig;
+        let heap = Heap::new();
+        heap.set_heap_profiling(Some(HeapProfConfig { every: 3 }));
+        let class = heap.register_class("A", None);
+        let o = heap.alloc_scalar(class, 0, 0, None);
+        heap.add_root(o);
+        for _ in 0..7 {
+            heap.gc();
+        }
+        let cycles: Vec<u64> = heap.heap_snapshots().iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, [1, 4, 7]);
+        heap.clear_heap_snapshots();
+        assert!(heap.heap_snapshots().is_empty());
+        assert_eq!(heap.heap_profiling(), Some(HeapProfConfig { every: 3 }));
+    }
+
+    #[test]
+    fn snapshots_identical_across_thread_counts() {
+        use crate::snapshot::HeapProfConfig;
+        let build = |threads: usize| {
+            let heap = Heap::with_config(HeapConfig {
+                gc: GcConfig {
+                    threads,
+                    ..GcConfig::default()
+                },
+                ..HeapConfig::default()
+            });
+            heap.set_heap_profiling(Some(HeapProfConfig { every: 1 }));
+            let class = heap.register_class("Node", None);
+            // Cross-context chains: each context's objects reference the
+            // next context's, with some shared tails.
+            let ctxs: Vec<_> = (0..6)
+                .map(|i| heap.intern_context("Node", &[format!("S.m:{i}")], 1))
+                .collect();
+            let shared = heap.alloc_scalar(class, 0, 16, Some(ctxs[5]));
+            for (i, &ctx) in ctxs.iter().enumerate().take(5) {
+                let mut prev = shared;
+                for _ in 0..20 {
+                    let n = heap.alloc_scalar(class, 1, (i as u32) * 8, Some(ctx));
+                    heap.set_ref(n, 0, Some(prev));
+                    prev = n;
+                }
+                heap.add_root(prev);
+            }
+            for _ in 0..30 {
+                let _ = heap.alloc_scalar(class, 0, 8, None); // garbage
+            }
+            heap.gc();
+            heap.heap_snapshots()
+        };
+        let seq = build(1);
+        let par = build(4);
+        assert_eq!(seq, par, "snapshots must not depend on worker count");
+    }
+
+    #[test]
+    fn disabling_heap_profiling_stops_capture() {
+        use crate::snapshot::HeapProfConfig;
+        let heap = Heap::new();
+        let class = heap.register_class("A", None);
+        let o = heap.alloc_scalar(class, 0, 0, None);
+        heap.add_root(o);
+        heap.gc();
+        assert!(heap.heap_snapshots().is_empty(), "off by default");
+        heap.set_heap_profiling(Some(HeapProfConfig::default()));
+        heap.gc();
+        assert_eq!(heap.heap_snapshots().len(), 1);
+        heap.set_heap_profiling(None);
+        heap.gc();
+        assert!(heap.heap_snapshots().is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::gc;
 use crate::layout::MemoryModel;
 use crate::object::{ClassId, ElemKind, ObjBody, ObjId, Object, ObjectView};
 use crate::semantic::{ClassRegistry, SemanticMap};
+use crate::snapshot::{HeapProfConfig, HeapProfState, HeapSnapshot};
 use crate::stats::CycleStats;
 use crate::telemetry::HeapTelemetry;
 use chameleon_telemetry::Telemetry;
@@ -111,6 +112,9 @@ pub(crate) struct HeapInner {
     /// Pre-resolved telemetry handles; `None` (the default) keeps every hot
     /// path exactly as uninstrumented.
     pub(crate) telemetry: Option<HeapTelemetry>,
+    /// Continuous heap profiling; `None` (the default) keeps the GC scan
+    /// free of snapshot work.
+    pub(crate) heapprof: Option<HeapProfState>,
 }
 
 /// Shared handle to a simulated heap.
@@ -183,6 +187,7 @@ impl Heap {
                 marks: Vec::new(),
                 mark_epoch: 0,
                 telemetry: None,
+                heapprof: None,
             })),
         }
     }
@@ -209,6 +214,42 @@ impl Heap {
     /// with it on, off, or absent.
     pub fn attach_telemetry(&self, telemetry: &Telemetry) {
         self.inner.lock().telemetry = Some(HeapTelemetry::new(telemetry));
+    }
+
+    /// Enables (with `Some`) or disables (with `None`) continuous heap
+    /// profiling. While enabled, every `config.every`-th GC cycle captures a
+    /// [`HeapSnapshot`] during the fused scan — per-context self bytes,
+    /// object and edge counts, semantic collection totals, and
+    /// dominator-based retained sizes over the context condensation.
+    /// Snapshot capture only reads the heap and never charges the
+    /// [`SimClock`], so simulated results are bit-identical with profiling
+    /// on, off, or absent. Re-enabling discards previously captured
+    /// snapshots.
+    pub fn set_heap_profiling(&self, config: Option<HeapProfConfig>) {
+        self.inner.lock().heapprof = config.map(HeapProfState::new);
+    }
+
+    /// The active heap-profiling configuration, if any.
+    pub fn heap_profiling(&self) -> Option<HeapProfConfig> {
+        self.inner.lock().heapprof.as_ref().map(|s| s.config)
+    }
+
+    /// All heap snapshots captured so far (empty unless
+    /// [`Heap::set_heap_profiling`] enabled capture).
+    pub fn heap_snapshots(&self) -> Vec<HeapSnapshot> {
+        self.inner
+            .lock()
+            .heapprof
+            .as_ref()
+            .map(|s| s.snapshots.clone())
+            .unwrap_or_default()
+    }
+
+    /// Discards captured snapshots while keeping profiling enabled.
+    pub fn clear_heap_snapshots(&self) {
+        if let Some(s) = self.inner.lock().heapprof.as_mut() {
+            s.snapshots.clear();
+        }
     }
 
     /// The layout model this heap uses.

@@ -56,6 +56,7 @@ pub mod heap;
 pub mod layout;
 pub mod object;
 pub mod semantic;
+pub mod snapshot;
 pub mod stats;
 mod telemetry;
 
@@ -65,4 +66,5 @@ pub use heap::{BatchAlloc, GcConfig, Heap, HeapConfig, OutOfMemory};
 pub use layout::MemoryModel;
 pub use object::{ClassId, ElemKind, ObjId, ObjectView};
 pub use semantic::{AdtDescriptor, CollectionKind, SemanticMap};
+pub use snapshot::{ContextSnap, HeapProfConfig, HeapSnapshot};
 pub use stats::{AdtTotals, CycleStats, HeapAggregate};

@@ -27,6 +27,8 @@ pub(crate) struct HeapTelemetry {
     pub(crate) ctx_misses: Counter,
     /// `heap.context.frame_misses` — frame interns that allocated.
     pub(crate) frame_misses: Counter,
+    /// `heap.prof.snapshots` — heap snapshots captured.
+    pub(crate) prof_snapshots: Counter,
 }
 
 impl HeapTelemetry {
@@ -40,6 +42,7 @@ impl HeapTelemetry {
             ctx_hits: t.counter("heap.context.hits"),
             ctx_misses: t.counter("heap.context.misses"),
             frame_misses: t.counter("heap.context.frame_misses"),
+            prof_snapshots: t.counter("heap.prof.snapshots"),
             t: t.clone(),
         }
     }

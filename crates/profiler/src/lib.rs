@@ -37,10 +37,12 @@
 //! ```
 
 pub mod context_trace;
+pub mod heapprof;
 #[allow(clippy::module_inception)]
 pub mod profiler;
 pub mod report;
 
 pub use context_trace::{ContextTrace, StabilityConfig};
+pub use heapprof::HeapProfile;
 pub use profiler::Profiler;
 pub use report::{ContextProfile, ProfileReport, SeriesPoint};

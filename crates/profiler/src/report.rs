@@ -11,6 +11,7 @@ use crate::profiler::Profiler;
 use chameleon_collections::Op;
 use chameleon_heap::stats::{aggregate_contexts, ContextHeapStats, CycleStats, HeapAggregate};
 use chameleon_heap::{ContextId, Heap};
+use chameleon_telemetry::json;
 use std::fmt::Write as _;
 
 /// One point of the Fig. 2 / Fig. 8 series: collection share of live data
@@ -169,6 +170,105 @@ impl ProfileReport {
     pub fn peak_live(&self) -> u64 {
         self.totals.max_live
     }
+
+    /// Renders the whole report as one machine-readable JSON document
+    /// (validated against `telemetry::json::parse` in tests): run totals,
+    /// every context in rank order with trace and heap aggregates, and the
+    /// per-cycle series.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"totals\":{");
+        let _ = write!(
+            out,
+            "\"cycles\":{},\"total_live\":{},\"max_live\":{},",
+            self.totals.cycles, self.totals.total_live, self.totals.max_live
+        );
+        out.push_str("\"coll_total\":");
+        write_adt(&mut out, self.totals.total);
+        out.push_str(",\"coll_max\":");
+        write_adt(&mut out, self.totals.max);
+        out.push_str("},\"contexts\":[");
+        for (i, c) in self.contexts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":");
+            json::write_str(&mut out, &c.label);
+            out.push_str(",\"src_type\":");
+            json::write_str(&mut out, &c.src_type);
+            let _ = write!(out, ",\"potential_bytes\":{},", c.potential_bytes);
+            out.push_str("\"potential_pct\":");
+            write_f64(&mut out, c.potential_pct);
+            let _ = write!(
+                out,
+                ",\"trace\":{{\"instances\":{},\"max_size_peak\":{},\"grew_beyond_capacity\":{},",
+                c.trace.instances, c.trace.max_size_peak, c.trace.grew_beyond_capacity
+            );
+            out.push_str("\"max_size_avg\":");
+            write_f64(&mut out, c.trace.max_size_avg());
+            out.push_str(",\"never_used_fraction\":");
+            write_f64(&mut out, c.trace.never_used_fraction());
+            let _ = write!(
+                out,
+                ",\"all_ops_total\":{},\"ops\":{{",
+                c.trace.all_ops_total()
+            );
+            let mut first = true;
+            for op in Op::ALL {
+                let n = c.trace.op_total(op);
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                json::write_str(&mut out, &op.to_string());
+                let _ = write!(out, ":{n}");
+            }
+            out.push_str("}},\"heap\":{\"total\":");
+            write_adt(&mut out, c.heap.total);
+            out.push_str(",\"max\":");
+            write_adt(&mut out, c.heap.max);
+            out.push_str("}}");
+        }
+        out.push_str("],\"series\":[");
+        for (i, p) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"cycle\":{},\"heap_live\":{},",
+                p.cycle, p.heap_live
+            );
+            out.push_str("\"live_pct\":");
+            write_f64(&mut out, p.live_pct);
+            out.push_str(",\"used_pct\":");
+            write_f64(&mut out, p.used_pct);
+            out.push_str(",\"core_pct\":");
+            write_f64(&mut out, p.core_pct);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn write_adt(out: &mut String, t: chameleon_heap::AdtTotals) {
+    let _ = write!(
+        out,
+        "{{\"live\":{},\"used\":{},\"core\":{},\"count\":{}}}",
+        t.live, t.used, t.core, t.count
+    );
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +388,72 @@ mod tests {
         let text = report.format_top_contexts(2);
         assert!(text.contains("A.alloc:1"), "summary: {text}");
         assert!(text.contains("potential"));
+    }
+
+    #[test]
+    fn top_k_order_is_deterministic_under_ties() {
+        // Several contexts with identical potential (0 heap stats): the
+        // secondary label sort must fully determine the order, regardless
+        // of trace-map iteration order.
+        let heap = Heap::new();
+        let mk = |frame: &str| {
+            let ctx = heap.intern_context("HashMap", &[frame.to_owned()], 2);
+            (Some(ctx), ContextTrace::new("HashMap"))
+        };
+        let order = |frames: &[&str]| {
+            let traces: Vec<_> = frames.iter().map(|f| mk(f)).collect();
+            let report = ProfileReport::from_parts(traces, &[], &heap);
+            report
+                .top(10)
+                .iter()
+                .map(|c| c.label.clone())
+                .collect::<Vec<_>>()
+        };
+        let a = order(&["Z.m:1", "A.m:1", "M.m:1"]);
+        let b = order(&["M.m:1", "Z.m:1", "A.m:1"]);
+        assert_eq!(a, b, "insertion order must not leak into top(k)");
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(a, sorted, "ties resolve by ascending label");
+    }
+
+    #[test]
+    fn to_json_is_machine_readable() {
+        use chameleon_telemetry::json;
+        let (report, _heap) = small_run();
+        let doc = report.to_json();
+        let v = json::parse(&doc).expect("report JSON parses");
+        let contexts = v.get("contexts").unwrap().as_arr().unwrap();
+        assert_eq!(contexts.len(), report.contexts.len());
+        // Rank order and key fields survive the round trip.
+        assert_eq!(
+            contexts[0].get("label").unwrap().as_str().unwrap(),
+            report.contexts[0].label
+        );
+        assert_eq!(
+            contexts[0]
+                .get("potential_bytes")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            report.contexts[0].potential_bytes
+        );
+        let trace = contexts[0].get("trace").unwrap();
+        assert_eq!(
+            trace.get("instances").unwrap().as_u64().unwrap(),
+            report.contexts[0].trace.instances
+        );
+        assert!(trace.get("ops").unwrap().as_obj().is_some());
+        assert_eq!(
+            v.get("totals").unwrap().get("cycles").unwrap().as_u64(),
+            Some(report.totals.cycles)
+        );
+        let series = v.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series.len(), report.series.len());
+        assert_eq!(
+            series[0].get("heap_live").unwrap().as_u64(),
+            Some(report.series[0].heap_live)
+        );
     }
 
     #[test]

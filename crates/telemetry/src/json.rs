@@ -353,6 +353,89 @@ mod tests {
     }
 
     #[test]
+    fn escaped_quotes_and_backslashes() {
+        // `"\\\""` is the two-character string `\"`; follow with an escaped
+        // backslash right before the closing quote — the classic
+        // parser-confuser, since a naive scanner treats `\\"` as an escaped
+        // quote and runs past the end of the string.
+        let v = parse(r#"{"a":"\\\"","b":"tail\\"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_str(), Some("\\\""));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("tail\\"));
+        // Round-trip through the writer.
+        let mut buf = String::new();
+        write_str(&mut buf, "\\\"\\\\\"");
+        assert_eq!(parse(&buf).unwrap().as_str(), Some("\\\"\\\\\""));
+        // \u escapes and forward slashes.
+        let v = parse(r#""A\/é""#).unwrap();
+        assert_eq!(v.as_str(), Some("A/é"));
+        // An escape cut off by end-of-input must error, not panic.
+        assert!(parse(r#""dangling\"#).is_err());
+        assert!(parse(r#""\u12"#).is_err());
+        assert!(parse(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_arrays() {
+        let depth = 300;
+        let mut src = String::new();
+        src.push_str(&"[".repeat(depth));
+        src.push('7');
+        src.push_str(&"]".repeat(depth));
+        let mut v = parse(&src).unwrap();
+        for _ in 0..depth {
+            v = v.as_arr().unwrap()[0].clone();
+        }
+        assert_eq!(v.as_f64(), Some(7.0));
+        // Unbalanced nesting is rejected.
+        assert!(parse(&"[".repeat(depth)).is_err());
+    }
+
+    #[test]
+    fn numbers_at_integer_and_float_boundaries() {
+        // Integers are exact up to 2^53 (Num holds an f64).
+        let exact = parse("9007199254740992").unwrap(); // 2^53
+        assert_eq!(exact.as_u64(), Some(1 << 53));
+        // i64::MAX / i64::MIN parse (rounded to the nearest representable
+        // f64, which is the documented contract of `Value::Num`).
+        let max = parse("9223372036854775807").unwrap();
+        assert_eq!(max.as_f64(), Some(9.223372036854776e18));
+        let min = parse("-9223372036854775808").unwrap();
+        assert_eq!(min.as_f64(), Some(-9.223372036854776e18));
+        // f64::MAX and the smallest subnormal survive exactly.
+        let fmax = parse("1.7976931348623157e308").unwrap();
+        assert_eq!(fmax.as_f64(), Some(f64::MAX));
+        let tiny = parse("5e-324").unwrap();
+        assert_eq!(tiny.as_f64(), Some(f64::from_bits(1)));
+        // Beyond-range magnitudes follow Rust's f64 parsing: infinite.
+        assert_eq!(parse("1e400").unwrap().as_f64(), Some(f64::INFINITY));
+        assert_eq!(parse("-1e400").unwrap().as_f64(), Some(f64::NEG_INFINITY));
+        // Negative numbers are not u64s.
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        // Every value kind with trailing content after a complete document.
+        for src in [
+            "{\"a\":1}{\"b\":2}",
+            "{\"a\":1} x",
+            "[1,2] 3",
+            "\"s\" \"t\"",
+            "123abc",
+            "truefalse",
+            "null,",
+        ] {
+            let err = parse(src).expect_err(src);
+            assert!(
+                err.contains("trailing") || err.contains("bad number"),
+                "{src}: {err}"
+            );
+        }
+        // Leading/trailing whitespace alone is fine.
+        assert!(parse("  {\"a\":1}\n\t").is_ok());
+    }
+
+    #[test]
     fn validate_jsonl_checks_required_keys() {
         let good = "{\"ev\":\"a\",\"t\":1}\n\n{\"ev\":\"b\",\"t\":2}\n";
         assert_eq!(validate_jsonl(good, &["ev", "t"]).unwrap(), 2);

@@ -38,8 +38,10 @@
 
 pub mod json;
 pub mod metrics;
+pub mod series;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricKind, MetricSnapshot};
+pub use series::{DriftConfig, DriftFinding, SeriesSample, SeriesStore};
 
 use metrics::Registry;
 use std::fmt;

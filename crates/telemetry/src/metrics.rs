@@ -155,6 +155,46 @@ impl Histogram {
     pub fn bounds(&self) -> &[u64] {
         &self.inner.bounds
     }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation inside the bucket where the cumulative count crosses
+    /// `q * count`. Exact whenever the true quantile sits on a bucket
+    /// bound; observations in the overflow bucket are clamped to the last
+    /// finite bound. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        bucket_quantile(self.bounds(), &self.bucket_counts(), q)
+    }
+}
+
+/// Bucket-linear quantile estimation over `(bounds, buckets)` as stored by
+/// [`Histogram`] and [`MetricSnapshot`]: `buckets` has one entry per bound
+/// plus a trailing overflow bucket.
+pub fn bucket_quantile(bounds: &[u64], buckets: &[u64], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0.0;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let c = c as f64;
+        if cum + c >= target {
+            let lo = if i == 0 { 0.0 } else { bounds[i - 1] as f64 };
+            if i >= bounds.len() {
+                // Overflow bucket: unbounded above, clamp to its lower edge.
+                return lo;
+            }
+            let frac = ((target - cum) / c).clamp(0.0, 1.0);
+            return lo + frac * (bounds[i] as f64 - lo);
+        }
+        cum += c;
+    }
+    // Only reachable when trailing buckets are empty and rounding left
+    // `target` microscopically above the cumulative total.
+    bounds.last().map_or(0.0, |b| *b as f64)
 }
 
 #[derive(Clone)]
@@ -193,6 +233,12 @@ pub struct MetricSnapshot {
 }
 
 impl MetricSnapshot {
+    /// Histogram quantile estimate (see [`Histogram::quantile`]); 0 for
+    /// counters and gauges.
+    pub fn quantile(&self, q: f64) -> f64 {
+        bucket_quantile(&self.bounds, &self.buckets, q)
+    }
+
     /// Appends this snapshot as one `{"ev":"metric",...}` JSONL line.
     pub fn write_jsonl(&self, out: &mut String) {
         use fmt::Write as _;
@@ -328,6 +374,54 @@ mod tests {
         assert_eq!(h.count(), 4);
         assert_eq!(h.sum(), 1065);
         assert!((h.mean() - 266.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_exact_at_bucket_boundaries() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        // All mass exactly on the first bound.
+        for _ in 0..4 {
+            h.record(10);
+        }
+        assert_eq!(h.quantile(1.0), 10.0);
+        assert_eq!(h.quantile(0.0), 0.0, "q=0 is the bucket's lower edge");
+        // Mass split across two buckets: the median lands exactly on the
+        // boundary between them.
+        let h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(50);
+        assert_eq!(h.quantile(0.5), 10.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        let h = Histogram::new(&[10, 110]);
+        for _ in 0..10 {
+            h.record(60); // all in (10, 110]
+        }
+        // Linear within the bucket: q=0.5 -> halfway between 10 and 110.
+        assert_eq!(h.quantile(0.5), 60.0);
+        assert_eq!(h.quantile(0.25), 35.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new(&[10, 100]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        h.record(5000); // overflow bucket
+        assert_eq!(h.quantile(0.5), 100.0, "overflow clamps to last bound");
+        assert_eq!(h.quantile(2.0), 100.0, "q clamps to [0,1]");
+        let snap_q = MetricSnapshot {
+            name: "h".into(),
+            kind: MetricKind::Histogram,
+            value: h.count(),
+            sum: h.sum(),
+            bounds: h.bounds().to_vec(),
+            buckets: h.bucket_counts(),
+        }
+        .quantile(0.5);
+        assert_eq!(snap_q, h.quantile(0.5), "snapshot agrees with handle");
     }
 
     #[test]

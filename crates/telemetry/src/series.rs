@@ -1,0 +1,292 @@
+//! Bounded time-series storage with deterministic downsampling.
+//!
+//! [`SeriesStore`] keeps one bounded series per `u64` key (heap profiling
+//! keys by interned `ContextId`). When a series reaches its capacity it is
+//! compacted 2:1 — adjacent point pairs merge into one point carrying the
+//! earlier cycle and the **maximum** value (peaks survive compaction) — and
+//! from then on only every 2nd (then 4th, 8th, ...) incoming sample is
+//! admitted. The policy is a pure function of the sample sequence: no
+//! clocks, no randomness, so two identical runs produce identical series.
+//!
+//! [`SeriesStore::detect_drift`] flags series whose mean over the newest
+//! half exceeds the mean over the oldest half by a configurable growth
+//! percentage — the suspected-bloat signal the heap profiler surfaces.
+
+use std::collections::BTreeMap;
+
+/// One retained sample of a series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesSample {
+    /// GC cycle (or other monotone index) the sample was taken at.
+    pub cycle: u64,
+    /// Sampled value.
+    pub value: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Series {
+    points: Vec<SeriesSample>,
+    /// Admit every `keep_every`-th offered sample (doubles per compaction).
+    keep_every: u64,
+    /// Samples offered to this series so far.
+    seen: u64,
+}
+
+/// Bounded per-key time series with deterministic 2:1 downsampling.
+#[derive(Debug, Clone)]
+pub struct SeriesStore {
+    capacity: usize,
+    series: BTreeMap<u64, Series>,
+}
+
+/// Configuration for [`SeriesStore::detect_drift`].
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Flag a series when the newest-half mean exceeds the oldest-half
+    /// mean by at least this percentage.
+    pub growth_pct: f64,
+    /// Minimum retained points before a series is considered.
+    pub min_points: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            growth_pct: 50.0,
+            min_points: 6,
+        }
+    }
+}
+
+/// One series whose trend crossed the configured growth threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftFinding {
+    /// The series key.
+    pub key: u64,
+    /// Mean value over the oldest half of the retained points.
+    pub first_mean: f64,
+    /// Mean value over the newest half.
+    pub last_mean: f64,
+    /// Measured growth in percent (relative to `max(first_mean, 1)`, so a
+    /// series growing from zero stays finite).
+    pub growth_pct: f64,
+}
+
+impl SeriesStore {
+    /// Creates a store retaining at most `capacity` points per series
+    /// (forced even and at least 4 so pairwise compaction is exact).
+    pub fn new(capacity: usize) -> Self {
+        SeriesStore {
+            capacity: capacity.max(4) & !1,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The per-series point capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers a sample to the series for `key`. Whether it is retained is
+    /// decided by the series' current downsampling stride.
+    pub fn push(&mut self, key: u64, cycle: u64, value: u64) {
+        let s = self.series.entry(key).or_insert(Series {
+            points: Vec::new(),
+            keep_every: 1,
+            seen: 0,
+        });
+        let index = s.seen;
+        s.seen += 1;
+        if !index.is_multiple_of(s.keep_every) {
+            return;
+        }
+        if s.points.len() == self.capacity {
+            // 2:1 compaction: pairs merge into (earlier cycle, max value).
+            s.points = s
+                .points
+                .chunks(2)
+                .map(|pair| SeriesSample {
+                    cycle: pair[0].cycle,
+                    value: pair.iter().map(|p| p.value).max().unwrap_or(0),
+                })
+                .collect();
+            s.keep_every *= 2;
+            // The triggering sample is admitted only if it falls on the
+            // new, coarser grid — keeps retained samples evenly spaced.
+            if !index.is_multiple_of(s.keep_every) {
+                return;
+            }
+        }
+        s.points.push(SeriesSample { cycle, value });
+    }
+
+    /// Retained points for `key`, oldest first.
+    pub fn get(&self, key: u64) -> Option<&[SeriesSample]> {
+        self.series.get(&key).map(|s| s.points.as_slice())
+    }
+
+    /// All keys with at least one retained point, ascending.
+    pub fn keys(&self) -> Vec<u64> {
+        self.series
+            .iter()
+            .filter(|(_, s)| !s.points.is_empty())
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Current downsampling stride of `key`'s series (1 = every sample).
+    pub fn stride(&self, key: u64) -> Option<u64> {
+        self.series.get(&key).map(|s| s.keep_every)
+    }
+
+    /// Flags every series whose newest-half mean exceeds its oldest-half
+    /// mean by at least `cfg.growth_pct` percent. Findings are ordered by
+    /// key; the comparison is on retained (already downsampled) points, so
+    /// it is deterministic across runs.
+    pub fn detect_drift(&self, cfg: &DriftConfig) -> Vec<DriftFinding> {
+        let mut findings = Vec::new();
+        for (&key, s) in &self.series {
+            let n = s.points.len();
+            if n < cfg.min_points.max(2) {
+                continue;
+            }
+            let half = n / 2;
+            let mean = |pts: &[SeriesSample]| {
+                pts.iter().map(|p| p.value as f64).sum::<f64>() / pts.len() as f64
+            };
+            let first_mean = mean(&s.points[..half]);
+            let last_mean = mean(&s.points[n - half..]);
+            let growth_pct = 100.0 * (last_mean - first_mean) / first_mean.max(1.0);
+            if growth_pct >= cfg.growth_pct {
+                findings.push(DriftFinding {
+                    key,
+                    first_mean,
+                    last_mean,
+                    growth_pct,
+                });
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_until_capacity_then_downsamples() {
+        let mut s = SeriesStore::new(8);
+        for i in 0..8u64 {
+            s.push(1, i, i * 10);
+        }
+        assert_eq!(s.get(1).unwrap().len(), 8);
+        assert_eq!(s.stride(1), Some(1));
+        // The 9th sample triggers compaction to 4 points, stride 2; sample
+        // index 8 sits on the new grid so it is admitted.
+        s.push(1, 8, 80);
+        let pts = s.get(1).unwrap();
+        assert_eq!(s.stride(1), Some(2));
+        assert_eq!(pts.len(), 5);
+        assert_eq!(
+            pts[0],
+            SeriesSample {
+                cycle: 0,
+                value: 10
+            }
+        );
+        assert_eq!(
+            pts[3],
+            SeriesSample {
+                cycle: 6,
+                value: 70
+            }
+        );
+        assert_eq!(
+            pts[4],
+            SeriesSample {
+                cycle: 8,
+                value: 80
+            }
+        );
+    }
+
+    #[test]
+    fn compaction_keeps_peaks() {
+        let mut s = SeriesStore::new(4);
+        for (i, v) in [1u64, 100, 2, 3].into_iter().enumerate() {
+            s.push(7, i as u64, v);
+        }
+        s.push(7, 4, 4); // triggers compaction
+        let pts = s.get(7).unwrap();
+        assert_eq!(pts[0].value, 100, "pair max survives");
+        assert_eq!(pts[1].value, 3);
+    }
+
+    #[test]
+    fn downsampling_is_deterministic_and_even() {
+        // Feed 100 samples into capacity 8; replaying produces the exact
+        // same retained set, and retained cycles are evenly strided.
+        let feed = |n: u64| {
+            let mut s = SeriesStore::new(8);
+            for i in 0..n {
+                s.push(0, i, i);
+            }
+            s.get(0).unwrap().to_vec()
+        };
+        assert_eq!(feed(100), feed(100));
+        let pts = feed(100);
+        assert!(pts.len() <= 8);
+        let stride = pts[1].cycle - pts[0].cycle;
+        assert!(pts.windows(2).all(|w| w[1].cycle - w[0].cycle == stride));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut s = SeriesStore::new(4);
+        s.push(1, 0, 5);
+        s.push(2, 0, 9);
+        assert_eq!(s.keys(), [1, 2]);
+        assert_eq!(s.get(1).unwrap().len(), 1);
+        assert_eq!(s.get(3), None);
+    }
+
+    #[test]
+    fn drift_flags_growing_series_only() {
+        let mut s = SeriesStore::new(16);
+        for i in 0..8u64 {
+            s.push(1, i, 100); // flat
+            s.push(2, i, 100 + i * 50); // growing
+            s.push(3, i, 400 - i * 50); // shrinking
+        }
+        let findings = s.detect_drift(&DriftConfig::default());
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(f.key, 2);
+        assert!(f.last_mean > f.first_mean);
+        assert!(f.growth_pct >= 50.0);
+    }
+
+    #[test]
+    fn drift_respects_min_points_and_zero_baseline() {
+        let mut s = SeriesStore::new(16);
+        for i in 0..4u64 {
+            s.push(1, i, i * 1000); // growing but too short
+        }
+        assert!(s
+            .detect_drift(&DriftConfig {
+                min_points: 6,
+                ..DriftConfig::default()
+            })
+            .is_empty());
+        // A series growing from an all-zero first half stays finite.
+        let mut s = SeriesStore::new(16);
+        for i in 0..8u64 {
+            s.push(9, i, if i < 4 { 0 } else { 500 });
+        }
+        let findings = s.detect_drift(&DriftConfig::default());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].growth_pct.is_finite());
+        assert_eq!(findings[0].growth_pct, 50_000.0);
+    }
+}

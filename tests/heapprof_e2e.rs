@@ -1,0 +1,181 @@
+//! End-to-end tests for continuous heap profiling: retained-size
+//! reconciliation against `CycleStats`, bit-identical simulation results
+//! with profiling on/off/absent, snapshot cadence, and flamegraph export.
+
+use chameleon_core::{Env, EnvConfig};
+use chameleon_heap::HeapProfConfig;
+use chameleon_profiler::HeapProfile;
+use chameleon_telemetry::{json, DriftConfig};
+use chameleon_workloads::{SizeDist, Synthetic, SyntheticSite};
+
+fn prof_env(every: u64) -> EnvConfig {
+    EnvConfig {
+        gc_interval_bytes: Some(32 * 1024),
+        heapprof: Some(HeapProfConfig { every }),
+        ..EnvConfig::default()
+    }
+}
+
+/// Long-lived collections so GC cycles see real live data.
+fn workload() -> Synthetic {
+    Synthetic {
+        sites: (0..3)
+            .map(|i| SyntheticSite {
+                frame: format!("heapprof.Site:{i}"),
+                instances: 120,
+                sizes: SizeDist::Fixed(8),
+                gets_per_instance: 0,
+                long_lived: true,
+                via_factory: false,
+            })
+            .collect(),
+    }
+}
+
+/// Acceptance: every snapshot's retained sizes reconcile exactly with the
+/// GC's own `CycleStats` — the sum of per-context self bytes, the virtual
+/// root's retained size, and the cycle's `live_bytes` all agree.
+#[test]
+fn retained_totals_reconcile_with_cycle_stats() {
+    let env = Env::new(&prof_env(1));
+    env.run(&workload());
+    let snapshots = env.heap.heap_snapshots();
+    let cycles = env.heap.cycles();
+    assert!(snapshots.len() >= 2, "need several GC cycles to reconcile");
+    assert_eq!(
+        snapshots.len(),
+        cycles.len(),
+        "every=1 snapshots every cycle"
+    );
+    for (snap, cycle) in snapshots.iter().zip(&cycles) {
+        assert_eq!(snap.cycle, cycle.cycle);
+        assert_eq!(snap.live_bytes, cycle.live_bytes);
+        let self_sum: u64 = snap.contexts.iter().map(|c| c.self_bytes).sum();
+        assert_eq!(self_sum, cycle.live_bytes, "self bytes partition the heap");
+        assert_eq!(snap.retained_root, cycle.live_bytes, "root retains all");
+        for c in &snap.contexts {
+            assert!(c.retained_bytes >= c.self_bytes, "retained >= self");
+        }
+        // Per-context collection accounting matches the cycle's.
+        let coll_sum =
+            snap.contexts
+                .iter()
+                .fold(chameleon_heap::AdtTotals::default(), |mut acc, c| {
+                    acc.add(c.coll);
+                    acc
+                });
+        assert_eq!(coll_sum, cycle.collection);
+    }
+}
+
+/// Heap profiling observes the simulation; it must never perturb it: the
+/// same workload yields bit-identical metrics *and* per-cycle GC stats
+/// with profiling absent, every cycle, or every third cycle.
+#[test]
+fn heap_profiling_never_perturbs_simulated_results() {
+    let w = workload();
+    let run = |heapprof: Option<HeapProfConfig>| {
+        let cfg = EnvConfig {
+            heapprof,
+            gc_interval_bytes: Some(32 * 1024),
+            ..EnvConfig::default()
+        };
+        let env = Env::new(&cfg);
+        env.run(&w);
+        (env.metrics(), env.heap.cycles())
+    };
+    let absent = run(None);
+    let every1 = run(Some(HeapProfConfig { every: 1 }));
+    let every3 = run(Some(HeapProfConfig { every: 3 }));
+    assert_eq!(absent, every1);
+    assert_eq!(absent, every3);
+    assert!(absent.0.gc_count >= 2);
+}
+
+/// `every = N` captures exactly the cycles 1, 1+N, 1+2N, ... and the
+/// sparse snapshot sequence is a prefix-selection of the dense one.
+#[test]
+fn snapshot_cadence_is_a_subset_of_cycles() {
+    let w = workload();
+    let run = |every| {
+        let env = Env::new(&prof_env(every));
+        env.run(&w);
+        env.heap.heap_snapshots()
+    };
+    let dense = run(1);
+    let sparse = run(3);
+    let expected: Vec<u64> = dense
+        .iter()
+        .map(|s| s.cycle)
+        .filter(|c| (c - 1) % 3 == 0)
+        .collect();
+    let got: Vec<u64> = sparse.iter().map(|s| s.cycle).collect();
+    assert_eq!(got, expected, "cadence must follow 1, 4, 7, ...");
+    for s in &sparse {
+        let twin = dense
+            .iter()
+            .find(|d| d.cycle == s.cycle)
+            .expect("sparse cycle exists in dense run");
+        assert_eq!(s, twin, "sparse snapshots match the dense run exactly");
+    }
+}
+
+/// The flamegraph renders the peak snapshot: each line parses as
+/// `frames... weight` and the weights are exactly the peak snapshot's
+/// non-zero retained sizes.
+#[test]
+fn flamegraph_weights_match_the_peak_snapshot() {
+    let env = Env::new(&prof_env(1));
+    env.run(&workload());
+    let profile = HeapProfile::from_heap(&env.heap, 64);
+    let peak = profile.peak_snapshot().expect("snapshots captured");
+    let fg = profile.flamegraph(&env.heap);
+    let mut weights: Vec<u64> = fg
+        .lines()
+        .map(|l| {
+            let (stack, w) = l.rsplit_once(' ').expect("stack/weight split");
+            assert!(!stack.is_empty());
+            w.parse().expect("weight is a u64")
+        })
+        .collect();
+    let mut expected: Vec<u64> = peak
+        .contexts
+        .iter()
+        .map(|c| c.retained_bytes)
+        .filter(|&r| r > 0)
+        .collect();
+    weights.sort_unstable();
+    expected.sort_unstable();
+    assert_eq!(weights, expected);
+    assert!(!weights.is_empty());
+}
+
+/// The JSONL and summary exports are valid JSON and reconcile with the
+/// captured snapshots.
+#[test]
+fn exports_reconcile_with_snapshots() {
+    let env = Env::new(&prof_env(2));
+    env.run(&workload());
+    let profile = HeapProfile::from_heap(&env.heap, 64);
+    let jsonl = profile.snapshots_jsonl(&env.heap);
+    let lines = json::validate_jsonl(&jsonl, &["ev", "t", "cycle", "contexts"]).unwrap();
+    assert_eq!(lines, profile.snapshots.len());
+    for (line, snap) in jsonl.lines().zip(&profile.snapshots) {
+        let v = json::parse(line).unwrap();
+        assert_eq!(v.get("cycle").unwrap().as_u64(), Some(snap.cycle));
+        assert_eq!(v.get("live_bytes").unwrap().as_u64(), Some(snap.live_bytes));
+        let ctxs = v.get("contexts").unwrap().as_arr().unwrap();
+        assert_eq!(ctxs.len(), snap.contexts.len());
+    }
+    let summary = json::parse(&profile.summary_json(&env.heap, 5, &DriftConfig::default()))
+        .expect("summary parses");
+    assert_eq!(
+        summary.get("snapshots").unwrap().as_u64(),
+        Some(profile.snapshots.len() as u64)
+    );
+    let peak = profile.peak_snapshot().unwrap();
+    assert_eq!(
+        summary.get("peak_cycle").unwrap().as_u64(),
+        Some(peak.cycle)
+    );
+}

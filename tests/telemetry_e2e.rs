@@ -200,6 +200,72 @@ fn disabled_telemetry_keeps_warm_capture_allocation_free() {
         .all(|m| m.value == 0 && m.sum == 0));
 }
 
+/// Satellite: the event stream's cycle numbering is coherent — `gc_cycle`
+/// events carry a strictly increasing cycle index, and `heap_snapshot`
+/// events interleave with them in cycle order (each snapshot follows the
+/// `gc_cycle` event of the same cycle, on the profiling cadence).
+#[test]
+fn gc_cycles_and_snapshots_interleave_in_cycle_order() {
+    use chameleon_heap::HeapProfConfig;
+    let t = Telemetry::new();
+    let cfg = EnvConfig {
+        telemetry: Some(t.clone()),
+        heapprof: Some(HeapProfConfig { every: 2 }),
+        ..small_env()
+    };
+    let env = Env::new(&cfg);
+    env.run(&Synthetic::small_maps(4));
+
+    let log = t.dump_jsonl();
+    let mut gc_cycles = Vec::new();
+    let mut snapshot_cycles = Vec::new();
+    let mut last_gc_cycle = None;
+    for line in log.lines() {
+        let v = json::parse(line).expect("line parses");
+        match v.get("ev").and_then(|e| e.as_str()) {
+            Some("gc_cycle") => {
+                let c = v.get("cycle").unwrap().as_u64().unwrap();
+                gc_cycles.push(c);
+                last_gc_cycle = Some(c);
+            }
+            Some("heap_snapshot") => {
+                let c = v.get("cycle").unwrap().as_u64().unwrap();
+                assert_eq!(
+                    last_gc_cycle,
+                    Some(c),
+                    "snapshot must directly follow its own cycle's gc_cycle event"
+                );
+                snapshot_cycles.push(c);
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        gc_cycles.len() >= 2,
+        "need several GC cycles, got {gc_cycles:?}"
+    );
+    assert!(
+        gc_cycles.windows(2).all(|w| w[0] < w[1]),
+        "gc_cycle index must be strictly increasing: {gc_cycles:?}"
+    );
+    let expected: Vec<u64> = gc_cycles
+        .iter()
+        .copied()
+        .filter(|c| (c - 1) % 2 == 0)
+        .collect();
+    assert_eq!(
+        snapshot_cycles, expected,
+        "snapshots follow the every=2 cadence within the cycle stream"
+    );
+    // The snapshot counter agrees with the event stream.
+    let snaps = t
+        .metrics_snapshot()
+        .into_iter()
+        .find(|m| m.name == "heap.prof.snapshots")
+        .expect("snapshot counter registered");
+    assert_eq!(snaps.value, snapshot_cycles.len() as u64);
+}
+
 /// Satellite: the telemetry layer costs < 5% wall-clock per GC cycle on
 /// the same heap (the measurement `bench_gc`'s `telemetry_overhead`
 /// section emits). Cycles are interleaved (off, on, off, on, ...) and
