@@ -48,7 +48,8 @@ fn main() {
             eval_every_deaths: 256,
             shutoff_below_potential: None,
         };
-        let result = run_online(w.as_ref(), Arc::new(RuleEngine::builtin()), &cfg);
+        let result =
+            run_online(w.as_ref(), Arc::new(RuleEngine::builtin()), &cfg).expect("online run");
         let online = result.metrics.sim_time;
         println!(
             "{:<10} {:>14} {:>14} {:>8.2}x {:>10} {:>9} {:>9}",
@@ -88,7 +89,7 @@ fn main() {
         eval_every_deaths: 128,
         shutoff_below_potential: None,
     };
-    let online = run_online(&w, Arc::new(RuleEngine::builtin()), &cfg);
+    let online = run_online(&w, Arc::new(RuleEngine::builtin()), &cfg).expect("online run");
     let online_min = min_heap_size(&w, &online.converged_policy, 128 * 1024);
 
     println!("  original min heap: {baseline_min} B");

@@ -38,6 +38,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "deny",
     "every",
     "out",
+    "threads",
 ];
 
 /// Parses raw arguments (without the binary name).
@@ -119,6 +120,23 @@ impl Invocation {
         }
     }
 
+    /// Numeric option that must be at least 1 (`--every`, `--threads`).
+    /// Zero used to be accepted here and silently clamped deep inside the
+    /// heap; now it is rejected at parse time with the valid range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse or is zero.
+    pub fn num_at_least_one(&self, key: &str, default: u64) -> Result<u64, String> {
+        let v = self.num(key, default)?;
+        if v == 0 {
+            return Err(format!(
+                "option --{key} must be at least 1 (valid range: 1..), got 0"
+            ));
+        }
+        Ok(v)
+    }
+
     /// Whether a boolean flag was passed.
     pub fn flag(&self, key: &str) -> bool {
         self.options.contains_key(key)
@@ -193,6 +211,24 @@ mod tests {
     fn bad_number_is_an_error() {
         let inv = p("profile tvla --depth x");
         assert!(inv.num("depth", 2).is_err());
+    }
+
+    #[test]
+    fn zero_every_and_zero_threads_are_rejected_with_the_range() {
+        for (args, key) in [
+            ("heapprof synthetic --every 0", "every"),
+            ("profile synthetic --threads 0", "threads"),
+        ] {
+            let inv = p(args);
+            let err = inv.num_at_least_one(key, 1).expect_err("zero rejected");
+            assert!(err.contains(&format!("--{key}")), "{err}");
+            assert!(err.contains("at least 1"), "{err}");
+            assert!(err.contains("1.."), "must name the valid range: {err}");
+        }
+        // Non-zero values and defaults pass through unchanged.
+        let inv = p("profile synthetic --threads 4");
+        assert_eq!(inv.num_at_least_one("threads", 1).unwrap(), 4);
+        assert_eq!(inv.num_at_least_one("every", 7).unwrap(), 7);
     }
 
     #[test]

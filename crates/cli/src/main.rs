@@ -16,7 +16,9 @@ mod args;
 
 use args::Invocation;
 use chameleon_collections::factory::{CaptureConfig, CaptureMethod};
-use chameleon_core::{run_online, Chameleon, EnvConfig, OnlineConfig, Workload};
+use chameleon_core::{
+    run_online, Chameleon, Env, EnvConfig, OnlineConfig, ParallelConfig, Workload,
+};
 use chameleon_profiler::HeapProfile;
 use chameleon_rules::{analyze, parse_rules, RuleEngine, Severity, BUILTIN_RULES, DEFAULT_PARAMS};
 use chameleon_telemetry::{DriftConfig, Telemetry};
@@ -30,11 +32,11 @@ chameleon — adaptive selection of collections (PLDI 2009 reproduction)
 USAGE:
   chameleon list-workloads
   chameleon profile  <workload> [--depth N] [--sample N] [--top K] [--throwable]
-                     [--heapprof]
+                     [--heapprof] [--threads N]
   chameleon optimize <workload> [--top K] [--manual-lazy]
   chameleon online   <workload> [--eval-every N]
-  chameleon trace    <workload> [--telemetry] [--trace-out FILE]
-  chameleon heapprof <workload> [--every N] [--out DIR] [--top K]
+  chameleon trace    <workload> [--telemetry] [--trace-out FILE] [--threads N]
+  chameleon heapprof <workload> [--every N] [--out DIR] [--top K] [--threads N]
   chameleon rules check <file.rules>
   chameleon rules eval  <file.rules> <workload>
   chameleon lint <file.rules | --builtin> [--format text|json] [--deny LEVEL]
@@ -57,7 +59,13 @@ OPTIONS:
                   (default: stdout after the report)
   --heapprof      profile: capture per-cycle heap snapshots and cite each
                   suggestion's peak retained cycle
-  --every N       heapprof: capture a snapshot every N GC cycles (default 1)
+  --every N       heapprof: capture a snapshot every N GC cycles
+                  (default 1; must be at least 1)
+  --threads N     profile/trace/heapprof: run the workload as N partitions
+                  on N mutator threads (default 1 = sequential; must be at
+                  least 1). Results depend only on N, never on thread
+                  scheduling. The workload must support partitioning
+                  (tvla and synthetic do).
   --out DIR       heapprof: output directory (default heapprof-<workload>)
   --builtin       lint: analyze the built-in Table 2 rule set
   --format F      lint: output `text` (default) or `json`
@@ -138,18 +146,34 @@ fn required_workload(inv: &Invocation, pos: usize) -> Result<Box<dyn Workload>, 
     workload(name).ok_or_else(|| format!("unknown workload `{name}` (try list-workloads)"))
 }
 
+/// Runs the profiling environment, sequentially or — with `--threads N`
+/// for N > 1 — on the parallel mutator runtime.
+fn profile_env_with_threads(
+    chameleon: &Chameleon,
+    w: &dyn Workload,
+    threads: u64,
+) -> Result<Env, String> {
+    if threads <= 1 {
+        return Ok(chameleon.profile_env(w));
+    }
+    chameleon
+        .profile_env_parallel(w, ParallelConfig::with_threads(threads as usize))
+        .map_err(|e| e.to_string())
+}
+
 fn cmd_profile(inv: &Invocation) -> Result<(), String> {
     let w = required_workload(inv, 0)?;
     let top = inv.num("top", 10)? as usize;
+    let threads = inv.num_at_least_one("threads", 1)?;
     let mut chameleon = Chameleon::new().with_profile_config(env_from(inv)?);
     let telemetry = inv.flag("telemetry").then(Telemetry::new);
     if let Some(t) = &telemetry {
         chameleon = chameleon.with_telemetry(t.clone());
     }
     if inv.flag("heapprof") {
-        chameleon = chameleon.with_heap_profiling(inv.num("every", 1)?.max(1));
+        chameleon = chameleon.with_heap_profiling(inv.num_at_least_one("every", 1)?);
     }
-    let env = chameleon.profile_env(w.as_ref());
+    let env = profile_env_with_threads(&chameleon, w.as_ref(), threads)?;
     let report = env.report();
     println!(
         "{} — {} context(s), peak live {} B",
@@ -185,11 +209,12 @@ fn cmd_profile(inv: &Invocation) -> Result<(), String> {
 fn cmd_trace(inv: &Invocation) -> Result<(), String> {
     let w = required_workload(inv, 0)?;
     let top = inv.num("top", 10)? as usize;
+    let threads = inv.num_at_least_one("threads", 1)?;
     let t = Telemetry::new();
     let chameleon = Chameleon::new()
         .with_profile_config(env_from(inv)?)
         .with_telemetry(t.clone());
-    let report = chameleon.profile(w.as_ref());
+    let report = profile_env_with_threads(&chameleon, w.as_ref(), threads)?.report();
     let suggestions = chameleon.engine().evaluate_traced(&report, Some(&t));
 
     println!("{} — telemetry report", w.name());
@@ -261,7 +286,8 @@ const SERIES_CAPACITY: usize = 256;
 /// the peak cycle, and a JSON summary into `--out DIR`.
 fn cmd_heapprof(inv: &Invocation) -> Result<(), String> {
     let w = required_workload(inv, 0)?;
-    let every = inv.num("every", 1)?.max(1);
+    let every = inv.num_at_least_one("every", 1)?;
+    let threads = inv.num_at_least_one("threads", 1)?;
     let top = inv.num("top", 10)? as usize;
     let out = inv
         .options
@@ -278,7 +304,7 @@ fn cmd_heapprof(inv: &Invocation) -> Result<(), String> {
     let chameleon = Chameleon::new()
         .with_profile_config(config)
         .with_heap_profiling(every);
-    let env = chameleon.profile_env(w.as_ref());
+    let env = profile_env_with_threads(&chameleon, w.as_ref(), threads)?;
     let profile = HeapProfile::from_heap(&env.heap, SERIES_CAPACITY);
     if profile.snapshots.is_empty() {
         return Err(format!(
@@ -394,7 +420,8 @@ fn cmd_online(inv: &Invocation) -> Result<(), String> {
             .transpose()
             .map_err(|_| "bad --shutoff-below".to_owned())?,
     };
-    let r = run_online(w.as_ref(), Arc::new(RuleEngine::builtin()), &cfg);
+    let r =
+        run_online(w.as_ref(), Arc::new(RuleEngine::builtin()), &cfg).map_err(|e| e.to_string())?;
     println!(
         "{} — {} evaluations, {} replacement(s), {} context capture(s)",
         w.name(),
@@ -569,6 +596,37 @@ mod tests {
     #[test]
     fn profile_with_heapprof_cites_peak_cycles() {
         run_str("profile synthetic --heapprof --top 3").expect("ok");
+    }
+
+    #[test]
+    fn profile_runs_on_mutator_threads() {
+        run_str("profile synthetic --threads 2 --top 3").expect("ok");
+        run_str("profile tvla --threads 2 --top 3").expect("ok");
+        run_str("trace synthetic --threads 2 --trace-out /dev/null").expect("ok");
+    }
+
+    #[test]
+    fn zero_every_and_zero_threads_are_parse_errors() {
+        // These used to be accepted and silently clamped to 1 deep in the
+        // heap's snapshot collector.
+        for cmd in [
+            "heapprof synthetic --every 0",
+            "profile synthetic --heapprof --every 0",
+            "profile synthetic --threads 0",
+            "trace synthetic --threads 0",
+            "heapprof synthetic --threads 0",
+        ] {
+            let err = run_str(cmd).expect_err(cmd);
+            assert!(err.contains("at least 1"), "{cmd}: {err}");
+            assert!(err.contains("1.."), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn unpartitionable_workload_with_threads_is_one_line_error() {
+        let err = run_str("profile bloat --threads 2").expect_err("bloat has no partition plan");
+        assert!(err.contains("does not support partitioning"), "{err}");
+        assert!(!err.contains('\n'), "one-line error expected: {err}");
     }
 
     #[test]

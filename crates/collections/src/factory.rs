@@ -312,6 +312,12 @@ impl CollectionFactory {
         self.capture.lock().captures
     }
 
+    /// Folds `n` captures performed by a partition's factory into this
+    /// factory's count, so `capture_count` covers a whole parallel run.
+    pub fn absorb_captures(&self, n: u64) {
+        self.capture.lock().captures += n;
+    }
+
     /// Captures the allocation context for an allocation of `src_type`,
     /// charging the configured capture cost.
     pub fn capture_context(&self, src_type: &'static str) -> Option<ContextId> {

@@ -15,24 +15,41 @@ use crate::ops::{Op, OpCounts};
 use crate::runtime::{InstanceStats, Runtime};
 use crate::set::SetImpl;
 use chameleon_heap::{ContextId, ObjId};
-use std::cell::RefCell;
-use std::rc::Rc;
+use parking_lot::Mutex;
+use std::sync::Arc;
 
+/// Mutable per-instance statistics shared between a handle, its iterators,
+/// and the runtime's live-instance registry (which reads it when flushing
+/// survivors at workload end). `current_size` and `chosen_impl` are kept
+/// fresh on every size-changing operation so a survivor flush sees the
+/// instance's true final state without touching the (non-`Send`) backing.
 #[derive(Debug)]
 pub(crate) struct StatsBuilder {
     pub ops: OpCounts,
     pub max_size: u64,
+    pub current_size: u64,
     pub initial_capacity: u64,
     pub requested_type: &'static str,
+    pub chosen_impl: &'static str,
+    /// Set the first time stats are delivered (survivor flush or handle
+    /// death) so the instance is never reported twice.
+    pub reported: bool,
 }
 
 impl StatsBuilder {
-    fn new(requested_type: &'static str, initial_capacity: u64) -> Rc<RefCell<Self>> {
-        Rc::new(RefCell::new(StatsBuilder {
+    fn new(
+        requested_type: &'static str,
+        initial_capacity: u64,
+        chosen_impl: &'static str,
+    ) -> Arc<Mutex<Self>> {
+        Arc::new(Mutex::new(StatsBuilder {
             ops: OpCounts::new(),
             max_size: 0,
+            current_size: 0,
             initial_capacity,
             requested_type,
+            chosen_impl,
+            reported: false,
         }))
     }
 
@@ -40,8 +57,10 @@ impl StatsBuilder {
         self.ops.record(op);
     }
 
-    fn saw_size(&mut self, size: usize) {
+    fn saw_size(&mut self, size: usize, chosen_impl: &'static str) {
+        self.current_size = size as u64;
         self.max_size = self.max_size.max(size as u64);
+        self.chosen_impl = chosen_impl;
     }
 }
 
@@ -50,7 +69,7 @@ impl StatsBuilder {
 #[derive(Debug)]
 pub struct HandleIter<T> {
     items: std::vec::IntoIter<T>,
-    stats: Rc<RefCell<StatsBuilder>>,
+    stats: Arc<Mutex<StatsBuilder>>,
 }
 
 impl<T> Iterator for HandleIter<T> {
@@ -59,7 +78,7 @@ impl<T> Iterator for HandleIter<T> {
     fn next(&mut self) -> Option<T> {
         let item = self.items.next();
         if item.is_some() {
-            self.stats.borrow_mut().record(Op::IterNext);
+            self.stats.lock().record(Op::IterNext);
         }
         item
     }
@@ -80,7 +99,7 @@ macro_rules! handle_common {
 
             /// The collection type the program requested.
             pub fn requested_type(&self) -> &'static str {
-                self.stats.borrow().requested_type
+                self.stats.lock().requested_type
             }
 
             /// The wrapper's simulated-heap object.
@@ -105,12 +124,12 @@ macro_rules! handle_common {
 
             /// Largest size observed so far.
             pub fn max_size_seen(&self) -> u64 {
-                self.stats.borrow().max_size
+                self.stats.lock().max_size
             }
 
             /// Operation counts recorded so far.
             pub fn op_counts(&self) -> OpCounts {
-                self.stats.borrow().ops
+                self.stats.lock().ops
             }
 
             fn charge_indirection(&self) {
@@ -118,11 +137,13 @@ macro_rules! handle_common {
             }
 
             fn record(&self, op: Op) {
-                self.stats.borrow_mut().record(op);
+                self.stats.lock().record(op);
             }
 
             fn track_size(&self) {
-                self.stats.borrow_mut().saw_size(self.backing.len());
+                self.stats
+                    .lock()
+                    .saw_size(self.backing.len(), self.backing.impl_name());
             }
 
             /// Creates an iterator over a snapshot of the contents. Creating
@@ -139,7 +160,7 @@ macro_rules! handle_common {
                 self.charge_indirection();
                 HandleIter {
                     items: self.backing.snapshot().into_iter(),
-                    stats: Rc::clone(&self.stats),
+                    stats: Arc::clone(&self.stats),
                 }
             }
 
@@ -148,7 +169,9 @@ macro_rules! handle_common {
                     return;
                 }
                 self.finished = true;
-                let b = self.stats.borrow();
+                self.rt.deregister_live(self.live_id);
+                let mut b = self.stats.lock();
+                let already_reported = std::mem::replace(&mut b.reported, true);
                 let stats = InstanceStats {
                     ops: b.ops,
                     max_size: b.max_size,
@@ -156,9 +179,14 @@ macro_rules! handle_common {
                     initial_capacity: b.initial_capacity,
                     requested_type: b.requested_type,
                     chosen_impl: self.backing.impl_name(),
+                    survivor: false,
                 };
                 drop(b);
-                self.rt.report_death(self.ctx, &stats);
+                // A survivor flush may have delivered this instance's stats
+                // already; the heap cleanup below still has to happen.
+                if !already_reported {
+                    self.rt.report_death(self.ctx, &stats);
+                }
                 self.backing.dispose();
                 self.rt.heap().remove_root(self.wrapper);
             }
@@ -186,7 +214,8 @@ pub struct ListHandle<T: Elem> {
     wrapper: ObjId,
     backing: Box<dyn ListImpl<T>>,
     ctx: Option<ContextId>,
-    stats: Rc<RefCell<StatsBuilder>>,
+    stats: Arc<Mutex<StatsBuilder>>,
+    live_id: u64,
     finished: bool,
 }
 
@@ -201,12 +230,15 @@ impl<T: Elem> ListHandle<T> {
         requested_type: &'static str,
     ) -> Self {
         let initial_capacity = backing.capacity() as u64;
+        let stats = StatsBuilder::new(requested_type, initial_capacity, backing.impl_name());
+        let live_id = rt.register_live(ctx, Arc::clone(&stats));
         ListHandle {
             rt,
             wrapper,
             backing,
             ctx,
-            stats: StatsBuilder::new(requested_type, initial_capacity),
+            stats,
+            live_id,
             finished: false,
         }
     }
@@ -268,28 +300,36 @@ impl<T: Elem> ListHandle<T> {
     pub fn remove_at(&mut self, i: usize) -> Option<T> {
         self.charge_indirection();
         self.record(Op::RemoveIndexed);
-        self.backing.remove_at(i)
+        let removed = self.backing.remove_at(i);
+        self.track_size();
+        removed
     }
 
     /// Removes the first occurrence of `v`.
     pub fn remove_value(&mut self, v: &T) -> bool {
         self.charge_indirection();
         self.record(Op::Remove);
-        self.backing.remove_value(v)
+        let removed = self.backing.remove_value(v);
+        self.track_size();
+        removed
     }
 
     /// Removes and returns the first element.
     pub fn remove_first(&mut self) -> Option<T> {
         self.charge_indirection();
         self.record(Op::RemoveFirst);
-        self.backing.remove_first()
+        let removed = self.backing.remove_first();
+        self.track_size();
+        removed
     }
 
     /// Removes and returns the last element.
     pub fn remove_last(&mut self) -> Option<T> {
         self.charge_indirection();
         self.record(Op::RemoveLast);
-        self.backing.remove_last()
+        let removed = self.backing.remove_last();
+        self.track_size();
+        removed
     }
 
     /// Removes all elements.
@@ -297,6 +337,7 @@ impl<T: Elem> ListHandle<T> {
         self.charge_indirection();
         self.record(Op::Clear);
         self.backing.clear();
+        self.track_size();
     }
 
     /// Copies the contents out without recording an iteration.
@@ -320,7 +361,8 @@ pub struct SetHandle<T: Elem> {
     wrapper: ObjId,
     backing: Box<dyn SetImpl<T>>,
     ctx: Option<ContextId>,
-    stats: Rc<RefCell<StatsBuilder>>,
+    stats: Arc<Mutex<StatsBuilder>>,
+    live_id: u64,
     finished: bool,
 }
 
@@ -335,12 +377,15 @@ impl<T: Elem> SetHandle<T> {
         requested_type: &'static str,
     ) -> Self {
         let initial_capacity = backing.capacity() as u64;
+        let stats = StatsBuilder::new(requested_type, initial_capacity, backing.impl_name());
+        let live_id = rt.register_live(ctx, Arc::clone(&stats));
         SetHandle {
             rt,
             wrapper,
             backing,
             ctx,
-            stats: StatsBuilder::new(requested_type, initial_capacity),
+            stats,
+            live_id,
             finished: false,
         }
     }
@@ -369,7 +414,9 @@ impl<T: Elem> SetHandle<T> {
     pub fn remove(&mut self, v: &T) -> bool {
         self.charge_indirection();
         self.record(Op::Remove);
-        self.backing.remove(v)
+        let removed = self.backing.remove(v);
+        self.track_size();
+        removed
     }
 
     /// Membership test.
@@ -384,6 +431,7 @@ impl<T: Elem> SetHandle<T> {
         self.charge_indirection();
         self.record(Op::Clear);
         self.backing.clear();
+        self.track_size();
     }
 
     /// Copies the contents out without recording an iteration.
@@ -407,7 +455,8 @@ pub struct MapHandle<K: Elem, V: Elem> {
     wrapper: ObjId,
     backing: Box<dyn MapImpl<K, V>>,
     ctx: Option<ContextId>,
-    stats: Rc<RefCell<StatsBuilder>>,
+    stats: Arc<Mutex<StatsBuilder>>,
+    live_id: u64,
     finished: bool,
 }
 
@@ -420,12 +469,15 @@ impl<K: Elem, V: Elem> MapHandle<K, V> {
         requested_type: &'static str,
     ) -> Self {
         let initial_capacity = backing.capacity() as u64;
+        let stats = StatsBuilder::new(requested_type, initial_capacity, backing.impl_name());
+        let live_id = rt.register_live(ctx, Arc::clone(&stats));
         MapHandle {
             rt,
             wrapper,
             backing,
             ctx,
-            stats: StatsBuilder::new(requested_type, initial_capacity),
+            stats,
+            live_id,
             finished: false,
         }
     }
@@ -442,7 +494,7 @@ impl<K: Elem, V: Elem> MapHandle<K, V> {
 
     /// The collection type the program requested.
     pub fn requested_type(&self) -> &'static str {
-        self.stats.borrow().requested_type
+        self.stats.lock().requested_type
     }
 
     /// The wrapper's simulated-heap object.
@@ -467,12 +519,12 @@ impl<K: Elem, V: Elem> MapHandle<K, V> {
 
     /// Largest size observed so far.
     pub fn max_size_seen(&self) -> u64 {
-        self.stats.borrow().max_size
+        self.stats.lock().max_size
     }
 
     /// Operation counts recorded so far.
     pub fn op_counts(&self) -> OpCounts {
-        self.stats.borrow().ops
+        self.stats.lock().ops
     }
 
     fn charge_indirection(&self) {
@@ -480,11 +532,13 @@ impl<K: Elem, V: Elem> MapHandle<K, V> {
     }
 
     fn record(&self, op: Op) {
-        self.stats.borrow_mut().record(op);
+        self.stats.lock().record(op);
     }
 
     fn track_size(&self) {
-        self.stats.borrow_mut().saw_size(self.backing.len());
+        self.stats
+            .lock()
+            .saw_size(self.backing.len(), self.backing.impl_name());
     }
 
     /// Inserts or replaces; returns the previous value for `k`.
@@ -521,7 +575,9 @@ impl<K: Elem, V: Elem> MapHandle<K, V> {
     pub fn remove(&mut self, k: &K) -> Option<V> {
         self.charge_indirection();
         self.record(Op::Remove);
-        self.backing.remove(k)
+        let removed = self.backing.remove(k);
+        self.track_size();
+        removed
     }
 
     /// Key membership test.
@@ -536,6 +592,7 @@ impl<K: Elem, V: Elem> MapHandle<K, V> {
         self.charge_indirection();
         self.record(Op::Clear);
         self.backing.clear();
+        self.track_size();
     }
 
     /// Iterator over a snapshot of the entries.
@@ -550,7 +607,7 @@ impl<K: Elem, V: Elem> MapHandle<K, V> {
         self.charge_indirection();
         HandleIter {
             items: self.backing.snapshot().into_iter(),
-            stats: Rc::clone(&self.stats),
+            stats: Arc::clone(&self.stats),
         }
     }
 
@@ -568,7 +625,9 @@ impl<K: Elem, V: Elem> MapHandle<K, V> {
             return;
         }
         self.finished = true;
-        let b = self.stats.borrow();
+        self.rt.deregister_live(self.live_id);
+        let mut b = self.stats.lock();
+        let already_reported = std::mem::replace(&mut b.reported, true);
         let stats = InstanceStats {
             ops: b.ops,
             max_size: b.max_size,
@@ -576,9 +635,14 @@ impl<K: Elem, V: Elem> MapHandle<K, V> {
             initial_capacity: b.initial_capacity,
             requested_type: b.requested_type,
             chosen_impl: self.backing.impl_name(),
+            survivor: false,
         };
         drop(b);
-        self.rt.report_death(self.ctx, &stats);
+        // A survivor flush may have delivered this instance's stats already;
+        // the heap cleanup below still has to happen.
+        if !already_reported {
+            self.rt.report_death(self.ctx, &stats);
+        }
         self.backing.dispose();
         self.rt.heap().remove_root(self.wrapper);
     }

@@ -7,12 +7,14 @@
 //! semantic maps for all collection types at startup (§4.3.2).
 
 use crate::cost::CostModel;
+use crate::handle::StatsBuilder;
 use crate::ops::{Op, OpCounts};
 use chameleon_heap::semantic::{AdtDescriptor, CollectionKind, SemanticMap};
 use chameleon_heap::{ClassId, ContextId, Heap, SimClock};
 use chameleon_telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Histogram bounds for logical collection sizes (`max_size` at death).
@@ -182,6 +184,10 @@ pub struct InstanceStats {
     pub requested_type: &'static str,
     /// The implementation that actually backed it (e.g. `"ArrayMap"`).
     pub chosen_impl: &'static str,
+    /// `true` when the instance was still live at workload end and its
+    /// statistics were delivered by [`Runtime::flush_survivors`] rather
+    /// than by the handle's death.
+    pub survivor: bool,
 }
 
 /// Receiver of per-instance statistics on collection death.
@@ -190,11 +196,22 @@ pub trait StatsSink: Send + Sync {
     fn on_death(&self, ctx: Option<ContextId>, stats: &InstanceStats);
 }
 
+/// A still-live collection instance tracked for the survivor flush.
+struct LiveInstance {
+    ctx: Option<ContextId>,
+    stats: Arc<Mutex<StatsBuilder>>,
+}
+
 struct RuntimeInner {
     heap: Heap,
     clock: SimClock,
     cost: CostModel,
     classes: ClassIds,
+    /// Live-instance registry, keyed by a monotonically increasing id so
+    /// the survivor flush walks instances in allocation order — a
+    /// deterministic order regardless of `HashMap`/drop vagaries.
+    live: Mutex<BTreeMap<u64, LiveInstance>>,
+    next_live_id: AtomicU64,
     sink: Mutex<Option<Arc<dyn StatsSink>>>,
     telemetry: Mutex<Option<CollTelemetry>>,
     // Fast-path guard: lets `report_death` skip the telemetry lock
@@ -250,6 +267,8 @@ impl Runtime {
                 clock,
                 cost,
                 classes,
+                live: Mutex::new(BTreeMap::new()),
+                next_live_id: AtomicU64::new(0),
                 sink: Mutex::new(None),
                 telemetry: Mutex::new(None),
                 telemetry_attached: AtomicBool::new(false),
@@ -320,6 +339,62 @@ impl Runtime {
         self.inner.telemetry.lock().as_ref().map(|c| c.t.clone())
     }
 
+    /// Registers a live instance for the survivor flush; returns the key
+    /// the handle must pass to [`Runtime::deregister_live`] on death.
+    pub(crate) fn register_live(
+        &self,
+        ctx: Option<ContextId>,
+        stats: Arc<Mutex<StatsBuilder>>,
+    ) -> u64 {
+        let id = self.inner.next_live_id.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .live
+            .lock()
+            .insert(id, LiveInstance { ctx, stats });
+        id
+    }
+
+    /// Removes a dying instance from the live registry.
+    pub(crate) fn deregister_live(&self, id: u64) {
+        self.inner.live.lock().remove(&id);
+    }
+
+    /// Delivers the statistics of every still-live instance to the sink as
+    /// survivors (`InstanceStats::survivor == true`), in allocation order.
+    ///
+    /// Collections alive at workload end otherwise never reach
+    /// [`StatsSink::on_death`], leaving long-lived contexts invisible to
+    /// the profile. Flushed instances are marked reported so a later handle
+    /// drop does not deliver them a second time (the registry itself is
+    /// drained here; handles deregister on death anyway). Returns the
+    /// number of instances flushed.
+    pub fn flush_survivors(&self) -> usize {
+        // Take the whole map first so no lock is held while builders are
+        // locked — a dying handle takes the same locks in the same order
+        // (registry, then builder) and can never deadlock against us.
+        let live = std::mem::take(&mut *self.inner.live.lock());
+        let mut flushed = 0;
+        for inst in live.values() {
+            let mut b = inst.stats.lock();
+            if std::mem::replace(&mut b.reported, true) {
+                continue;
+            }
+            let stats = InstanceStats {
+                ops: b.ops,
+                max_size: b.max_size,
+                final_size: b.current_size,
+                initial_capacity: b.initial_capacity,
+                requested_type: b.requested_type,
+                chosen_impl: b.chosen_impl,
+                survivor: true,
+            };
+            drop(b);
+            self.report_death(inst.ctx, &stats);
+            flushed += 1;
+        }
+        flushed
+    }
+
     /// Delivers death statistics to the sink, if any.
     pub fn report_death(&self, ctx: Option<ContextId>, stats: &InstanceStats) {
         if self.inner.telemetry_attached.load(Ordering::Acquire) {
@@ -388,11 +463,51 @@ mod tests {
             initial_capacity: 10,
             requested_type: "ArrayList",
             chosen_impl: "ArrayList",
+            survivor: false,
         };
         rt.report_death(None, &stats);
         assert_eq!(sink.0.load(Ordering::Relaxed), 1);
         rt.clear_sink();
         rt.report_death(None, &stats);
         assert_eq!(sink.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn flush_survivors_reports_live_instances_once() {
+        use crate::factory::CollectionFactory;
+        struct Collect(Mutex<Vec<InstanceStats>>);
+        impl StatsSink for Collect {
+            fn on_death(&self, _ctx: Option<ContextId>, stats: &InstanceStats) {
+                self.0.lock().push(stats.clone());
+            }
+        }
+        let f = CollectionFactory::new(Runtime::new(Heap::new()));
+        let rt = f.runtime().clone();
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        rt.set_sink(sink.clone());
+        let mut long_lived = f.new_list::<i64>(None);
+        long_lived.add(1);
+        long_lived.add(2);
+        {
+            let mut short = f.new_list::<i64>(None);
+            short.add(7);
+        }
+        // One normal death so far; the live list flushes as a survivor.
+        assert_eq!(rt.flush_survivors(), 1);
+        {
+            let reports = sink.0.lock();
+            assert_eq!(reports.len(), 2);
+            assert!(!reports[0].survivor);
+            let surv = &reports[1];
+            assert!(surv.survivor);
+            assert_eq!(surv.max_size, 2);
+            assert_eq!(surv.final_size, 2);
+            assert_eq!(surv.requested_type, "ArrayList");
+        }
+        // Dropping the flushed handle must not report a second time.
+        drop(long_lived);
+        assert_eq!(sink.0.lock().len(), 2);
+        // And a repeated flush finds nothing.
+        assert_eq!(rt.flush_survivors(), 0);
     }
 }

@@ -135,6 +135,9 @@ pub struct Env {
     /// The profiler, when profiling is enabled.
     pub profiler: Option<Arc<Profiler>>,
     capture_depth: usize,
+    /// The construction parameters, kept so the parallel runner can build
+    /// identically configured hermetic partition environments.
+    pub(crate) config: EnvConfig,
 }
 
 impl Env {
@@ -162,6 +165,7 @@ impl Env {
             factory,
             profiler,
             capture_depth: config.capture.depth,
+            config: config.clone(),
         }
     }
 
@@ -197,6 +201,11 @@ impl Env {
         }
         workload.run(&self.factory);
         self.heap.gc();
+        // Collections still live at workload end never reach the death
+        // sink on their own; deliver their statistics as survivors so
+        // long-lived contexts are visible to the profile and the online
+        // engine's converged policy.
+        self.rt.flush_survivors();
         if let Some(t) = &telemetry {
             let m = self.metrics();
             if let Some(mut e) = t.event("workload_end", m.sim_time) {
@@ -274,6 +283,47 @@ mod tests {
         env.run(&tiny_workload());
         assert_eq!(env.metrics().capture_count, 0);
         assert!(env.profiler.is_none());
+    }
+
+    #[test]
+    fn long_lived_list_receives_suggestion_via_survivor_flush() {
+        use chameleon_rules::RuleEngine;
+        use std::cell::RefCell;
+
+        // Holds its list past the end of `run`, like a cache a server
+        // keeps for its whole lifetime.
+        struct HoldsList(RefCell<Vec<chameleon_collections::ListHandle<i64>>>);
+        impl Workload for HoldsList {
+            fn name(&self) -> &'static str {
+                "holds-list"
+            }
+            fn run(&self, f: &CollectionFactory) {
+                let _g = f.enter("Hold.site:9");
+                let mut l = f.new_list::<i64>(None);
+                for i in 0..64 {
+                    l.add(i);
+                }
+                self.0.borrow_mut().push(l);
+            }
+        }
+
+        let w = HoldsList(RefCell::new(Vec::new()));
+        let env = Env::new(&EnvConfig::default());
+        env.run(&w);
+        let report = env.report();
+        let ctx = report
+            .by_label(&format!("{}:{}", "ArrayList", "Hold.site:9"))
+            .expect("long-lived context present in the profile");
+        assert_eq!(ctx.trace.instances, 1);
+        assert_eq!(ctx.trace.survivors, 1, "flushed as a survivor");
+        // The context grew far beyond its initial capacity, so the built-in
+        // capacity-tuning rule must fire — previously the instance never
+        // reached the profiler and produced no suggestion at all.
+        let suggestions = RuleEngine::builtin().evaluate(&report);
+        assert!(
+            suggestions.iter().any(|s| s.ctx == ctx.ctx),
+            "expected a suggestion for the survivor context: {suggestions:?}"
+        );
     }
 
     #[test]

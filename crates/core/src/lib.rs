@@ -40,6 +40,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod minheap;
 pub mod online;
+pub mod parallel;
 pub mod workload;
 
 pub use env::{portable_updates, Env, EnvConfig, PortableChoice, PortableUpdate};
@@ -48,8 +49,9 @@ pub use metrics::{Improvement, RunMetrics};
 pub use minheap::{
     completes_under, completes_under_with, min_heap_size, min_heap_size_with, silence_oom_panics,
 };
-pub use online::{run_online, OnlineConfig, OnlineResult};
-pub use workload::Workload;
+pub use online::{run_online, OnlineConfig, OnlineError, OnlineResult};
+pub use parallel::{ParallelConfig, ParallelError, ParallelStats};
+pub use workload::{PartitionTask, Workload};
 
 use chameleon_profiler::ProfileReport;
 use chameleon_rules::RuleEngine;
@@ -127,6 +129,25 @@ impl Chameleon {
         env
     }
 
+    /// Like [`Chameleon::profile_env`], but runs the workload on the
+    /// parallel mutator runtime (`config.partitions` partitions on
+    /// `config.threads` threads). With one partition this is exactly
+    /// [`Chameleon::profile_env`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the workload is not partitionable or the configuration
+    /// is invalid (see [`ParallelError`]).
+    pub fn profile_env_parallel(
+        &self,
+        workload: &dyn Workload,
+        config: ParallelConfig,
+    ) -> Result<Env, ParallelError> {
+        let env = Env::new(&self.profile_config);
+        env.run_parallel(workload, config)?;
+        Ok(env)
+    }
+
     /// The rule engine in use.
     pub fn engine(&self) -> &RuleEngine {
         &self.engine
@@ -145,7 +166,16 @@ impl Chameleon {
     }
 
     /// Runs fully-automatic online mode.
-    pub fn optimize_online(&self, workload: &dyn Workload, config: &OnlineConfig) -> OnlineResult {
+    ///
+    /// # Errors
+    ///
+    /// Fails when `config.env` disables profiling (see
+    /// [`OnlineError::NotProfiling`]).
+    pub fn optimize_online(
+        &self,
+        workload: &dyn Workload,
+        config: &OnlineConfig,
+    ) -> Result<OnlineResult, OnlineError> {
         run_online(workload, Arc::clone(&self.engine), config)
     }
 }

@@ -45,6 +45,28 @@ impl Default for OnlineConfig {
     }
 }
 
+/// Why an online run could not start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnlineError {
+    /// The supplied environment was built with `profiling: false`; online
+    /// mode needs the profiler to aggregate death statistics between
+    /// evaluations.
+    NotProfiling,
+}
+
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlineError::NotProfiling => write!(
+                f,
+                "online mode requires a profiling environment (set `profiling: true` in EnvConfig)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
 /// Outcome of an online run.
 #[derive(Debug)]
 pub struct OnlineResult {
@@ -122,16 +144,20 @@ impl StatsSink for OnlineSink {
 }
 
 /// Runs `workload` in fully-automatic mode.
+///
+/// Fails with [`OnlineError::NotProfiling`] when `config.env` disables
+/// profiling — online mode cannot evaluate rules without the profiler's
+/// aggregates. (This used to panic; callers such as the CLI now surface a
+/// one-line error instead.)
 pub fn run_online(
     workload: &dyn Workload,
     engine: Arc<RuleEngine>,
     config: &OnlineConfig,
-) -> OnlineResult {
+) -> Result<OnlineResult, OnlineError> {
     let env = Env::new(&config.env);
-    let profiler = env
-        .profiler
-        .clone()
-        .expect("online mode requires a profiling environment");
+    let Some(profiler) = env.profiler.clone() else {
+        return Err(OnlineError::NotProfiling);
+    };
     let sink = Arc::new(OnlineSink {
         profiler: profiler.clone(),
         heap: env.heap.clone(),
@@ -157,13 +183,13 @@ pub fn run_online(
         .collect();
     let converged_policy = portable_updates(&converged, &env.heap);
 
-    OnlineResult {
+    Ok(OnlineResult {
         metrics: env.metrics(),
         evaluations: sink.evaluations.load(Ordering::Relaxed),
         replacements: sink.replacements.load(Ordering::Relaxed),
         report,
         converged_policy,
-    }
+    })
 }
 
 /// Convenience: drives `factory` through `workload` twice is *not* done
@@ -199,7 +225,8 @@ mod tests {
                 eval_every_deaths: 50,
                 ..OnlineConfig::default()
             },
-        );
+        )
+        .expect("online run");
         assert!(
             result.evaluations >= 2,
             "evaluations: {}",
@@ -236,6 +263,7 @@ mod tests {
                 ..OnlineConfig::default()
             };
             run_online(&two_types, Arc::new(RuleEngine::builtin()), &cfg)
+                .expect("online run")
                 .metrics
                 .capture_count
         };
@@ -263,6 +291,7 @@ mod tests {
                 shutoff_below_potential: None,
             };
             run_online(&waves(), Arc::new(RuleEngine::builtin()), &cfg)
+                .expect("online run")
                 .metrics
                 .sim_time
         };
@@ -272,5 +301,70 @@ mod tests {
             with_capture as f64 > without as f64 * 1.2,
             "capture must cost >20% on an allocation-heavy run: {with_capture} vs {without}"
         );
+    }
+
+    #[test]
+    fn misconfigured_env_is_an_error_not_a_panic() {
+        // Regression: this used to hit an `.expect(..)` inside run_online.
+        let cfg = OnlineConfig {
+            env: EnvConfig {
+                profiling: false,
+                ..EnvConfig::default()
+            },
+            ..OnlineConfig::default()
+        };
+        let err = run_online(&waves(), Arc::new(RuleEngine::builtin()), &cfg)
+            .expect_err("non-profiling env must be rejected");
+        assert_eq!(err, OnlineError::NotProfiling);
+        assert!(err.to_string().contains("profiling"), "{err}");
+    }
+
+    #[test]
+    fn sink_counters_are_exact_under_parallel_mutators() {
+        use chameleon_collections::OpCounts;
+
+        // Hammer the sink's death counter and evaluation cadence from many
+        // threads: every `every`-th death triggers exactly one evaluation,
+        // no matter how the threads interleave.
+        let env = Env::new(&EnvConfig::default());
+        let profiler = env.profiler.clone().expect("profiling env");
+        let sink = Arc::new(OnlineSink {
+            profiler,
+            heap: env.heap.clone(),
+            engine: Arc::new(RuleEngine::builtin()),
+            policy: env.factory.policy(),
+            capture: env.factory.capture_controller(),
+            deaths: AtomicU64::new(0),
+            every: 16,
+            evaluations: AtomicU64::new(0),
+            replacements: AtomicU64::new(0),
+            shutoff_below_potential: None,
+        });
+
+        const THREADS: u64 = 4;
+        const DEATHS_PER_THREAD: u64 = 400;
+        let stats = InstanceStats {
+            ops: OpCounts::default(),
+            max_size: 3,
+            final_size: 3,
+            initial_capacity: 10,
+            requested_type: "ArrayList",
+            chosen_impl: "ArrayList",
+            survivor: false,
+        };
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..DEATHS_PER_THREAD {
+                        sink.on_death(None, &stats);
+                    }
+                });
+            }
+        });
+
+        let total = THREADS * DEATHS_PER_THREAD;
+        assert_eq!(sink.deaths.load(Ordering::Relaxed), total);
+        assert_eq!(sink.profiler.death_count(), total);
+        assert_eq!(sink.evaluations.load(Ordering::Relaxed), total / 16);
     }
 }

@@ -1,0 +1,521 @@
+//! Parallel mutator runtime with deterministic partition merge.
+//!
+//! [`Env::run_parallel`] executes a partitioned workload on a pool of
+//! mutator threads. Each partition runs against its own *hermetic*
+//! environment — a fresh heap, runtime, factory and profiler built from the
+//! parent's [`EnvConfig`] — so mutator threads share no simulation state
+//! and never contend on the parent heap. When every partition has
+//! finished, the results are folded into the parent environment **in
+//! partition-index order**: context tables are re-interned, GC cycles and
+//! heap snapshots renumbered, per-context traces merged, and simulated
+//! time accumulated. Because the merge order is fixed and each partition
+//! is a deterministic function of its task alone, `RunMetrics`, the
+//! profile report and rule suggestions are a function of
+//! `(workload, partition plan)` only — the OS thread interleaving cannot
+//! leak into any result.
+//!
+//! With one partition the workload runs inline on the parent environment,
+//! making `run_parallel` bit-identical to [`Env::run`] by construction.
+//! Note that a *multi*-partition plan is its own point in the
+//! simulation's configuration space: each partition heap triggers
+//! allocation-driven GC from its own `bytes_since_gc` counter, so the
+//! merged cycle history differs from the unpartitioned sequential run
+//! (deterministically so).
+
+use crate::env::{Env, EnvConfig};
+use crate::workload::{PartitionTask, Workload};
+use chameleon_heap::{ContextId, CycleStats, HeapSnapshot};
+use chameleon_profiler::ContextTrace;
+use chameleon_telemetry::SpanTimer;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parallel-run parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of partitions to split the workload into. The partition
+    /// count — not the thread count — is what shapes the results.
+    pub partitions: usize,
+    /// Number of mutator threads executing partitions. Purely a
+    /// scheduling choice: any thread count yields bit-identical results
+    /// for the same partition plan.
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// `n` partitions on `n` threads — the CLI's `--threads n` shape.
+    pub fn with_threads(n: usize) -> Self {
+        ParallelConfig {
+            partitions: n,
+            threads: n,
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::with_threads(4)
+    }
+}
+
+/// Why a parallel run could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelError {
+    /// `partitions` was zero; at least one partition is required.
+    ZeroPartitions,
+    /// `threads` was zero; at least one mutator thread is required.
+    ZeroThreads,
+    /// The workload's [`Workload::partitions`] returned no plan.
+    NotPartitionable {
+        /// Name of the workload that could not be partitioned.
+        workload: String,
+    },
+}
+
+impl std::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelError::ZeroPartitions => {
+                write!(f, "partition count must be at least 1 (got 0)")
+            }
+            ParallelError::ZeroThreads => {
+                write!(f, "mutator thread count must be at least 1 (got 0)")
+            }
+            ParallelError::NotPartitionable { workload } => {
+                write!(f, "workload `{workload}` does not support partitioning")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+/// Summary of a parallel run (the simulation results live in the parent
+/// environment, exactly as after [`Env::run`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Partitions executed (1 when the run degenerated to sequential).
+    pub partitions: usize,
+    /// Mutator threads used.
+    pub threads: usize,
+    /// Collection-instance statistics flushed as survivors across all
+    /// partitions.
+    pub survivors: usize,
+    /// Times any thread found a heap lock already held (parent heap plus
+    /// all partition heaps). Observability only — not deterministic.
+    pub lock_contention: u64,
+}
+
+/// Everything a finished partition hands back for the ordered merge.
+/// Plain data only, so it crosses the thread boundary freely.
+struct PartitionOutcome {
+    name: String,
+    sim_time: u64,
+    cycles: Vec<CycleStats>,
+    snapshots: Vec<HeapSnapshot>,
+    /// The partition heap's context table in id order: index `i` is the
+    /// partition-local `ContextId(i)`.
+    contexts: Vec<(String, Vec<String>)>,
+    traces: Vec<(Option<ContextId>, ContextTrace)>,
+    captures: u64,
+    survivors: usize,
+    lock_contention: u64,
+    allocated_bytes: u64,
+    allocated_objects: u64,
+    wall_ns: u64,
+}
+
+/// Runs one partition to completion in a fresh hermetic environment and
+/// extracts its portable outcome.
+fn run_partition(config: &EnvConfig, task: &PartitionTask) -> PartitionOutcome {
+    let timer = SpanTimer::start();
+    let env = Env::new(config);
+    task.run(&env.factory);
+    env.heap.gc();
+    let survivors = env.rt.flush_survivors();
+    let traces = env
+        .profiler
+        .as_ref()
+        .map(|p| p.traces())
+        .unwrap_or_default();
+    PartitionOutcome {
+        name: task.name().to_owned(),
+        sim_time: env.rt.clock().now(),
+        cycles: env.heap.cycles(),
+        snapshots: env.heap.heap_snapshots(),
+        contexts: env.heap.context_records(),
+        traces,
+        captures: env.factory.capture_count(),
+        survivors,
+        lock_contention: env.heap.lock_contention(),
+        allocated_bytes: env.heap.total_allocated_bytes(),
+        allocated_objects: env.heap.total_allocated_objects(),
+        wall_ns: timer.elapsed_ns(),
+    }
+}
+
+impl Env {
+    /// Runs `workload` split into `config.partitions` independent
+    /// partitions on `config.threads` mutator threads, then merges every
+    /// partition's results into this environment in partition-index
+    /// order.
+    ///
+    /// Determinism contract: for a fixed workload and partition count,
+    /// the merged [`RunMetrics`](crate::RunMetrics), profile report and
+    /// downstream rule suggestions are bit-identical for **any** thread
+    /// count. With `partitions == 1` the workload runs inline via
+    /// [`Env::run`], so the single-partition results match the sequential
+    /// path exactly.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `partitions` or `threads` is zero, or when the workload
+    /// returns no partition plan (`partitions > 1` only).
+    pub fn run_parallel(
+        &self,
+        workload: &dyn Workload,
+        config: ParallelConfig,
+    ) -> Result<ParallelStats, ParallelError> {
+        if config.partitions == 0 {
+            return Err(ParallelError::ZeroPartitions);
+        }
+        if config.threads == 0 {
+            return Err(ParallelError::ZeroThreads);
+        }
+        if config.partitions == 1 {
+            self.run(workload);
+            return Ok(ParallelStats {
+                partitions: 1,
+                threads: 1,
+                survivors: 0,
+                lock_contention: self.heap.lock_contention(),
+            });
+        }
+        let tasks = workload
+            .partitions(config.partitions)
+            .filter(|t| !t.is_empty())
+            .ok_or_else(|| ParallelError::NotPartitionable {
+                workload: workload.name().to_owned(),
+            })?;
+
+        // Children are silent: the parent narrates the run, per partition,
+        // in merge order.
+        let child_config = EnvConfig {
+            telemetry: None,
+            ..self.config.clone()
+        };
+        let workers = config.threads.min(tasks.len());
+        let outcomes: Vec<PartitionOutcome> = if workers == 1 {
+            tasks
+                .iter()
+                .map(|t| run_partition(&child_config, t))
+                .collect()
+        } else {
+            // Work queue: threads pull the next unclaimed partition index.
+            // Which thread runs which partition is scheduling noise; the
+            // index-ordered collection below erases it.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<PartitionOutcome>>> =
+                tasks.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        *slots[i].lock() = Some(run_partition(&child_config, task));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("every partition ran"))
+                .collect()
+        };
+
+        // ----- deterministic merge, partition-index order --------------------
+        let telemetry = self.rt.telemetry().filter(|t| t.is_enabled());
+        let mut survivors = 0usize;
+        let mut child_contention = 0u64;
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            let base_units = self.rt.clock().now();
+            self.rt.clock().charge(outcome.sim_time);
+
+            // Re-intern the partition's context table; index i is the
+            // partition-local ContextId(i).
+            let remap: Vec<ContextId> = outcome
+                .contexts
+                .iter()
+                .map(|(src_type, frames)| self.heap.intern_context(src_type, frames, frames.len()))
+                .collect();
+
+            let mut cycles = outcome.cycles;
+            for c in &mut cycles {
+                c.at_units += base_units;
+                for (ctx, _) in &mut c.per_context {
+                    *ctx = remap[ctx.0 as usize];
+                }
+                c.per_context.sort_by_key(|(ctx, _)| ctx.0);
+            }
+            let mut snapshots = outcome.snapshots;
+            for s in &mut snapshots {
+                s.at_units += base_units;
+                for cs in &mut s.contexts {
+                    if let Some(c) = cs.ctx {
+                        cs.ctx = Some(remap[c.0 as usize]);
+                    }
+                }
+                // Restore the documented invariant: context-id order, the
+                // no-context bucket last.
+                s.contexts.sort_by_key(|cs| match cs.ctx {
+                    Some(c) => (0u8, c.0),
+                    None => (1u8, 0),
+                });
+            }
+            self.heap.absorb_partition(
+                cycles,
+                snapshots,
+                outcome.allocated_bytes,
+                outcome.allocated_objects,
+            );
+
+            if let Some(profiler) = &self.profiler {
+                // Trace-map iteration order is irrelevant: traces merge
+                // into disjoint per-context entries, and cross-partition
+                // accumulation happens in this loop's fixed order.
+                for (ctx, trace) in &outcome.traces {
+                    let ctx = ctx.map(|c| remap[c.0 as usize]);
+                    profiler.merge_trace(ctx, trace);
+                }
+            }
+            self.factory.absorb_captures(outcome.captures);
+            survivors += outcome.survivors;
+            child_contention += outcome.lock_contention;
+
+            if let Some(t) = &telemetry {
+                if let Some(mut e) = t.event("mutator_partition", self.rt.clock().now()) {
+                    e.str("name", &outcome.name)
+                        .num("index", index as u64)
+                        .num("sim_time", outcome.sim_time)
+                        .num("cycles", self.heap.gc_count())
+                        .num("survivors", outcome.survivors as u64)
+                        .num("lock_contention", outcome.lock_contention)
+                        .num("wall_ns", outcome.wall_ns);
+                }
+            }
+        }
+
+        let lock_contention = child_contention + self.heap.lock_contention();
+        if let Some(t) = &telemetry {
+            t.counter("mutator.lock_contention").add(lock_contention);
+            if let Some(mut e) = t.event("parallel_run_end", self.rt.clock().now()) {
+                e.str("name", workload.name())
+                    .num("partitions", config.partitions as u64)
+                    .num("threads", config.threads as u64)
+                    .num("survivors", survivors as u64)
+                    .num("lock_contention", lock_contention);
+            }
+        }
+        Ok(ParallelStats {
+            partitions: config.partitions,
+            threads: config.threads,
+            survivors,
+            lock_contention,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_collections::CollectionFactory;
+
+    /// A partitionable workload: `sites` allocation sites, each allocating
+    /// a deterministic burst of maps and lists.
+    struct Burst {
+        sites: usize,
+    }
+
+    impl Burst {
+        fn run_site(f: &CollectionFactory, site: usize) {
+            let _g = f.enter(&format!("Burst.site:{site}"));
+            let mut keep = Vec::new();
+            for round in 0..20 {
+                let mut m = f.new_map::<i64, i64>(None);
+                for i in 0..(site as i64 % 5) {
+                    m.put(i, i);
+                }
+                if round % 3 == 0 {
+                    keep.push(m);
+                }
+                let mut l = f.new_list::<i64>(None);
+                for i in 0..(round as i64) {
+                    l.add(i);
+                }
+            }
+        }
+    }
+
+    impl Workload for Burst {
+        fn name(&self) -> &'static str {
+            "burst"
+        }
+        fn run(&self, f: &CollectionFactory) {
+            for site in 0..self.sites {
+                Burst::run_site(f, site);
+            }
+        }
+        fn partitions(&self, parts: usize) -> Option<Vec<PartitionTask>> {
+            let parts = parts.min(self.sites).max(1);
+            let per = self.sites.div_ceil(parts);
+            Some(
+                (0..parts)
+                    .map(|p| {
+                        let lo = p * per;
+                        let hi = ((p + 1) * per).min(self.sites);
+                        PartitionTask::new(format!("burst[{p}]"), move |f| {
+                            for site in lo..hi {
+                                Burst::run_site(f, site);
+                            }
+                        })
+                    })
+                    .collect(),
+            )
+        }
+    }
+
+    fn fingerprint(env: &Env) -> (crate::RunMetrics, String) {
+        (env.metrics(), env.report().to_json())
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // Same partition plan, different thread counts: every byte of the
+        // metrics and of the ranked profile report must match.
+        let mut prints = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let env = Env::new(&EnvConfig::default());
+            let stats = env
+                .run_parallel(
+                    &Burst { sites: 8 },
+                    ParallelConfig {
+                        partitions: 4,
+                        threads,
+                    },
+                )
+                .expect("parallel run");
+            assert_eq!(stats.partitions, 4);
+            prints.push(fingerprint(&env));
+        }
+        assert_eq!(prints[0], prints[1], "1 thread vs 2 threads");
+        assert_eq!(prints[1], prints[2], "2 threads vs 4 threads");
+    }
+
+    #[test]
+    fn single_partition_matches_sequential_run() {
+        let seq = Env::new(&EnvConfig::default());
+        seq.run(&Burst { sites: 6 });
+
+        let par = Env::new(&EnvConfig::default());
+        let stats = par
+            .run_parallel(&Burst { sites: 6 }, ParallelConfig::with_threads(1))
+            .expect("parallel run");
+        assert_eq!(stats.partitions, 1);
+        assert_eq!(fingerprint(&seq), fingerprint(&par));
+    }
+
+    #[test]
+    fn merge_preserves_instance_and_death_totals() {
+        let seq = Env::new(&EnvConfig::default());
+        seq.run(&Burst { sites: 8 });
+        let seq_report = seq.report();
+
+        let par = Env::new(&EnvConfig::default());
+        par.run_parallel(&Burst { sites: 8 }, ParallelConfig::with_threads(4))
+            .expect("parallel run");
+        let par_report = par.report();
+
+        // GC boundaries differ between the partitioned and sequential
+        // histories, but semantic instance accounting must agree exactly.
+        assert_eq!(seq_report.contexts.len(), par_report.contexts.len());
+        for c in &seq_report.contexts {
+            let p = par_report
+                .by_label(&c.label)
+                .unwrap_or_else(|| panic!("context {} missing from parallel report", c.label));
+            assert_eq!(c.trace.instances, p.trace.instances, "{}", c.label);
+            assert_eq!(
+                c.trace.all_ops_total(),
+                p.trace.all_ops_total(),
+                "{}",
+                c.label
+            );
+        }
+        let seq_m = seq.metrics();
+        let par_m = par.metrics();
+        assert_eq!(seq_m.total_allocated_bytes, par_m.total_allocated_bytes);
+        assert_eq!(seq_m.total_allocated_objects, par_m.total_allocated_objects);
+    }
+
+    #[test]
+    fn zero_counts_and_unpartitionable_workloads_are_errors() {
+        let env = Env::new(&EnvConfig::default());
+        let w = Burst { sites: 4 };
+        assert_eq!(
+            env.run_parallel(
+                &w,
+                ParallelConfig {
+                    partitions: 0,
+                    threads: 2
+                }
+            )
+            .unwrap_err(),
+            ParallelError::ZeroPartitions
+        );
+        assert_eq!(
+            env.run_parallel(
+                &w,
+                ParallelConfig {
+                    partitions: 2,
+                    threads: 0
+                }
+            )
+            .unwrap_err(),
+            ParallelError::ZeroThreads
+        );
+        // Tuple workloads have no partition plan.
+        let plain = ("plain", |_f: &CollectionFactory| {});
+        let err = env
+            .run_parallel(&plain, ParallelConfig::with_threads(2))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ParallelError::NotPartitionable {
+                workload: "plain".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("plain"), "{err}");
+    }
+
+    #[test]
+    fn partition_telemetry_lands_on_the_parent() {
+        use chameleon_telemetry::Telemetry;
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        let env = Env::new(&EnvConfig {
+            telemetry: Some(t.clone()),
+            ..EnvConfig::default()
+        });
+        env.run_parallel(&Burst { sites: 8 }, ParallelConfig::with_threads(2))
+            .expect("parallel run");
+        let events = t.events_snapshot();
+        assert!(
+            events.contains("mutator_partition"),
+            "per-partition events: {events}"
+        );
+        assert!(events.contains("parallel_run_end"), "{events}");
+        let metrics = t.metrics_snapshot();
+        assert!(
+            metrics.iter().any(|m| m.name == "mutator.lock_contention"),
+            "contention counter registered"
+        );
+    }
+}

@@ -3,6 +3,49 @@
 
 use chameleon_collections::CollectionFactory;
 
+/// One independent slice of a partitioned workload.
+///
+/// The closure must be self-contained: running every partition of a plan,
+/// in any order and on any thread, must perform the same allocations and
+/// operations the whole workload would. `Env::run_parallel` runs each
+/// partition against its own hermetic environment, so partitions never
+/// observe each other.
+pub struct PartitionTask {
+    name: String,
+    run: Box<dyn Fn(&CollectionFactory) + Send + Sync>,
+}
+
+impl PartitionTask {
+    /// Creates a partition task.
+    pub fn new(
+        name: impl Into<String>,
+        run: impl Fn(&CollectionFactory) + Send + Sync + 'static,
+    ) -> Self {
+        PartitionTask {
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// Display name (e.g. `"tvla[2/4]"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs the partition to completion against `factory`.
+    pub fn run(&self, factory: &CollectionFactory) {
+        (self.run)(factory)
+    }
+}
+
+impl std::fmt::Debug for PartitionTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionTask")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
 /// A deterministic program that allocates all its collections through the
 /// provided factory.
 ///
@@ -17,6 +60,20 @@ pub trait Workload {
     /// through `factory` and dropped before returning (so their trace
     /// statistics reach the profiler).
     fn run(&self, factory: &CollectionFactory);
+
+    /// Splits the workload into `parts` independent partitions for the
+    /// parallel mutator runtime, or `None` (the default) when the workload
+    /// cannot be partitioned. The ideal plan covers exactly the work of
+    /// [`Workload::run`]: executing every partition sequentially in plan
+    /// order performs the same operations in the same per-partition order.
+    /// Workloads whose phases couple globally (e.g. a fixpoint over one
+    /// shared state set) may instead shard their input; the operations then
+    /// differ from the sequential run, but must still be a deterministic
+    /// function of the plan alone.
+    fn partitions(&self, parts: usize) -> Option<Vec<PartitionTask>> {
+        let _ = parts;
+        None
+    }
 }
 
 impl<F> Workload for (&'static str, F)

@@ -17,10 +17,10 @@ use crate::snapshot::{HeapProfConfig, HeapProfState, HeapSnapshot};
 use crate::stats::CycleStats;
 use crate::telemetry::HeapTelemetry;
 use chameleon_telemetry::Telemetry;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::AtomicU32;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Panic payload used for the simulated `OutOfMemoryError`.
@@ -137,11 +137,15 @@ pub(crate) struct HeapInner {
 #[derive(Clone)]
 pub struct Heap {
     inner: Arc<Mutex<HeapInner>>,
+    /// Times [`Heap::lock`] found the heap lock already held. Shared across
+    /// clones; feeds the `mutator.lock_contention` telemetry counter of the
+    /// parallel runner.
+    contention: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for Heap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         f.debug_struct("Heap")
             .field("objects", &(inner.slab.len() - inner.free.len()))
             .field("heap_bytes", &inner.heap_bytes)
@@ -189,7 +193,27 @@ impl Heap {
                 telemetry: None,
                 heapprof: None,
             })),
+            contention: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Acquires the heap lock, counting the acquisition as contended when
+    /// another thread already holds it. The uncontended fast path is one
+    /// `try_lock` — no extra atomic traffic for single-threaded runs.
+    fn lock(&self) -> MutexGuard<'_, HeapInner> {
+        match self.inner.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.inner.lock()
+            }
+        }
+    }
+
+    /// How many lock acquisitions found the heap lock contended, over the
+    /// lifetime of this heap (shared by all clones of the handle).
+    pub fn lock_contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
     }
 
     /// Creates a heap capped at `capacity` bytes (allocations GC on
@@ -204,7 +228,7 @@ impl Heap {
     /// Attaches a simulated clock; the collector charges its cycle costs to
     /// it.
     pub fn attach_clock(&self, clock: SimClock) {
-        self.inner.lock().clock = Some(clock);
+        self.lock().clock = Some(clock);
     }
 
     /// Attaches a telemetry handle. Metric handles are resolved once, here;
@@ -213,7 +237,7 @@ impl Heap {
     /// never charges the [`SimClock`], so simulated results are identical
     /// with it on, off, or absent.
     pub fn attach_telemetry(&self, telemetry: &Telemetry) {
-        self.inner.lock().telemetry = Some(HeapTelemetry::new(telemetry));
+        self.lock().telemetry = Some(HeapTelemetry::new(telemetry));
     }
 
     /// Enables (with `Some`) or disables (with `None`) continuous heap
@@ -226,12 +250,12 @@ impl Heap {
     /// on, off, or absent. Re-enabling discards previously captured
     /// snapshots.
     pub fn set_heap_profiling(&self, config: Option<HeapProfConfig>) {
-        self.inner.lock().heapprof = config.map(HeapProfState::new);
+        self.lock().heapprof = config.map(HeapProfState::new);
     }
 
     /// The active heap-profiling configuration, if any.
     pub fn heap_profiling(&self) -> Option<HeapProfConfig> {
-        self.inner.lock().heapprof.as_ref().map(|s| s.config)
+        self.lock().heapprof.as_ref().map(|s| s.config)
     }
 
     /// All heap snapshots captured so far (empty unless
@@ -247,37 +271,37 @@ impl Heap {
 
     /// Discards captured snapshots while keeping profiling enabled.
     pub fn clear_heap_snapshots(&self) {
-        if let Some(s) = self.inner.lock().heapprof.as_mut() {
+        if let Some(s) = self.lock().heapprof.as_mut() {
             s.snapshots.clear();
         }
     }
 
     /// The layout model this heap uses.
     pub fn model(&self) -> MemoryModel {
-        self.inner.lock().model
+        self.lock().model
     }
 
     /// Changes the capacity cap (used by the minimal-heap search).
     pub fn set_capacity(&self, capacity: Option<u64>) {
-        self.inner.lock().capacity = capacity;
+        self.lock().capacity = capacity;
     }
 
     // ----- classes and contexts -------------------------------------------------
 
     /// Registers a class (idempotent by name).
     pub fn register_class(&self, name: &str, map: Option<SemanticMap>) -> ClassId {
-        self.inner.lock().classes.register(name, map)
+        self.lock().classes.register(name, map)
     }
 
     /// Returns the display name of `class`.
     pub fn class_name(&self, class: ClassId) -> String {
-        self.inner.lock().classes.info(class).name.clone()
+        self.lock().classes.info(class).name.clone()
     }
 
     /// Interns an allocation context from frame display names
     /// (innermost first), truncated to `depth`.
     pub fn intern_context(&self, src_type: &str, frames: &[String], depth: usize) -> ContextId {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let ids: Vec<_> = frames
             .iter()
             .take(depth)
@@ -293,7 +317,7 @@ impl Heap {
     /// stacks use this so their frame ids are directly valid for
     /// [`Heap::intern_context_ids`].
     pub fn intern_frame(&self, name: &str) -> FrameId {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let misses_before = inner.contexts.frame_misses();
         let id = inner.contexts.intern_frame(name);
         if let Some(ht) = inner.telemetry.as_ref().filter(|ht| ht.on()) {
@@ -306,7 +330,7 @@ impl Heap {
 
     /// Resolves a frame id previously returned by [`Heap::intern_frame`].
     pub fn frame_name(&self, frame: FrameId) -> String {
-        self.inner.lock().contexts.frame_name(frame).to_owned()
+        self.lock().contexts.frame_name(frame).to_owned()
     }
 
     /// Interns an allocation context from already-interned frame ids
@@ -320,7 +344,7 @@ impl Heap {
         frames: &[FrameId],
         depth: usize,
     ) -> ContextId {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let misses_before = inner.contexts.context_misses();
         let ctx = inner.contexts.intern(src_type, frames, depth);
         if let Some(ht) = inner.telemetry.as_ref().filter(|ht| ht.on()) {
@@ -337,7 +361,7 @@ impl Heap {
     /// intern calls actually allocated. Warm capture paths leave both
     /// counters unchanged, which tests assert on.
     pub fn context_intern_misses(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         (
             inner.contexts.frame_misses(),
             inner.contexts.context_misses(),
@@ -346,18 +370,18 @@ impl Heap {
 
     /// Formats a context in the paper's `Type:frame;frame` style.
     pub fn format_context(&self, ctx: ContextId) -> String {
-        self.inner.lock().contexts.format(ctx)
+        self.lock().contexts.format(ctx)
     }
 
     /// Source type recorded for a context.
     pub fn context_src_type(&self, ctx: ContextId) -> String {
-        self.inner.lock().contexts.record(ctx).src_type.clone()
+        self.lock().contexts.record(ctx).src_type.clone()
     }
 
     /// Frame display names of a context, innermost first (portable across
     /// heaps: re-interning them reproduces the same logical context).
     pub fn context_frames(&self, ctx: ContextId) -> Vec<String> {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         let rec = inner.contexts.record(ctx);
         rec.stack
             .iter()
@@ -367,12 +391,32 @@ impl Heap {
 
     /// Changes the allocation-driven GC interval.
     pub fn set_gc_interval_bytes(&self, interval: Option<u64>) {
-        self.inner.lock().gc_interval_bytes = interval;
+        self.lock().gc_interval_bytes = interval;
     }
 
     /// Number of distinct allocation contexts interned.
     pub fn context_count(&self) -> usize {
-        self.inner.lock().contexts.len()
+        self.lock().contexts.len()
+    }
+
+    /// Dumps every interned context as a `(src_type, frames)` pair, in
+    /// context-id order (index `i` is `ContextId(i)`). This is the portable
+    /// form the parallel runner uses to remap a partition heap's context
+    /// ids into the parent heap via [`Heap::intern_context`].
+    pub fn context_records(&self) -> Vec<(String, Vec<String>)> {
+        let inner = self.lock();
+        inner
+            .contexts
+            .iter()
+            .map(|(_, rec)| {
+                let frames = rec
+                    .stack
+                    .iter()
+                    .map(|f| inner.contexts.frame_name(*f).to_owned())
+                    .collect();
+                (rec.src_type.clone(), frames)
+            })
+            .collect()
     }
 
     // ----- allocation -----------------------------------------------------------
@@ -391,7 +435,7 @@ impl Heap {
         prim_bytes: u32,
         ctx: Option<ContextId>,
     ) -> ObjId {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let size = inner.model.object_size(ref_fields, prim_bytes);
         inner.ensure_room(u64::from(size));
         let body = ObjBody::Scalar {
@@ -414,7 +458,7 @@ impl Heap {
         capacity: u32,
         ctx: Option<ContextId>,
     ) -> ObjId {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let elem_bytes = match elem {
             ElemKind::Ref => inner.model.ref_bytes,
             ElemKind::Prim { bytes_per_elem } => bytes_per_elem,
@@ -458,7 +502,7 @@ impl Heap {
         links: &[(usize, usize, usize)],
         roots: &[usize],
     ) -> [ObjId; N] {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let model = inner.model;
         let sizes = reqs.map(|r| r.size(&model));
         let batch_bytes: u64 = sizes.iter().map(|s| u64::from(*s)).sum();
@@ -525,7 +569,7 @@ impl Heap {
     ///
     /// Panics if `obj` is stale or `field` is out of bounds.
     pub fn set_ref(&self, obj: ObjId, field: usize, target: Option<ObjId>) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         match &mut inner.resolve_mut(obj).body {
             ObjBody::Scalar { refs, .. } => refs[field] = target,
             ObjBody::Array { .. } => panic!("set_ref on array object; use set_elem"),
@@ -534,7 +578,7 @@ impl Heap {
 
     /// Reads reference field `field` of `obj`.
     pub fn get_ref(&self, obj: ObjId, field: usize) -> Option<ObjId> {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         match &inner.resolve(obj).body {
             ObjBody::Scalar { refs, .. } => refs[field],
             ObjBody::Array { .. } => panic!("get_ref on array object; use get_elem"),
@@ -543,7 +587,7 @@ impl Heap {
 
     /// Stores `target` into slot `idx` of a reference array.
     pub fn set_elem(&self, arr: ObjId, idx: usize, target: Option<ObjId>) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         match &mut inner.resolve_mut(arr).body {
             ObjBody::Array { slots, .. } => slots[idx] = target,
             ObjBody::Scalar { .. } => panic!("set_elem on scalar object; use set_ref"),
@@ -552,7 +596,7 @@ impl Heap {
 
     /// Reads slot `idx` of a reference array.
     pub fn get_elem(&self, arr: ObjId, idx: usize) -> Option<ObjId> {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         match &inner.resolve(arr).body {
             ObjBody::Array { slots, .. } => slots[idx],
             ObjBody::Scalar { .. } => panic!("get_elem on scalar object; use get_ref"),
@@ -561,7 +605,7 @@ impl Heap {
 
     /// Writes semantic-map metadata slot `idx` (grows the vector as needed).
     pub fn set_meta(&self, obj: ObjId, idx: usize, value: i64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let meta = &mut inner.resolve_mut(obj).meta;
         if meta.len() <= idx {
             meta.resize(idx + 1, 0);
@@ -571,13 +615,13 @@ impl Heap {
 
     /// Reads semantic-map metadata slot `idx` (0 if never written).
     pub fn get_meta(&self, obj: ObjId, idx: usize) -> i64 {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         inner.resolve(obj).meta.get(idx).copied().unwrap_or(0)
     }
 
     /// Returns a snapshot view of `obj`.
     pub fn view(&self, obj: ObjId) -> ObjectView {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         let o = inner.resolve(obj);
         ObjectView {
             class: o.class,
@@ -594,7 +638,7 @@ impl Heap {
 
     /// Whether `obj` still resolves (has not been swept).
     pub fn is_live(&self, obj: ObjId) -> bool {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         inner
             .slab
             .get(obj.index as usize)
@@ -604,24 +648,24 @@ impl Heap {
 
     /// Aligned size of `obj` in bytes.
     pub fn size_of(&self, obj: ObjId) -> u32 {
-        self.inner.lock().resolve(obj).size
+        self.lock().resolve(obj).size
     }
 
     /// Class of `obj`.
     pub fn class_of(&self, obj: ObjId) -> ClassId {
-        self.inner.lock().resolve(obj).class
+        self.lock().resolve(obj).class
     }
 
     // ----- roots ----------------------------------------------------------------
 
     /// Registers `obj` as a GC root (reference counted).
     pub fn add_root(&self, obj: ObjId) {
-        *self.inner.lock().roots.entry(obj).or_insert(0) += 1;
+        *self.lock().roots.entry(obj).or_insert(0) += 1;
     }
 
     /// Releases one root registration of `obj`.
     pub fn remove_root(&self, obj: ObjId) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         if let Some(n) = inner.roots.get_mut(&obj) {
             *n -= 1;
             if *n == 0 {
@@ -632,52 +676,84 @@ impl Heap {
 
     /// Number of distinct roots.
     pub fn root_count(&self) -> usize {
-        self.inner.lock().roots.len()
+        self.lock().roots.len()
     }
 
     // ----- GC and statistics ----------------------------------------------------
 
     /// Runs a full mark-sweep cycle and returns its statistics.
     pub fn gc(&self) -> CycleStats {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         gc::collect(&mut inner)
     }
 
     /// All per-cycle statistics recorded so far (Table 3 rows).
     pub fn cycles(&self) -> Vec<CycleStats> {
-        self.inner.lock().cycles.clone()
+        self.lock().cycles.clone()
     }
 
     /// Clears recorded cycle statistics (between runs).
     pub fn clear_cycles(&self) {
-        self.inner.lock().cycles.clear();
+        self.lock().cycles.clear();
     }
 
     /// Bytes currently occupied in the heap (live + not-yet-collected
     /// garbage).
     pub fn heap_bytes(&self) -> u64 {
-        self.inner.lock().heap_bytes
+        self.lock().heap_bytes
     }
 
     /// Total bytes ever allocated.
     pub fn total_allocated_bytes(&self) -> u64 {
-        self.inner.lock().total_allocated_bytes
+        self.lock().total_allocated_bytes
     }
 
     /// Total objects ever allocated.
     pub fn total_allocated_objects(&self) -> u64 {
-        self.inner.lock().total_allocated_objects
+        self.lock().total_allocated_objects
     }
 
     /// Number of GC cycles run.
     pub fn gc_count(&self) -> u64 {
-        self.inner.lock().gc_count
+        self.lock().gc_count
     }
 
     /// Number of objects currently in the table (live + garbage).
     pub fn object_count(&self) -> usize {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         inner.slab.len() - inner.free.len()
+    }
+
+    /// Folds a finished partition heap's recorded history into this heap:
+    /// per-cycle statistics and heap snapshots (renumbered so cycle indices
+    /// continue this heap's counter) plus allocation totals. Context ids
+    /// inside `cycles` and `snapshots` must already be remapped into this
+    /// heap's context table by the caller. Absorbing partitions in a fixed
+    /// order yields a deterministic combined history regardless of which OS
+    /// thread ran which partition.
+    pub fn absorb_partition(
+        &self,
+        mut cycles: Vec<CycleStats>,
+        mut snapshots: Vec<HeapSnapshot>,
+        allocated_bytes: u64,
+        allocated_objects: u64,
+    ) {
+        let mut inner = self.lock();
+        let base = inner.gc_count;
+        let absorbed = cycles.len() as u64;
+        for c in &mut cycles {
+            c.cycle += base;
+        }
+        for s in &mut snapshots {
+            s.cycle += base;
+        }
+        inner.cycles.append(&mut cycles);
+        if let Some(state) = inner.heapprof.as_mut() {
+            state.snapshots.extend(snapshots);
+        }
+        inner.gc_count = base + absorbed;
+        inner.total_allocated_bytes += allocated_bytes;
+        inner.total_allocated_objects += allocated_objects;
     }
 }
 

@@ -27,8 +27,10 @@ use std::collections::HashSet;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeapProfConfig {
     /// Capture a snapshot on every `every`-th GC cycle, starting with the
-    /// first cycle after profiling is enabled (1 = every cycle; 0 is
-    /// treated as 1).
+    /// first cycle after profiling is enabled (1 = every cycle). Must be
+    /// at least 1; callers validate before constructing the config (the
+    /// CLI rejects `--every 0` at parse time), and the collector clamps a
+    /// zero to 1 as a last-resort guard.
     pub every: u64,
 }
 

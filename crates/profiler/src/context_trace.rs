@@ -35,6 +35,9 @@ pub struct ContextTrace {
     pub impl_counts: HashMap<&'static str, u64>,
     /// Instances that grew beyond their initial capacity.
     pub grew_beyond_capacity: u64,
+    /// Instances still live at workload end whose statistics were flushed
+    /// as survivors rather than delivered by a handle death.
+    pub survivors: u64,
 }
 
 impl ContextTrace {
@@ -53,6 +56,7 @@ impl ContextTrace {
             requested_type: requested_type.to_owned(),
             impl_counts: HashMap::new(),
             grew_beyond_capacity: 0,
+            survivors: 0,
         }
     }
 
@@ -74,6 +78,32 @@ impl ContextTrace {
         if stats.max_size > stats.initial_capacity {
             self.grew_beyond_capacity += 1;
         }
+        if stats.survivor {
+            self.survivors += 1;
+        }
+    }
+
+    /// Folds another trace for the same context in — the partition-merge
+    /// path of the parallel runner. All moments are sums (or maxima), so
+    /// merging partition traces in any fixed order reproduces exactly the
+    /// trace a single sequential run over the same instances would build.
+    pub fn merge(&mut self, other: &ContextTrace) {
+        self.instances += other.instances;
+        for i in 0..NOPS {
+            self.op_sum[i] += other.op_sum[i];
+            self.op_sumsq[i] += other.op_sumsq[i];
+        }
+        self.max_size_sum += other.max_size_sum;
+        self.max_size_sumsq += other.max_size_sumsq;
+        self.max_size_peak = self.max_size_peak.max(other.max_size_peak);
+        self.final_size_sum += other.final_size_sum;
+        self.initial_capacity_sum += other.initial_capacity_sum;
+        self.initial_capacity_max = self.initial_capacity_max.max(other.initial_capacity_max);
+        for (name, n) in &other.impl_counts {
+            *self.impl_counts.entry(name).or_insert(0) += *n;
+        }
+        self.grew_beyond_capacity += other.grew_beyond_capacity;
+        self.survivors += other.survivors;
     }
 
     /// Total count of `op` over all instances.
@@ -249,6 +279,7 @@ mod tests {
             initial_capacity: cap,
             requested_type: "ArrayList",
             chosen_impl: "ArrayList",
+            survivor: false,
         }
     }
 
@@ -309,6 +340,7 @@ mod tests {
             initial_capacity: 10,
             requested_type: "ArrayList",
             chosen_impl: "ArrayList",
+            survivor: false,
         });
         let dist = t.op_distribution();
         let total: f64 = dist.iter().map(|(_, s)| s).sum();
@@ -335,5 +367,45 @@ mod tests {
         let mut t = ContextTrace::new("LinkedList");
         t.absorb(&stats(0, 0, 0));
         assert_eq!(t.never_used_fraction(), 1.0);
+    }
+
+    #[test]
+    fn survivors_are_counted() {
+        let mut t = ContextTrace::new("ArrayList");
+        t.absorb(&stats(3, 3, 10));
+        t.absorb(&InstanceStats {
+            survivor: true,
+            ..stats(5, 5, 10)
+        });
+        assert_eq!(t.instances, 2);
+        assert_eq!(t.survivors, 1);
+    }
+
+    #[test]
+    fn merge_equals_sequential_absorb() {
+        // Absorbing all instances into one trace must equal absorbing them
+        // into per-partition traces and merging — the parallel invariant.
+        let samples = [(2, 2, 10), (4, 7, 10), (1, 1, 0), (9, 30, 16)];
+        let mut whole = ContextTrace::new("ArrayList");
+        for &(a, m, c) in &samples {
+            whole.absorb(&stats(a, m, c));
+        }
+        let mut left = ContextTrace::new("ArrayList");
+        let mut right = ContextTrace::new("ArrayList");
+        for &(a, m, c) in &samples[..2] {
+            left.absorb(&stats(a, m, c));
+        }
+        for &(a, m, c) in &samples[2..] {
+            right.absorb(&stats(a, m, c));
+        }
+        left.merge(&right);
+        assert_eq!(left.instances, whole.instances);
+        assert_eq!(left.op_total(Op::Add), whole.op_total(Op::Add));
+        assert_eq!(left.max_size_peak, whole.max_size_peak);
+        assert_eq!(left.final_size_sum, whole.final_size_sum);
+        assert_eq!(left.grew_beyond_capacity, whole.grew_beyond_capacity);
+        assert!((left.op_std(Op::Add) - whole.op_std(Op::Add)).abs() < 1e-12);
+        assert!((left.max_size_std() - whole.max_size_std()).abs() < 1e-12);
+        assert_eq!(left.impl_counts, whole.impl_counts);
     }
 }

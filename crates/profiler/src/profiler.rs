@@ -76,6 +76,18 @@ impl Profiler {
             .collect()
     }
 
+    /// Folds a whole per-context trace in — the partition-merge path of
+    /// the parallel runner. `ctx` must already be remapped into this
+    /// profiler's heap. The death counter advances by the trace's instance
+    /// count, exactly as if every instance had died here.
+    pub fn merge_trace(&self, ctx: Option<ContextId>, trace: &ContextTrace) {
+        let mut map = self.contexts.lock();
+        map.entry(ctx)
+            .or_insert_with(|| ContextTrace::new(&trace.requested_type))
+            .merge(trace);
+        *self.deaths.lock() += trace.instances;
+    }
+
     /// Discards all collected data (between runs).
     pub fn reset(&self) {
         self.contexts.lock().clear();

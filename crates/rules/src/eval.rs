@@ -142,6 +142,7 @@ mod tests {
                 initial_capacity: 16,
                 requested_type: "HashMap",
                 chosen_impl: "HashMap",
+                survivor: false,
             });
         }
         let heap = ContextHeapStats {

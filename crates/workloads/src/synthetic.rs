@@ -3,7 +3,7 @@
 //! overhead scaling).
 
 use chameleon_collections::CollectionFactory;
-use chameleon_core::Workload;
+use chameleon_core::{PartitionTask, Workload};
 use rand::Rng;
 
 /// Distribution of collection sizes at one synthetic site.
@@ -84,17 +84,15 @@ impl Synthetic {
                 .collect(),
         }
     }
-}
 
-impl Workload for Synthetic {
-    fn name(&self) -> &'static str {
-        "synthetic"
-    }
-
-    fn run(&self, f: &CollectionFactory) {
-        let mut rng = crate::util::rng("synthetic");
+    /// Exercises a slice of sites. Each site draws from its own RNG
+    /// (seeded by its frame name), so any contiguous grouping of sites —
+    /// the whole workload, or one partition of it — performs identical
+    /// per-site operations.
+    fn run_sites(sites: &[SyntheticSite], f: &CollectionFactory) {
         let mut keep = Vec::new();
-        for site in &self.sites {
+        for site in sites {
+            let mut rng = crate::util::rng(&site.frame);
             let _site_frame = f.enter(&site.frame);
             for _ in 0..site.instances {
                 let mut m = {
@@ -118,6 +116,41 @@ impl Workload for Synthetic {
     }
 }
 
+impl Workload for Synthetic {
+    fn name(&self) -> &'static str {
+        "synthetic"
+    }
+
+    fn run(&self, f: &CollectionFactory) {
+        Synthetic::run_sites(&self.sites, f);
+    }
+
+    /// Contiguous site chunks: every site owns its RNG stream, so each
+    /// partition performs exactly the operations `run` would perform for
+    /// its sites. (Long-lived instances live to the end of their
+    /// *partition* rather than the whole run, so partitioned GC history
+    /// deterministically differs from the sequential one.)
+    fn partitions(&self, parts: usize) -> Option<Vec<PartitionTask>> {
+        if self.sites.is_empty() || parts == 0 {
+            return None;
+        }
+        let parts = parts.min(self.sites.len());
+        let per = self.sites.len().div_ceil(parts);
+        Some(
+            self.sites
+                .chunks(per)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let sites = chunk.to_vec();
+                    PartitionTask::new(format!("synthetic[{i}]"), move |f| {
+                        Synthetic::run_sites(&sites, f)
+                    })
+                })
+                .collect(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +169,64 @@ mod tests {
         let chameleon = Chameleon::new().with_profile_config(env());
         let report = chameleon.profile(&w);
         assert_eq!(report.contexts.len(), 5);
+    }
+
+    #[test]
+    fn partition_plan_covers_run_operations() {
+        use chameleon_core::Env;
+        // Running every partition back to back on one factory performs the
+        // same per-site operations as `run`, thanks to per-site RNG
+        // streams. (Long-lived instances die at partition boundaries, so
+        // GC history may differ; semantic accounting must not.)
+        let w = Synthetic::small_maps(6);
+        let seq = Env::new(&env());
+        seq.run(&w);
+
+        let split = Env::new(&env());
+        let tasks = w.partitions(3).expect("partitionable");
+        assert_eq!(tasks.len(), 3);
+        for t in &tasks {
+            t.run(&split.factory);
+        }
+        split.heap.gc();
+        split.rt.flush_survivors();
+        let (sm, pm) = (seq.metrics(), split.metrics());
+        assert_eq!(sm.total_allocated_bytes, pm.total_allocated_bytes);
+        assert_eq!(sm.total_allocated_objects, pm.total_allocated_objects);
+        assert_eq!(sm.capture_count, pm.capture_count);
+        let (seq_report, split_report) = (seq.report(), split.report());
+        assert_eq!(seq_report.contexts.len(), split_report.contexts.len());
+        for c in &seq_report.contexts {
+            let other = split_report.by_label(&c.label).expect("context present");
+            assert_eq!(c.trace.instances, other.trace.instances, "{}", c.label);
+            assert_eq!(
+                c.trace.all_ops_total(),
+                other.trace.all_ops_total(),
+                "{}",
+                c.label
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_profile_is_thread_count_invariant() {
+        use chameleon_core::{Env, ParallelConfig};
+        let w = Synthetic::small_maps(8);
+        let fingerprint = |threads: usize| {
+            let e = Env::new(&env());
+            e.run_parallel(
+                &w,
+                ParallelConfig {
+                    partitions: 4,
+                    threads,
+                },
+            )
+            .expect("parallel run");
+            (e.metrics(), e.report().to_json())
+        };
+        let one = fingerprint(1);
+        assert_eq!(one, fingerprint(2));
+        assert_eq!(one, fingerprint(4));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::util::AppData;
 use chameleon_collections::{CollectionFactory, HeapVal, ListHandle, MapHandle};
-use chameleon_core::Workload;
+use chameleon_core::{PartitionTask, Workload};
 
 /// Number of HashMap allocation contexts (the paper's "seven contexts").
 pub const TVLA_MAP_CONTEXTS: usize = 7;
@@ -168,6 +168,35 @@ impl Workload for Tvla {
             worklist.clear();
         }
     }
+
+    /// Shards the state space: partition `i` analyzes its own chunk of
+    /// abstract states with a private worklist and state set, modeling the
+    /// standard way fixpoint engines parallelize over independent program
+    /// parts. The coerce/update phases couple all states of one shard, so
+    /// the sharded operations differ from the sequential run — but they
+    /// are a deterministic function of `(states, rounds, parts)` alone.
+    fn partitions(&self, parts: usize) -> Option<Vec<PartitionTask>> {
+        if self.states == 0 || parts == 0 {
+            return None;
+        }
+        let parts = parts.min(self.states);
+        let per = self.states.div_ceil(parts);
+        let mut tasks = Vec::new();
+        let mut lo = 0;
+        while lo < self.states {
+            let hi = (lo + per).min(self.states);
+            let shard = Tvla {
+                states: hi - lo,
+                rounds: self.rounds,
+            };
+            tasks.push(PartitionTask::new(
+                format!("tvla[{}]", tasks.len()),
+                move |f| shard.run(f),
+            ));
+            lo = hi;
+        }
+        Some(tasks)
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +260,39 @@ mod tests {
             peak.live_pct,
             peak.used_pct
         );
+    }
+
+    #[test]
+    fn sharded_parallel_run_keeps_the_seven_contexts() {
+        use chameleon_core::ParallelConfig;
+        // The sharded plan must preserve the workload's semantic signature
+        // (seven factory-mediated HashMap contexts) and stay thread-count
+        // invariant.
+        let fingerprint = |threads: usize| {
+            let env = Env::new(&small_env());
+            env.run_parallel(
+                &small(),
+                ParallelConfig {
+                    partitions: 3,
+                    threads,
+                },
+            )
+            .expect("parallel run");
+            (env.metrics(), env.report().to_json())
+        };
+        let one = fingerprint(1);
+        assert_eq!(one, fingerprint(3));
+
+        let env = Env::new(&small_env());
+        env.run_parallel(&small(), ParallelConfig::with_threads(3))
+            .expect("parallel run");
+        let report = env.report();
+        let map_contexts = report
+            .contexts
+            .iter()
+            .filter(|c| c.src_type == "HashMap")
+            .count();
+        assert_eq!(map_contexts, TVLA_MAP_CONTEXTS);
     }
 
     #[test]

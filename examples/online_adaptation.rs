@@ -21,13 +21,15 @@ fn main() {
     });
 
     let chameleon = Chameleon::new();
-    let result = chameleon.optimize_online(
-        &program,
-        &OnlineConfig {
-            eval_every_deaths: 64,
-            ..OnlineConfig::default()
-        },
-    );
+    let result = chameleon
+        .optimize_online(
+            &program,
+            &OnlineConfig {
+                eval_every_deaths: 64,
+                ..OnlineConfig::default()
+            },
+        )
+        .expect("default config enables profiling");
 
     println!(
         "rule evaluations mid-run: {}, policy installs: {}",

@@ -132,7 +132,8 @@ fn online_mode_converges_to_offline_quality() {
             eval_every_deaths: 64,
             shutoff_below_potential: None,
         },
-    );
+    )
+    .expect("online run");
     assert!(online.replacements > 0, "online mode must install policies");
     let baseline = min_heap_size(&w, &[], 64 * 1024);
     let online_min = min_heap_size(&w, &online.converged_policy, 64 * 1024);
