@@ -1,6 +1,7 @@
 //! Emits `BENCH_mt.json`: wall-time of the parallel mutator runtime on a
-//! partitioned synthetic workload at 1/2/4 mutator threads, plus the
-//! heap-lock contention counter, and a determinism check — the merged
+//! partitioned synthetic workload at 1/2/4 mutator threads, compared
+//! against a pure-sequential baseline (`Env::run`, no partitioning), plus
+//! the heap-lock contention counter and a determinism check — the merged
 //! profile must be bit-identical at every thread count.
 //!
 //! Run from the workspace root: `cargo run --release --bin bench_mt`.
@@ -44,7 +45,31 @@ fn median(mut xs: Vec<f64>) -> f64 {
 
 fn main() {
     let w = workload();
-    let mut json = String::from("{\n  \"parallel_mutators\": [\n");
+
+    // Pure-sequential baseline: one un-partitioned `Env::run`, the cost
+    // every parallel configuration is competing against.
+    let mut seq_samples = Vec::with_capacity(REPEATS);
+    for _ in 0..REPEATS {
+        let env = Env::new(&env_config());
+        let t0 = Instant::now();
+        env.run(&w);
+        seq_samples.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let seq_med = median(seq_samples.clone());
+    let seq_min = seq_samples.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "sequential baseline: median {seq_med:.1} us, min {seq_min:.1} us \
+         ({} sites, no partitioning)",
+        w.sites.len()
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"sequential_baseline\": {{\"median_us\": {seq_med:.2}, \
+         \"min_us\": {seq_min:.2}, \"repeats\": {REPEATS}}},"
+    );
+    json.push_str("  \"parallel_mutators\": [\n");
     let mut fingerprints = Vec::new();
     let mut first = true;
     for threads in [1usize, 2, 4] {
@@ -71,10 +96,11 @@ fn main() {
         }
         let med = median(samples.clone());
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let overhead_pct = (med - seq_med) / seq_med * 100.0;
         println!(
             "parallel_mutators threads={threads}: median {med:.1} us, min {min:.1} us \
              ({PARTITIONS} partitions, {} sites, lock contention {lock_contention}, \
-             {survivors} survivor(s))",
+             {survivors} survivor(s), {overhead_pct:+.1}% vs sequential)",
             w.sites.len()
         );
         fingerprints.push((threads, fingerprint.expect("at least one repeat")));
@@ -86,7 +112,8 @@ fn main() {
             json,
             "    {{\"threads\": {threads}, \"partitions\": {PARTITIONS}, \
              \"median_us\": {med:.2}, \"min_us\": {min:.2}, \"repeats\": {REPEATS}, \
-             \"lock_contention\": {lock_contention}, \"survivors\": {survivors}}}"
+             \"lock_contention\": {lock_contention}, \"survivors\": {survivors}, \
+             \"overhead_vs_sequential_pct\": {overhead_pct:.2}}}"
         );
     }
     json.push_str("\n  ],\n");

@@ -17,7 +17,8 @@ mod args;
 use args::Invocation;
 use chameleon_collections::factory::{CaptureConfig, CaptureMethod};
 use chameleon_core::{
-    run_online, Chameleon, Env, EnvConfig, OnlineConfig, ParallelConfig, Workload,
+    default_threads, run_online, Chameleon, Env, EnvConfig, OnlineConfig, ParallelConfig,
+    ParallelError, Workload,
 };
 use chameleon_profiler::HeapProfile;
 use chameleon_rules::{analyze, parse_rules, RuleEngine, Severity, BUILTIN_RULES, DEFAULT_PARAMS};
@@ -62,10 +63,12 @@ OPTIONS:
   --every N       heapprof: capture a snapshot every N GC cycles
                   (default 1; must be at least 1)
   --threads N     profile/trace/heapprof: run the workload as N partitions
-                  on N mutator threads (default 1 = sequential; must be at
-                  least 1). Results depend only on N, never on thread
-                  scheduling. The workload must support partitioning
-                  (tvla and synthetic do).
+                  on N mutator threads (must be at least 1; 1 = sequential).
+                  Default `auto`: the host's available parallelism, falling
+                  back to a sequential run when the workload has no
+                  partition plan. An explicit N > 1 requires the workload
+                  to support partitioning (tvla and synthetic do). Results
+                  depend only on N, never on thread scheduling.
   --out DIR       heapprof: output directory (default heapprof-<workload>)
   --builtin       lint: analyze the built-in Table 2 rule set
   --format F      lint: output `text` (default) or `json`
@@ -146,25 +149,51 @@ fn required_workload(inv: &Invocation, pos: usize) -> Result<Box<dyn Workload>, 
     workload(name).ok_or_else(|| format!("unknown workload `{name}` (try list-workloads)"))
 }
 
-/// Runs the profiling environment, sequentially or — with `--threads N`
-/// for N > 1 — on the parallel mutator runtime.
+/// Resolved `--threads` value.
+enum ThreadsArg {
+    /// Flag absent or the literal `auto`: the host's available
+    /// parallelism, degrading to a sequential run for workloads without a
+    /// partition plan.
+    Auto(usize),
+    /// An explicit count; an unpartitionable workload is then a hard
+    /// error (the user asked for parallelism the workload cannot give).
+    Explicit(u64),
+}
+
+fn threads_arg(inv: &Invocation) -> Result<ThreadsArg, String> {
+    match inv.options.get("threads").map(String::as_str) {
+        None | Some("auto") => Ok(ThreadsArg::Auto(default_threads())),
+        Some(_) => inv.num_at_least_one("threads", 1).map(ThreadsArg::Explicit),
+    }
+}
+
+/// Runs the profiling environment, sequentially or — with an effective
+/// thread count > 1 — on the parallel mutator runtime.
 fn profile_env_with_threads(
     chameleon: &Chameleon,
     w: &dyn Workload,
-    threads: u64,
+    threads: &ThreadsArg,
 ) -> Result<Env, String> {
-    if threads <= 1 {
+    let n = match threads {
+        ThreadsArg::Auto(n) => *n,
+        ThreadsArg::Explicit(n) => *n as usize,
+    };
+    if n <= 1 {
         return Ok(chameleon.profile_env(w));
     }
-    chameleon
-        .profile_env_parallel(w, ParallelConfig::with_threads(threads as usize))
-        .map_err(|e| e.to_string())
+    match chameleon.profile_env_parallel(w, ParallelConfig::with_threads(n)) {
+        Ok(env) => Ok(env),
+        Err(ParallelError::NotPartitionable { .. }) if matches!(threads, ThreadsArg::Auto(_)) => {
+            Ok(chameleon.profile_env(w))
+        }
+        Err(e) => Err(e.to_string()),
+    }
 }
 
 fn cmd_profile(inv: &Invocation) -> Result<(), String> {
     let w = required_workload(inv, 0)?;
     let top = inv.num("top", 10)? as usize;
-    let threads = inv.num_at_least_one("threads", 1)?;
+    let threads = threads_arg(inv)?;
     let mut chameleon = Chameleon::new().with_profile_config(env_from(inv)?);
     let telemetry = inv.flag("telemetry").then(Telemetry::new);
     if let Some(t) = &telemetry {
@@ -173,7 +202,7 @@ fn cmd_profile(inv: &Invocation) -> Result<(), String> {
     if inv.flag("heapprof") {
         chameleon = chameleon.with_heap_profiling(inv.num_at_least_one("every", 1)?);
     }
-    let env = profile_env_with_threads(&chameleon, w.as_ref(), threads)?;
+    let env = profile_env_with_threads(&chameleon, w.as_ref(), &threads)?;
     let report = env.report();
     println!(
         "{} — {} context(s), peak live {} B",
@@ -209,12 +238,12 @@ fn cmd_profile(inv: &Invocation) -> Result<(), String> {
 fn cmd_trace(inv: &Invocation) -> Result<(), String> {
     let w = required_workload(inv, 0)?;
     let top = inv.num("top", 10)? as usize;
-    let threads = inv.num_at_least_one("threads", 1)?;
+    let threads = threads_arg(inv)?;
     let t = Telemetry::new();
     let chameleon = Chameleon::new()
         .with_profile_config(env_from(inv)?)
         .with_telemetry(t.clone());
-    let report = profile_env_with_threads(&chameleon, w.as_ref(), threads)?.report();
+    let report = profile_env_with_threads(&chameleon, w.as_ref(), &threads)?.report();
     let suggestions = chameleon.engine().evaluate_traced(&report, Some(&t));
 
     println!("{} — telemetry report", w.name());
@@ -287,7 +316,7 @@ const SERIES_CAPACITY: usize = 256;
 fn cmd_heapprof(inv: &Invocation) -> Result<(), String> {
     let w = required_workload(inv, 0)?;
     let every = inv.num_at_least_one("every", 1)?;
-    let threads = inv.num_at_least_one("threads", 1)?;
+    let threads = threads_arg(inv)?;
     let top = inv.num("top", 10)? as usize;
     let out = inv
         .options
@@ -304,7 +333,7 @@ fn cmd_heapprof(inv: &Invocation) -> Result<(), String> {
     let chameleon = Chameleon::new()
         .with_profile_config(config)
         .with_heap_profiling(every);
-    let env = profile_env_with_threads(&chameleon, w.as_ref(), threads)?;
+    let env = profile_env_with_threads(&chameleon, w.as_ref(), &threads)?;
     let profile = HeapProfile::from_heap(&env.heap, SERIES_CAPACITY);
     if profile.snapshots.is_empty() {
         return Err(format!(

@@ -42,6 +42,11 @@ pub struct EnvConfig {
     /// every `every` GC cycles (None = off; simulation results are
     /// bit-identical either way).
     pub heapprof: Option<HeapProfConfig>,
+    /// Build the heap in single-mutator shard mode (no per-op mutex; see
+    /// [`chameleon_heap::HeapConfig::shard_local`]). The parallel runner
+    /// sets this for its hermetic partition environments; sequential
+    /// environments keep the shared representation.
+    pub shard_heap: bool,
 }
 
 impl Default for EnvConfig {
@@ -56,6 +61,7 @@ impl Default for EnvConfig {
             model: chameleon_heap::MemoryModel::jvm32(),
             telemetry: None,
             heapprof: None,
+            shard_heap: false,
         }
     }
 }
@@ -151,6 +157,7 @@ impl Env {
                 ..GcConfig::default()
             },
             model: config.model,
+            shard_local: config.shard_heap,
         });
         heap.set_heap_profiling(config.heapprof);
         let rt = Runtime::with_cost(heap.clone(), config.cost);

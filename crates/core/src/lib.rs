@@ -41,6 +41,7 @@ pub mod metrics;
 pub mod minheap;
 pub mod online;
 pub mod parallel;
+mod steal;
 pub mod workload;
 
 pub use env::{portable_updates, Env, EnvConfig, PortableChoice, PortableUpdate};
@@ -50,7 +51,7 @@ pub use minheap::{
     completes_under, completes_under_with, min_heap_size, min_heap_size_with, silence_oom_panics,
 };
 pub use online::{run_online, OnlineConfig, OnlineError, OnlineResult};
-pub use parallel::{ParallelConfig, ParallelError, ParallelStats};
+pub use parallel::{default_threads, ParallelConfig, ParallelError, ParallelStats};
 pub use workload::{PartitionTask, Workload};
 
 use chameleon_profiler::ProfileReport;

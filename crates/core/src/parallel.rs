@@ -2,15 +2,21 @@
 //!
 //! [`Env::run_parallel`] executes a partitioned workload on a pool of
 //! mutator threads. Each partition runs against its own *hermetic*
-//! environment — a fresh heap, runtime, factory and profiler built from the
-//! parent's [`EnvConfig`] — so mutator threads share no simulation state
-//! and never contend on the parent heap. When every partition has
-//! finished, the results are folded into the parent environment **in
-//! partition-index order**: context tables are re-interned, GC cycles and
-//! heap snapshots renumbered, per-context traces merged, and simulated
-//! time accumulated. Because the merge order is fixed and each partition
-//! is a deterministic function of its task alone, `RunMetrics`, the
-//! profile report and rule suggestions are a function of
+//! environment — a fresh **shard-local** heap (single-mutator, no per-op
+//! mutex), runtime, factory and profiler built from the parent's
+//! [`EnvConfig`] — so mutator threads share no simulation state, never
+//! contend on the parent heap, and take zero locks on the allocation
+//! path. Partitions are scheduled by work stealing (contiguous blocks per
+//! worker, steal-from-richest when drained), so non-divisible plans keep
+//! every thread busy. When every partition has finished, the results are
+//! folded into the parent environment **in partition-index order**:
+//! context tables are merged by `Arc`-shared export/import with id remap,
+//! GC cycles and heap snapshots renumbered, per-context traces merged,
+//! simulated time accumulated, and each partition's capture counters
+//! flushed into the parent's telemetry in one batch (one counter merge
+//! per partition, not per op). Because the merge order is fixed and each
+//! partition is a deterministic function of its task alone, `RunMetrics`,
+//! the profile report and rule suggestions are a function of
 //! `(workload, partition plan)` only — the OS thread interleaving cannot
 //! leak into any result.
 //!
@@ -23,12 +29,18 @@
 //! (deterministically so).
 
 use crate::env::{Env, EnvConfig};
+use crate::steal::StealQueues;
 use crate::workload::{PartitionTask, Workload};
-use chameleon_heap::{ContextId, CycleStats, HeapSnapshot};
+use chameleon_heap::{ContextExport, ContextId, CycleStats, HeapSnapshot};
 use chameleon_profiler::ContextTrace;
 use chameleon_telemetry::SpanTimer;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Mutator threads to use when the caller does not pick a count: the
+/// host's available parallelism (1 when the runtime cannot tell).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Parallel-run parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +66,7 @@ impl ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        ParallelConfig::with_threads(4)
+        ParallelConfig::with_threads(default_threads())
     }
 }
 
@@ -114,10 +126,14 @@ struct PartitionOutcome {
     cycles: Vec<CycleStats>,
     snapshots: Vec<HeapSnapshot>,
     /// The partition heap's context table in id order: index `i` is the
-    /// partition-local `ContextId(i)`.
-    contexts: Vec<(String, Vec<String>)>,
+    /// partition-local `ContextId(i)`. `Arc`-shared with the (dropped)
+    /// partition heap, so extraction copies no strings.
+    contexts: ContextExport,
     traces: Vec<(Option<ContextId>, ContextTrace)>,
     captures: u64,
+    /// `(frame_misses, context_misses)` of the partition's intern table,
+    /// flushed into the parent's telemetry as one batch at merge time.
+    intern_misses: (u64, u64),
     survivors: usize,
     lock_contention: u64,
     allocated_bytes: u64,
@@ -143,9 +159,10 @@ fn run_partition(config: &EnvConfig, task: &PartitionTask) -> PartitionOutcome {
         sim_time: env.rt.clock().now(),
         cycles: env.heap.cycles(),
         snapshots: env.heap.heap_snapshots(),
-        contexts: env.heap.context_records(),
+        contexts: env.heap.export_contexts(),
         traces,
         captures: env.factory.capture_count(),
+        intern_misses: env.heap.context_intern_misses(),
         survivors,
         lock_contention: env.heap.lock_contention(),
         allocated_bytes: env.heap.total_allocated_bytes(),
@@ -198,10 +215,12 @@ impl Env {
                 workload: workload.name().to_owned(),
             })?;
 
-        // Children are silent: the parent narrates the run, per partition,
-        // in merge order.
+        // Children are silent (the parent narrates the run, per partition,
+        // in merge order) and shard-local: one mutator per heap means the
+        // partition allocation path takes no lock at all.
         let child_config = EnvConfig {
             telemetry: None,
+            shard_heap: true,
             ..self.config.clone()
         };
         let workers = config.threads.min(tasks.len());
@@ -211,18 +230,23 @@ impl Env {
                 .map(|t| run_partition(&child_config, t))
                 .collect()
         } else {
-            // Work queue: threads pull the next unclaimed partition index.
-            // Which thread runs which partition is scheduling noise; the
-            // index-ordered collection below erases it.
-            let next = AtomicUsize::new(0);
+            // Work-stealing schedule: each worker owns a contiguous block
+            // of partition indices and steals from the richest queue once
+            // drained. Which thread runs which partition is scheduling
+            // noise; the index-ordered collection below erases it.
+            let queues = StealQueues::new(workers, tasks.len());
             let slots: Vec<Mutex<Option<PartitionOutcome>>> =
                 tasks.iter().map(|_| Mutex::new(None)).collect();
             std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(task) = tasks.get(i) else { break };
-                        *slots[i].lock() = Some(run_partition(&child_config, task));
+                for w in 0..workers {
+                    let queues = &queues;
+                    let tasks = &tasks;
+                    let slots = &slots;
+                    let child_config = &child_config;
+                    s.spawn(move || {
+                        while let Some(i) = queues.next(w) {
+                            *slots[i].lock() = Some(run_partition(child_config, &tasks[i]));
+                        }
                     });
                 }
             });
@@ -240,13 +264,10 @@ impl Env {
             let base_units = self.rt.clock().now();
             self.rt.clock().charge(outcome.sim_time);
 
-            // Re-intern the partition's context table; index i is the
-            // partition-local ContextId(i).
-            let remap: Vec<ContextId> = outcome
-                .contexts
-                .iter()
-                .map(|(src_type, frames)| self.heap.intern_context(src_type, frames, frames.len()))
-                .collect();
+            // Merge the partition's context table by export/import: frame
+            // names remap once, records re-intern with shared strings, and
+            // index i of the remap is the partition-local ContextId(i).
+            let remap: Vec<ContextId> = self.heap.import_contexts(&outcome.contexts);
 
             let mut cycles = outcome.cycles;
             for c in &mut cycles {
@@ -292,6 +313,14 @@ impl Env {
             child_contention += outcome.lock_contention;
 
             if let Some(t) = &telemetry {
+                // Batched cross-shard flush: the partition ran with no
+                // telemetry attached, so its capture counters land here as
+                // one merge per partition instead of one op per capture.
+                let (frame_misses, ctx_misses) = outcome.intern_misses;
+                t.counter("heap.context.frame_misses").add(frame_misses);
+                t.counter("heap.context.misses").add(ctx_misses);
+                t.counter("heap.context.hits")
+                    .add(outcome.captures.saturating_sub(ctx_misses));
                 if let Some(mut e) = t.event("mutator_partition", self.rt.clock().now()) {
                     e.str("name", &outcome.name)
                         .num("index", index as u64)
@@ -408,6 +437,44 @@ mod tests {
         }
         assert_eq!(prints[0], prints[1], "1 thread vs 2 threads");
         assert_eq!(prints[1], prints[2], "2 threads vs 4 threads");
+    }
+
+    #[test]
+    fn non_divisible_plans_are_bit_identical() {
+        // 7 partitions never divide evenly over 3 or 5 threads, and with
+        // partitions > threads the work-stealing queues must hand every
+        // index out exactly once. All merged results must still match the
+        // single-threaded execution of the same plan byte for byte.
+        let mut prints = Vec::new();
+        for threads in [1usize, 3, 5] {
+            let env = Env::new(&EnvConfig::default());
+            let stats = env
+                .run_parallel(
+                    &Burst { sites: 14 },
+                    ParallelConfig {
+                        partitions: 7,
+                        threads,
+                    },
+                )
+                .expect("parallel run");
+            assert_eq!(stats.partitions, 7);
+            assert_eq!(
+                stats.lock_contention, 0,
+                "shard-local partition heaps have no lock to contend on"
+            );
+            prints.push(fingerprint(&env));
+        }
+        assert_eq!(prints[0], prints[1], "1 thread vs 3 threads");
+        assert_eq!(prints[1], prints[2], "3 threads vs 5 threads");
+    }
+
+    #[test]
+    fn default_config_uses_available_parallelism() {
+        assert_eq!(
+            ParallelConfig::default(),
+            ParallelConfig::with_threads(crate::default_threads())
+        );
+        assert!(crate::default_threads() >= 1);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Work-stealing partition scheduler.
+//!
+//! The parallel runner assigns partition indices to workers in contiguous
+//! blocks (worker 0 gets the first block, and so on), which keeps each
+//! worker touching a cache-coherent run of the task list. A worker that
+//! drains its own queue steals from the back of the *richest* remaining
+//! queue, so a straggler partition at the end of one block cannot leave
+//! the other workers idle — the failure mode of static block assignment
+//! with non-divisible plans (e.g. 7 partitions on 3 threads).
+//!
+//! Scheduling here only decides *which thread* runs a partition; results
+//! are collected by partition index, so any steal order yields bit-
+//! identical merged output.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Per-worker task queues over partition indices `0..tasks`.
+pub(crate) struct StealQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueues {
+    /// Distributes `tasks` indices across `workers` queues in contiguous
+    /// blocks (first queues get the larger blocks when not divisible).
+    pub(crate) fn new(workers: usize, tasks: usize) -> Self {
+        assert!(workers > 0, "at least one worker queue");
+        let base = tasks / workers;
+        let extra = tasks % workers;
+        let mut next = 0usize;
+        let queues = (0..workers)
+            .map(|w| {
+                let len = base + usize::from(w < extra);
+                let block = (next..next + len).collect::<VecDeque<usize>>();
+                next += len;
+                Mutex::new(block)
+            })
+            .collect();
+        StealQueues { queues }
+    }
+
+    /// Next partition index for `worker`: its own queue front first, then a
+    /// steal from the back of the longest other queue. `None` once every
+    /// queue is empty.
+    pub(crate) fn next(&self, worker: usize) -> Option<usize> {
+        if let Some(i) = self.queues[worker].lock().pop_front() {
+            return Some(i);
+        }
+        loop {
+            let mut victim: Option<(usize, usize)> = None; // (len, queue)
+            for (q, queue) in self.queues.iter().enumerate() {
+                if q == worker {
+                    continue;
+                }
+                let len = queue.lock().len();
+                if len > 0 && victim.is_none_or(|(best, _)| len > best) {
+                    victim = Some((len, q));
+                }
+            }
+            let (_, q) = victim?;
+            if let Some(i) = self.queues[q].lock().pop_back() {
+                return Some(i);
+            }
+            // The victim drained between the scan and the steal; rescan.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn blocks_are_contiguous_and_cover_all_tasks() {
+        let q = StealQueues::new(3, 7);
+        // Worker 0 drains its own block in order before stealing.
+        assert_eq!(q.next(0), Some(0));
+        assert_eq!(q.next(0), Some(1));
+        assert_eq!(q.next(0), Some(2));
+        // Exhausted own queue: steals from the richest remaining queue.
+        let stolen = q.next(0).expect("work remains");
+        assert!((3..7).contains(&stolen));
+    }
+
+    #[test]
+    fn every_task_is_handed_out_exactly_once() {
+        for (workers, tasks) in [(1, 5), (3, 7), (4, 4), (5, 3), (4, 0)] {
+            let q = StealQueues::new(workers, tasks);
+            let mut seen = HashSet::new();
+            let mut turn = 0usize;
+            while let Some(i) = q.next(turn % workers) {
+                assert!(seen.insert(i), "task {i} handed out twice");
+                turn += 1;
+            }
+            assert_eq!(seen.len(), tasks, "{workers} workers / {tasks} tasks");
+            for w in 0..workers {
+                assert_eq!(q.next(w), None, "drained queues stay drained");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_workers_partition_the_tasks() {
+        let q = StealQueues::new(4, 64);
+        let claimed: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(i) = q.next(w) {
+                            mine.push(i);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<usize> = claimed.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -18,7 +18,7 @@
 //! marked iff its stamp equals the current cycle's epoch), so no per-cycle
 //! mark allocation or clearing is needed.
 
-use crate::heap::HeapInner;
+use crate::heap::{HeapInner, F_OCCUPIED, F_TOP_COLL};
 use crate::object::{ElemKind, ObjBody, ObjId, Object};
 use crate::semantic::{AdtDescriptor, SemanticMap};
 use crate::snapshot::{self, SnapAcc};
@@ -122,7 +122,7 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
     let sweep_timer = timed.then(SpanTimer::start);
     for acc in &accs {
         for &i in &acc.sweep_list {
-            inner.slab[i as usize] = None;
+            inner.release_slot(i as usize);
             inner.free.push(i);
         }
     }
@@ -308,9 +308,11 @@ fn scan_chunk(
         elapsed_ns: 0,
     };
     for i in range {
-        let Some(o) = inner.slab[i].as_ref() else {
+        let slot_flags = inner.flags[i];
+        if slot_flags & F_OCCUPIED == 0 {
             continue;
-        };
+        }
+        let o = &inner.slab[i];
         if marks[i].load(Ordering::Relaxed) != epoch {
             acc.swept_bytes += u64::from(o.size);
             acc.swept_objects += 1;
@@ -328,7 +330,7 @@ fn scan_chunk(
             let node = o.ctx.map_or(n_contexts as u32, |c| c.0);
             snap.self_bytes[node as usize] += u64::from(o.size);
             snap.objects[node as usize] += 1;
-            for child in o.refs_iter() {
+            for child in o.refs_iter(&inner.ref_pool) {
                 if let Some(target) = resolve_opt(inner, child) {
                     let tnode = target.ctx.map_or(n_contexts as u32, |c| c.0);
                     snap.edges_in[tnode as usize] += 1;
@@ -338,12 +340,16 @@ fn scan_chunk(
                 }
             }
         }
-        let Some(map) = inner.classes.info(o.class).semantic_map else {
-            continue;
-        };
-        if !map.top_level {
+        // F_TOP_COLL is precomputed at insert, so the common (non-collection)
+        // case costs one flag test instead of a class-registry lookup.
+        if slot_flags & F_TOP_COLL == 0 {
             continue;
         }
+        let map = inner
+            .classes
+            .info(o.class)
+            .semantic_map
+            .expect("F_TOP_COLL implies a top-level semantic map");
         let mut totals = adt_stats(inner, o, map);
         totals.count = 1;
         acc.collection.add(totals);
@@ -391,10 +397,11 @@ fn trace_from(
     }
     stack.push(root.index);
     while let Some(i) = stack.pop() {
-        let Some(o) = inner.slab[i as usize].as_ref() else {
+        if inner.flags[i as usize] & F_OCCUPIED == 0 {
             continue;
-        };
-        for child in o.refs_iter() {
+        }
+        let o = &inner.slab[i as usize];
+        for child in o.refs_iter(&inner.ref_pool) {
             if claim(inner, marks, epoch, child) {
                 stack.push(child.index);
             }
@@ -405,14 +412,15 @@ fn trace_from(
 /// Atomically claims the mark stamp; returns true if this caller marked it.
 /// Stale ids (swept or reused slots) are ignored rather than traced.
 fn claim(inner: &HeapInner, marks: &[AtomicU32], epoch: u32, obj: ObjId) -> bool {
-    let Some(slot) = inner.slab.get(obj.index as usize) else {
-        return false;
-    };
-    let Some(o) = slot.as_ref() else { return false };
-    if o.generation != obj.generation {
+    let i = obj.index as usize;
+    match inner.flags.get(i) {
+        Some(f) if f & F_OCCUPIED != 0 => {}
+        _ => return false,
+    }
+    if inner.slab[i].generation != obj.generation {
         return false;
     }
-    marks[obj.index as usize].swap(epoch, Ordering::Relaxed) != epoch
+    marks[i].swap(epoch, Ordering::Relaxed) != epoch
 }
 
 /// Computes live/used/core for one collection object according to its
@@ -426,7 +434,7 @@ pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> Ad
 
     match map.descriptor {
         AdtDescriptor::Wrapper { impl_field } => {
-            let backing = scalar_ref(obj, impl_field);
+            let backing = scalar_ref(inner, obj, impl_field);
             let mut totals = match backing.and_then(|b| resolve_opt(inner, b)) {
                 Some(backing_obj) => {
                     let backing_map = inner
@@ -453,7 +461,9 @@ pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> Ad
         } => {
             let mut live = own;
             let mut slack = 0u64;
-            if let Some(arr) = scalar_ref(obj, array_field).and_then(|a| resolve_opt(inner, a)) {
+            if let Some(arr) =
+                scalar_ref(inner, obj, array_field).and_then(|a| resolve_opt(inner, a))
+            {
                 live += u64::from(arr.size);
                 if let ObjBody::Array { elem, capacity, .. } = &arr.body {
                     let elem_bytes = match elem {
@@ -474,7 +484,9 @@ pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> Ad
         AdtDescriptor::ChainedHash { array_field } => {
             let mut live = own;
             let mut slack = 0u64;
-            if let Some(arr) = scalar_ref(obj, array_field).and_then(|a| resolve_opt(inner, a)) {
+            if let Some(arr) =
+                scalar_ref(inner, obj, array_field).and_then(|a| resolve_opt(inner, a))
+            {
                 live += u64::from(arr.size);
                 if let ObjBody::Array {
                     slots, capacity, ..
@@ -483,9 +495,9 @@ pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> Ad
                     let used_buckets = obj.meta.get(1).copied().unwrap_or(0).max(0) as u32;
                     slack = u64::from((capacity.saturating_sub(used_buckets)) * model.ref_bytes);
                     // Walk every bucket chain; entries link through ref field 0.
-                    let max_steps = size_meta as usize + slots.len() + 8;
+                    let max_steps = size_meta as usize + slots.len as usize + 8;
                     let mut steps = 0usize;
-                    for head in slots.iter().filter_map(|s| *s) {
+                    for head in inner.ref_pool[slots.as_range()].iter().filter_map(|s| *s) {
                         let mut cur = Some(head);
                         while let Some(id) = cur {
                             if steps >= max_steps {
@@ -496,7 +508,7 @@ pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> Ad
                                 break;
                             };
                             live += u64::from(entry.size);
-                            cur = scalar_ref(entry, 0);
+                            cur = scalar_ref(inner, entry, 0);
                         }
                     }
                 }
@@ -510,7 +522,7 @@ pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> Ad
         }
         AdtDescriptor::LinkedEntries { head_field } => {
             let mut live = own;
-            if let Some(head) = scalar_ref(obj, head_field) {
+            if let Some(head) = scalar_ref(inner, obj, head_field) {
                 // Circular list: walk next pointers until back at the head.
                 let max_steps = size_meta as usize + 4;
                 let mut cur = resolve_opt(inner, head).map(|_| head);
@@ -524,7 +536,7 @@ pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> Ad
                         break;
                     };
                     live += u64::from(entry.size);
-                    cur = scalar_ref(entry, 0).filter(|next| *next != head);
+                    cur = scalar_ref(inner, entry, 0).filter(|next| *next != head);
                 }
             }
             AdtTotals {
@@ -543,19 +555,22 @@ pub(crate) fn adt_stats(inner: &HeapInner, obj: &Object, map: SemanticMap) -> Ad
     }
 }
 
-fn scalar_ref(obj: &Object, field: usize) -> Option<ObjId> {
-    match &obj.body {
-        ObjBody::Scalar { refs, .. } => refs.get(field).copied().flatten(),
-        ObjBody::Array { .. } => None,
+fn scalar_ref(inner: &HeapInner, obj: &Object, field: usize) -> Option<ObjId> {
+    match obj.body {
+        ObjBody::Scalar { refs, .. } if (field as u32) < refs.len => {
+            inner.ref_pool[refs.start as usize + field]
+        }
+        _ => None,
     }
 }
 
 fn resolve_opt(inner: &HeapInner, obj: ObjId) -> Option<&Object> {
-    inner
-        .slab
-        .get(obj.index as usize)?
-        .as_ref()
-        .filter(|o| o.generation == obj.generation)
+    let i = obj.index as usize;
+    if inner.flags.get(i)? & F_OCCUPIED == 0 {
+        return None;
+    }
+    let o = &inner.slab[i];
+    (o.generation == obj.generation).then_some(o)
 }
 
 #[cfg(test)]

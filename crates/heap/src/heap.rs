@@ -6,22 +6,51 @@
 //! allocation (wrappers, backing arrays, entry objects) into this heap so
 //! the collector can account for them exactly the way the paper's
 //! J9-instrumented GC did.
+//!
+//! # Storage layout
+//!
+//! Objects live in a *dense* slab (`Vec<Object>`) with a parallel packed
+//! flag vector (`Vec<u8>`): one byte per slot records whether the slot is
+//! occupied, whether the object is an array, and whether its class carries
+//! a top-level semantic map. The GC's fused scan reads the flag byte
+//! instead of an `Option` discriminant plus a class-registry lookup, and a
+//! swept slot keeps its (stale) object in place so reuse writes fields
+//! instead of constructing.
+//!
+//! Reference fields and array slots live in one shared *ref pool* arena
+//! per heap, handed out as [`RefRange`](crate::object::RefRange)s with
+//! exact-size free-list buckets. Allocating or sweeping an object touches
+//! no process allocator once the pool is warm — crucial for parallel
+//! mutators, where per-object `Box` traffic from many threads serializes
+//! on `malloc` even when the heaps themselves are disjoint.
+//!
+//! # Sharing modes
+//!
+//! A heap handle is either *shared* (the default: a `Mutex<HeapInner>`,
+//! any number of threads may call into it) or *shard-local*
+//! ([`HeapConfig::shard_local`]): a single-mutator cell guarded by one
+//! atomic flag, used by the parallel runtime for its hermetic partition
+//! heaps so the per-op mutex disappears from the hot path entirely.
+//! Entering a shard-local heap from two threads at once panics instead of
+//! blocking — the single-mutator contract made loud.
 
 use crate::clock::SimClock;
-use crate::context::{ContextId, ContextTable, FrameId};
+use crate::context::{ContextExport, ContextId, FrameId, StripedContextTable};
 use crate::gc;
 use crate::layout::MemoryModel;
-use crate::object::{ClassId, ElemKind, ObjBody, ObjId, Object, ObjectView};
+use crate::object::{ClassId, ElemKind, ObjBody, ObjId, Object, ObjectView, RefRange};
 use crate::semantic::{ClassRegistry, SemanticMap};
 use crate::snapshot::{HeapProfConfig, HeapProfState, HeapSnapshot};
 use crate::stats::CycleStats;
 use crate::telemetry::HeapTelemetry;
 use chameleon_telemetry::Telemetry;
 use parking_lot::{Mutex, MutexGuard};
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Panic payload used for the simulated `OutOfMemoryError`.
 ///
@@ -83,12 +112,36 @@ pub struct HeapConfig {
     pub gc_interval_bytes: Option<u64>,
     /// Collector configuration.
     pub gc: GcConfig,
+    /// Single-mutator shard mode: replaces the per-op mutex with one atomic
+    /// busy flag. Exactly one thread may use the heap at a time; violating
+    /// that panics. The parallel runtime builds its hermetic partition
+    /// heaps this way so the shard-local allocation path takes no lock.
+    pub shard_local: bool,
 }
+
+/// Packed per-slot flags (`HeapInner::flags`), one byte per slab slot.
+///
+/// The slot holds a live-or-garbage object (cleared when swept).
+pub(crate) const F_OCCUPIED: u8 = 1;
+/// The object is an array (its body carries `slots`/`capacity`).
+pub(crate) const F_ARRAY: u8 = 1 << 1;
+/// The object's class registered a *top-level* semantic map, so the GC
+/// scan computes collection statistics for it. Precomputed at insert so
+/// the scan skips the class-registry lookup for ordinary objects.
+pub(crate) const F_TOP_COLL: u8 = 1 << 2;
 
 pub(crate) struct HeapInner {
     pub(crate) model: MemoryModel,
-    pub(crate) slab: Vec<Option<Object>>,
+    /// Dense object storage; `flags` gates which slots are occupied.
+    pub(crate) slab: Vec<Object>,
+    /// Packed per-slot flag bytes, parallel to `slab`.
+    pub(crate) flags: Vec<u8>,
     pub(crate) free: Vec<u32>,
+    /// Arena backing every object's reference fields / array slots.
+    pub(crate) ref_pool: Vec<Option<ObjId>>,
+    /// Exact-size free-range buckets into `ref_pool`: `len → start offsets`
+    /// (LIFO, so reuse is cache-warm).
+    free_ranges: HashMap<u32, Vec<u32>>,
     pub(crate) generation: u32,
     /// Bytes currently occupied in the object table (live + garbage).
     pub(crate) heap_bytes: u64,
@@ -97,7 +150,9 @@ pub(crate) struct HeapInner {
     pub(crate) bytes_since_gc: u64,
     pub(crate) roots: HashMap<ObjId, usize>,
     pub(crate) classes: ClassRegistry,
-    pub(crate) contexts: ContextTable,
+    /// Shared with the owning [`Heap`] handle: context interning never
+    /// takes the heap lock, only the table's internal stripes.
+    pub(crate) contexts: Arc<StripedContextTable>,
     pub(crate) cycles: Vec<CycleStats>,
     pub(crate) gc_config: GcConfig,
     pub(crate) clock: Option<SimClock>,
@@ -115,6 +170,65 @@ pub(crate) struct HeapInner {
     /// Continuous heap profiling; `None` (the default) keeps the GC scan
     /// free of snapshot work.
     pub(crate) heapprof: Option<HeapProfState>,
+}
+
+/// Single-mutator cell of a shard-local heap: entry wins the `busy` swap
+/// or panics, so at most one `&mut HeapInner` ever exists.
+struct ShardCell {
+    busy: AtomicBool,
+    inner: UnsafeCell<HeapInner>,
+}
+
+// SAFETY: all access to `inner` goes through `Heap::lock` /
+// `Heap::try_lock_inner`, which admit exactly one guard at a time via the
+// `busy` flag (acquire on entry, release on guard drop). `HeapInner` itself
+// is `Send`, as the shared representation's `Mutex<HeapInner>` requires.
+unsafe impl Send for ShardCell {}
+unsafe impl Sync for ShardCell {}
+
+/// Guard over a shard-local heap; clears the busy flag on drop (including
+/// the simulated-OOM unwind path).
+pub(crate) struct ShardGuard<'a> {
+    cell: &'a ShardCell,
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        self.cell.busy.store(false, Ordering::Release);
+    }
+}
+
+/// Uniform guard over both heap representations.
+pub(crate) enum HeapGuard<'a> {
+    Shared(MutexGuard<'a, HeapInner>),
+    Shard(ShardGuard<'a>),
+}
+
+impl Deref for HeapGuard<'_> {
+    type Target = HeapInner;
+    fn deref(&self) -> &HeapInner {
+        match self {
+            HeapGuard::Shared(g) => g,
+            // SAFETY: the busy flag guarantees this is the only guard.
+            HeapGuard::Shard(g) => unsafe { &*g.cell.inner.get() },
+        }
+    }
+}
+
+impl DerefMut for HeapGuard<'_> {
+    fn deref_mut(&mut self) -> &mut HeapInner {
+        match self {
+            HeapGuard::Shared(g) => g,
+            // SAFETY: the busy flag guarantees this is the only guard.
+            HeapGuard::Shard(g) => unsafe { &mut *g.cell.inner.get() },
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<Mutex<HeapInner>>),
+    Shard(Arc<ShardCell>),
 }
 
 /// Shared handle to a simulated heap.
@@ -136,22 +250,36 @@ pub(crate) struct HeapInner {
 /// ```
 #[derive(Clone)]
 pub struct Heap {
-    inner: Arc<Mutex<HeapInner>>,
+    repr: Repr,
+    /// Context-intern table, reachable without the heap lock so warm
+    /// capture never serializes on the heap. Also held inside `HeapInner`
+    /// for the collector's read-side accounting.
+    contexts: Arc<StripedContextTable>,
+    /// Capture-path telemetry handles, set once by the first
+    /// [`Heap::attach_telemetry`] (lock-free to read thereafter).
+    capture_tele: Arc<OnceLock<HeapTelemetry>>,
     /// Times [`Heap::lock`] found the heap lock already held. Shared across
     /// clones; feeds the `mutator.lock_contention` telemetry counter of the
-    /// parallel runner.
+    /// parallel runner. Always zero for shard-local heaps: their entry
+    /// protocol has no lock to contend on.
     contention: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for Heap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.lock();
-        f.debug_struct("Heap")
-            .field("objects", &(inner.slab.len() - inner.free.len()))
-            .field("heap_bytes", &inner.heap_bytes)
-            .field("capacity", &inner.capacity)
-            .field("gc_count", &inner.gc_count)
-            .finish()
+        // `try_lock`, not `lock`: debug-printing a heap from a thread that
+        // already holds the lock (e.g. inside a panic hook mid-allocation)
+        // must not deadlock.
+        match self.try_lock_inner() {
+            Some(inner) => f
+                .debug_struct("Heap")
+                .field("objects", &(inner.slab.len() - inner.free.len()))
+                .field("heap_bytes", &inner.heap_bytes)
+                .field("capacity", &inner.capacity)
+                .field("gc_count", &inner.gc_count)
+                .finish(),
+            None => f.write_str("Heap(<locked>)"),
+        }
     }
 }
 
@@ -169,49 +297,100 @@ impl Heap {
 
     /// Creates a heap with an explicit configuration.
     pub fn with_config(config: HeapConfig) -> Self {
+        let contexts = Arc::new(StripedContextTable::new());
+        let inner = HeapInner {
+            model: config.model,
+            slab: Vec::new(),
+            flags: Vec::new(),
+            free: Vec::new(),
+            ref_pool: Vec::new(),
+            free_ranges: HashMap::new(),
+            generation: 1,
+            heap_bytes: 0,
+            capacity: config.capacity,
+            gc_interval_bytes: config.gc_interval_bytes,
+            bytes_since_gc: 0,
+            roots: HashMap::new(),
+            classes: ClassRegistry::new(),
+            contexts: Arc::clone(&contexts),
+            cycles: Vec::new(),
+            gc_config: config.gc,
+            clock: None,
+            total_allocated_bytes: 0,
+            total_allocated_objects: 0,
+            gc_count: 0,
+            marks: Vec::new(),
+            mark_epoch: 0,
+            telemetry: None,
+            heapprof: None,
+        };
+        let repr = if config.shard_local {
+            Repr::Shard(Arc::new(ShardCell {
+                busy: AtomicBool::new(false),
+                inner: UnsafeCell::new(inner),
+            }))
+        } else {
+            Repr::Shared(Arc::new(Mutex::new(inner)))
+        };
         Heap {
-            inner: Arc::new(Mutex::new(HeapInner {
-                model: config.model,
-                slab: Vec::new(),
-                free: Vec::new(),
-                generation: 1,
-                heap_bytes: 0,
-                capacity: config.capacity,
-                gc_interval_bytes: config.gc_interval_bytes,
-                bytes_since_gc: 0,
-                roots: HashMap::new(),
-                classes: ClassRegistry::new(),
-                contexts: ContextTable::new(),
-                cycles: Vec::new(),
-                gc_config: config.gc,
-                clock: None,
-                total_allocated_bytes: 0,
-                total_allocated_objects: 0,
-                gc_count: 0,
-                marks: Vec::new(),
-                mark_epoch: 0,
-                telemetry: None,
-                heapprof: None,
-            })),
+            repr,
+            contexts,
+            capture_tele: Arc::new(OnceLock::new()),
             contention: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    /// Acquires the heap lock, counting the acquisition as contended when
-    /// another thread already holds it. The uncontended fast path is one
-    /// `try_lock` — no extra atomic traffic for single-threaded runs.
-    fn lock(&self) -> MutexGuard<'_, HeapInner> {
-        match self.inner.try_lock() {
-            Some(guard) => guard,
-            None => {
-                self.contention.fetch_add(1, Ordering::Relaxed);
-                self.inner.lock()
+    /// Acquires the heap, counting a shared-mode acquisition as contended
+    /// when another thread already holds it. The uncontended fast path is
+    /// one `try_lock` — no extra atomic traffic for single-threaded runs.
+    /// Shard-local heaps flip one busy flag instead of locking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard-local heap is entered while another thread is
+    /// inside it (single-mutator contract).
+    fn lock(&self) -> HeapGuard<'_> {
+        match &self.repr {
+            Repr::Shared(m) => match m.try_lock() {
+                Some(guard) => HeapGuard::Shared(guard),
+                None => {
+                    self.contention.fetch_add(1, Ordering::Relaxed);
+                    HeapGuard::Shared(m.lock())
+                }
+            },
+            Repr::Shard(cell) => {
+                assert!(
+                    !cell.busy.swap(true, Ordering::Acquire),
+                    "shard-local heap entered concurrently (single-mutator contract)"
+                );
+                HeapGuard::Shard(ShardGuard { cell })
             }
         }
     }
 
+    /// Non-blocking acquisition; `None` when the heap is held (by any
+    /// thread, including the current one).
+    fn try_lock_inner(&self) -> Option<HeapGuard<'_>> {
+        match &self.repr {
+            Repr::Shared(m) => m.try_lock().map(HeapGuard::Shared),
+            Repr::Shard(cell) => {
+                if cell.busy.swap(true, Ordering::Acquire) {
+                    None
+                } else {
+                    Some(HeapGuard::Shard(ShardGuard { cell }))
+                }
+            }
+        }
+    }
+
+    /// Whether this heap runs in single-mutator shard mode.
+    pub fn is_shard_local(&self) -> bool {
+        matches!(self.repr, Repr::Shard(_))
+    }
+
     /// How many lock acquisitions found the heap lock contended, over the
-    /// lifetime of this heap (shared by all clones of the handle).
+    /// lifetime of this heap (shared by all clones of the handle). Always
+    /// zero for shard-local heaps.
     pub fn lock_contention(&self) -> u64 {
         self.contention.load(Ordering::Relaxed)
     }
@@ -236,8 +415,13 @@ impl Heap {
     /// the handle is disabled and lock-free atomics when enabled. Telemetry
     /// never charges the [`SimClock`], so simulated results are identical
     /// with it on, off, or absent.
+    ///
+    /// The context-capture counters bind to the *first* telemetry handle
+    /// attached to this heap (they are read without the heap lock);
+    /// re-attaching redirects only the GC-side metrics.
     pub fn attach_telemetry(&self, telemetry: &Telemetry) {
         self.lock().telemetry = Some(HeapTelemetry::new(telemetry));
+        let _ = self.capture_tele.set(HeapTelemetry::new(telemetry));
     }
 
     /// Enables (with `Some`) or disables (with `None`) continuous heap
@@ -261,8 +445,7 @@ impl Heap {
     /// All heap snapshots captured so far (empty unless
     /// [`Heap::set_heap_profiling`] enabled capture).
     pub fn heap_snapshots(&self) -> Vec<HeapSnapshot> {
-        self.inner
-            .lock()
+        self.lock()
             .heapprof
             .as_ref()
             .map(|s| s.snapshots.clone())
@@ -300,28 +483,30 @@ impl Heap {
 
     /// Interns an allocation context from frame display names
     /// (innermost first), truncated to `depth`.
+    ///
+    /// Context interning never takes the heap lock: it goes straight to
+    /// the striped intern table, so captures from the mutator are
+    /// lock-free with respect to allocation and GC.
     pub fn intern_context(&self, src_type: &str, frames: &[String], depth: usize) -> ContextId {
-        let mut inner = self.lock();
-        let ids: Vec<_> = frames
+        let ids: Vec<FrameId> = frames
             .iter()
             .take(depth)
-            .map(|f| inner.contexts.intern_frame(f))
+            .map(|f| self.contexts.intern_frame(f).0)
             .collect();
-        inner.contexts.intern(src_type, &ids, depth)
+        self.contexts.intern(src_type, &ids, depth).0
     }
 
     /// Interns a single stack frame into this heap's context table.
     ///
-    /// The hit path is a borrowed lookup: no allocation once the frame is
-    /// warm. [`CallStackSim::for_heap`](crate::context::CallStackSim::for_heap)
+    /// The hit path is a borrowed lookup under one stripe read-lock: no
+    /// allocation once the frame is warm, and no heap lock ever.
+    /// [`CallStackSim::for_heap`](crate::context::CallStackSim::for_heap)
     /// stacks use this so their frame ids are directly valid for
     /// [`Heap::intern_context_ids`].
     pub fn intern_frame(&self, name: &str) -> FrameId {
-        let mut inner = self.lock();
-        let misses_before = inner.contexts.frame_misses();
-        let id = inner.contexts.intern_frame(name);
-        if let Some(ht) = inner.telemetry.as_ref().filter(|ht| ht.on()) {
-            if inner.contexts.frame_misses() != misses_before {
+        let (id, missed) = self.contexts.intern_frame(name);
+        if missed {
+            if let Some(ht) = self.capture_tele.get().filter(|ht| ht.on()) {
                 ht.frame_misses.inc();
             }
         }
@@ -330,28 +515,27 @@ impl Heap {
 
     /// Resolves a frame id previously returned by [`Heap::intern_frame`].
     pub fn frame_name(&self, frame: FrameId) -> String {
-        self.lock().contexts.frame_name(frame).to_owned()
+        self.contexts.frame_name(frame).to_string()
     }
 
     /// Interns an allocation context from already-interned frame ids
     /// (innermost first, truncated to `depth`).
     ///
-    /// This is the hot capture path: one lock, a borrowed-key probe, and
-    /// zero allocations when the context is already known.
+    /// This is the hot capture path: one stripe read-lock, a borrowed-key
+    /// probe, and zero allocations when the context is already known. The
+    /// heap lock is never taken.
     pub fn intern_context_ids(
         &self,
         src_type: &str,
         frames: &[FrameId],
         depth: usize,
     ) -> ContextId {
-        let mut inner = self.lock();
-        let misses_before = inner.contexts.context_misses();
-        let ctx = inner.contexts.intern(src_type, frames, depth);
-        if let Some(ht) = inner.telemetry.as_ref().filter(|ht| ht.on()) {
-            if inner.contexts.context_misses() == misses_before {
-                ht.ctx_hits.inc();
-            } else {
+        let (ctx, missed) = self.contexts.intern(src_type, frames, depth);
+        if let Some(ht) = self.capture_tele.get().filter(|ht| ht.on()) {
+            if missed {
                 ht.ctx_misses.inc();
+            } else {
+                ht.ctx_hits.inc();
             }
         }
         ctx
@@ -361,31 +545,27 @@ impl Heap {
     /// intern calls actually allocated. Warm capture paths leave both
     /// counters unchanged, which tests assert on.
     pub fn context_intern_misses(&self) -> (u64, u64) {
-        let inner = self.lock();
-        (
-            inner.contexts.frame_misses(),
-            inner.contexts.context_misses(),
-        )
+        (self.contexts.frame_misses(), self.contexts.context_misses())
     }
 
     /// Formats a context in the paper's `Type:frame;frame` style.
     pub fn format_context(&self, ctx: ContextId) -> String {
-        self.lock().contexts.format(ctx)
+        self.contexts.format(ctx)
     }
 
     /// Source type recorded for a context.
     pub fn context_src_type(&self, ctx: ContextId) -> String {
-        self.lock().contexts.record(ctx).src_type.clone()
+        self.contexts.record(ctx).src_type.to_string()
     }
 
     /// Frame display names of a context, innermost first (portable across
     /// heaps: re-interning them reproduces the same logical context).
     pub fn context_frames(&self, ctx: ContextId) -> Vec<String> {
-        let inner = self.lock();
-        let rec = inner.contexts.record(ctx);
-        rec.stack
+        self.contexts
+            .record(ctx)
+            .stack
             .iter()
-            .map(|f| inner.contexts.frame_name(*f).to_owned())
+            .map(|f| self.contexts.frame_name(*f).to_string())
             .collect()
     }
 
@@ -396,27 +576,45 @@ impl Heap {
 
     /// Number of distinct allocation contexts interned.
     pub fn context_count(&self) -> usize {
-        self.lock().contexts.len()
+        self.contexts.len()
     }
 
     /// Dumps every interned context as a `(src_type, frames)` pair, in
-    /// context-id order (index `i` is `ContextId(i)`). This is the portable
-    /// form the parallel runner uses to remap a partition heap's context
-    /// ids into the parent heap via [`Heap::intern_context`].
+    /// context-id order (index `i` is `ContextId(i)`).
+    ///
+    /// This materializes owned `String`s; the parallel runner's merge uses
+    /// the allocation-free [`Heap::export_contexts`] /
+    /// [`Heap::import_contexts`] pair instead.
     pub fn context_records(&self) -> Vec<(String, Vec<String>)> {
-        let inner = self.lock();
-        inner
-            .contexts
+        let export = self.contexts.export();
+        export
+            .records
             .iter()
-            .map(|(_, rec)| {
+            .map(|rec| {
                 let frames = rec
                     .stack
                     .iter()
-                    .map(|f| inner.contexts.frame_name(*f).to_owned())
+                    .map(|f| export.frames[f.0 as usize].to_string())
                     .collect();
-                (rec.src_type.clone(), frames)
+                (rec.src_type.to_string(), frames)
             })
             .collect()
+    }
+
+    /// Dumps the context table as an `Arc`-shared [`ContextExport`]:
+    /// frame names in `FrameId` order plus records in `ContextId` order,
+    /// with every string shared rather than copied.
+    pub fn export_contexts(&self) -> ContextExport {
+        self.contexts.export()
+    }
+
+    /// Re-interns `export` (from another heap) into this heap's context
+    /// table and returns the remap: index `i` — the exporter's
+    /// `ContextId(i)` — maps to this heap's returned id. Used by the
+    /// parallel runner's partition merge; by construction the remap is a
+    /// pure function of the two tables' contents, never of thread timing.
+    pub fn import_contexts(&self, export: &ContextExport) -> Vec<ContextId> {
+        self.contexts.import(export)
     }
 
     // ----- allocation -----------------------------------------------------------
@@ -438,11 +636,8 @@ impl Heap {
         let mut inner = self.lock();
         let size = inner.model.object_size(ref_fields, prim_bytes);
         inner.ensure_room(u64::from(size));
-        let body = ObjBody::Scalar {
-            refs: vec![None; ref_fields as usize].into(),
-            prim_bytes,
-        };
-        inner.insert(class, size, ctx, body)
+        let refs = inner.alloc_range(ref_fields);
+        inner.insert(class, size, ctx, ObjBody::Scalar { refs, prim_bytes })
     }
 
     /// Allocates an array of `capacity` elements of kind `elem`.
@@ -466,8 +661,8 @@ impl Heap {
         let size = inner.model.array_size(elem_bytes, capacity);
         inner.ensure_room(u64::from(size));
         let slots = match elem {
-            ElemKind::Ref => vec![None; capacity as usize].into(),
-            ElemKind::Prim { .. } => Vec::new().into(),
+            ElemKind::Ref => inner.alloc_range(capacity),
+            ElemKind::Prim { .. } => RefRange::EMPTY,
         };
         let body = ObjBody::Array {
             elem,
@@ -478,7 +673,8 @@ impl Heap {
     }
 
     /// Allocates `N` objects, wires `links` between them and registers
-    /// `roots`, all under a single heap lock and a single capacity check.
+    /// `roots`, all under a single heap acquisition and a single capacity
+    /// check.
     ///
     /// Collection constructors allocate a wrapper, an implementation object
     /// and often a backing array together; doing that through three
@@ -525,7 +721,7 @@ impl Heap {
                     class,
                     ctx,
                     ObjBody::Scalar {
-                        refs: vec![None; ref_fields as usize].into(),
+                        refs: inner.alloc_range(ref_fields),
                         prim_bytes,
                     },
                 ),
@@ -540,8 +736,8 @@ impl Heap {
                     ObjBody::Array {
                         elem,
                         slots: match elem {
-                            ElemKind::Ref => vec![None; capacity as usize].into(),
-                            ElemKind::Prim { .. } => Vec::new().into(),
+                            ElemKind::Ref => inner.alloc_range(capacity),
+                            ElemKind::Prim { .. } => RefRange::EMPTY,
                         },
                         capacity,
                     },
@@ -550,10 +746,8 @@ impl Heap {
             ids[i] = inner.insert(class, sizes[i], ctx, body);
         }
         for &(src, field, dst) in links {
-            match &mut inner.resolve_mut(ids[src]).body {
-                ObjBody::Scalar { refs, .. } => refs[field] = Some(ids[dst]),
-                ObjBody::Array { slots, .. } => slots[field] = Some(ids[dst]),
-            }
+            let range = inner.resolve(ids[src]).body.ref_range();
+            inner.ref_pool[range.slot(field)] = Some(ids[dst]);
         }
         for &root in roots {
             *inner.roots.entry(ids[root]).or_insert(0) += 1;
@@ -570,37 +764,41 @@ impl Heap {
     /// Panics if `obj` is stale or `field` is out of bounds.
     pub fn set_ref(&self, obj: ObjId, field: usize, target: Option<ObjId>) {
         let mut inner = self.lock();
-        match &mut inner.resolve_mut(obj).body {
-            ObjBody::Scalar { refs, .. } => refs[field] = target,
+        let range = match inner.resolve(obj).body {
+            ObjBody::Scalar { refs, .. } => refs,
             ObjBody::Array { .. } => panic!("set_ref on array object; use set_elem"),
-        }
+        };
+        inner.ref_pool[range.slot(field)] = target;
     }
 
     /// Reads reference field `field` of `obj`.
     pub fn get_ref(&self, obj: ObjId, field: usize) -> Option<ObjId> {
         let inner = self.lock();
-        match &inner.resolve(obj).body {
-            ObjBody::Scalar { refs, .. } => refs[field],
+        let range = match inner.resolve(obj).body {
+            ObjBody::Scalar { refs, .. } => refs,
             ObjBody::Array { .. } => panic!("get_ref on array object; use get_elem"),
-        }
+        };
+        inner.ref_pool[range.slot(field)]
     }
 
     /// Stores `target` into slot `idx` of a reference array.
     pub fn set_elem(&self, arr: ObjId, idx: usize, target: Option<ObjId>) {
         let mut inner = self.lock();
-        match &mut inner.resolve_mut(arr).body {
-            ObjBody::Array { slots, .. } => slots[idx] = target,
+        let range = match inner.resolve(arr).body {
+            ObjBody::Array { slots, .. } => slots,
             ObjBody::Scalar { .. } => panic!("set_elem on scalar object; use set_ref"),
-        }
+        };
+        inner.ref_pool[range.slot(idx)] = target;
     }
 
     /// Reads slot `idx` of a reference array.
     pub fn get_elem(&self, arr: ObjId, idx: usize) -> Option<ObjId> {
         let inner = self.lock();
-        match &inner.resolve(arr).body {
-            ObjBody::Array { slots, .. } => slots[idx],
+        let range = match inner.resolve(arr).body {
+            ObjBody::Array { slots, .. } => slots,
             ObjBody::Scalar { .. } => panic!("get_elem on scalar object; use get_ref"),
-        }
+        };
+        inner.ref_pool[range.slot(idx)]
     }
 
     /// Writes semantic-map metadata slot `idx` (grows the vector as needed).
@@ -627,10 +825,7 @@ impl Heap {
             class: o.class,
             size: o.size,
             ctx: o.ctx,
-            refs: match &o.body {
-                ObjBody::Scalar { refs, .. } => refs.to_vec(),
-                ObjBody::Array { slots, .. } => slots.to_vec(),
-            },
+            refs: inner.ref_pool[o.body.ref_range().as_range()].to_vec(),
             array_capacity: o.array_capacity(),
             meta: o.meta.clone(),
         }
@@ -639,11 +834,9 @@ impl Heap {
     /// Whether `obj` still resolves (has not been swept).
     pub fn is_live(&self, obj: ObjId) -> bool {
         let inner = self.lock();
-        inner
-            .slab
-            .get(obj.index as usize)
-            .and_then(|s| s.as_ref())
-            .is_some_and(|o| o.generation == obj.generation)
+        let i = obj.index as usize;
+        inner.flags.get(i).is_some_and(|f| f & F_OCCUPIED != 0)
+            && inner.slab[i].generation == obj.generation
     }
 
     /// Aligned size of `obj` in bytes.
@@ -757,6 +950,22 @@ impl Heap {
     }
 }
 
+impl RefRange {
+    /// Pool index of this range's `field`-th slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` is out of bounds for the range.
+    fn slot(self, field: usize) -> usize {
+        assert!(
+            field < self.len as usize,
+            "reference slot {field} out of bounds (object has {})",
+            self.len
+        );
+        self.start as usize + field
+    }
+}
+
 /// One allocation request inside a [`Heap::alloc_batch`] call.
 #[derive(Debug, Clone, Copy)]
 pub enum BatchAlloc {
@@ -826,6 +1035,39 @@ impl HeapInner {
         }
     }
 
+    /// Takes a `len`-slot range from the ref pool: exact-size free-bucket
+    /// reuse first (slots re-nulled), fresh pool growth otherwise.
+    fn alloc_range(&mut self, len: u32) -> RefRange {
+        if len == 0 {
+            return RefRange::EMPTY;
+        }
+        if let Some(start) = self.free_ranges.get_mut(&len).and_then(|b| b.pop()) {
+            let range = RefRange { start, len };
+            self.ref_pool[range.as_range()].fill(None);
+            return range;
+        }
+        let start = self.ref_pool.len() as u32;
+        self.ref_pool
+            .resize(self.ref_pool.len() + len as usize, None);
+        RefRange { start, len }
+    }
+
+    /// Clears slot `i` after a sweep: flags zeroed, its ref range returned
+    /// to the free buckets, and its meta vector cleared (capacity kept for
+    /// the next occupant). The stale `Object` stays in place; every access
+    /// path is gated on `F_OCCUPIED` plus the generation stamp.
+    pub(crate) fn release_slot(&mut self, i: usize) {
+        self.flags[i] = 0;
+        let range = self.slab[i].body.ref_range();
+        if range.len > 0 {
+            self.free_ranges
+                .entry(range.len)
+                .or_default()
+                .push(range.start);
+        }
+        self.slab[i].meta.clear();
+    }
+
     fn insert(
         &mut self,
         class: ClassId,
@@ -838,28 +1080,50 @@ impl HeapInner {
         self.total_allocated_bytes += u64::from(size);
         self.total_allocated_objects += 1;
         let generation = self.generation;
-        let object = Object {
-            class,
-            generation,
-            size,
-            ctx,
-            body,
-            meta: Vec::new(),
-        };
+        let mut flags = F_OCCUPIED;
+        if matches!(body, ObjBody::Array { .. }) {
+            flags |= F_ARRAY;
+        }
+        if self
+            .classes
+            .info(class)
+            .semantic_map
+            .is_some_and(|m| m.top_level)
+        {
+            flags |= F_TOP_COLL;
+        }
         let index = if let Some(i) = self.free.pop() {
-            self.slab[i as usize] = Some(object);
+            let slot = &mut self.slab[i as usize];
+            slot.class = class;
+            slot.generation = generation;
+            slot.size = size;
+            slot.ctx = ctx;
+            slot.body = body;
+            debug_assert!(slot.meta.is_empty(), "released slot keeps cleared meta");
+            self.flags[i as usize] = flags;
             i
         } else {
-            self.slab.push(Some(object));
+            self.slab.push(Object {
+                class,
+                generation,
+                size,
+                ctx,
+                body,
+                meta: Vec::new(),
+            });
+            self.flags.push(flags);
             (self.slab.len() - 1) as u32
         };
         ObjId { index, generation }
     }
 
     pub(crate) fn resolve(&self, obj: ObjId) -> &Object {
-        let o = self.slab[obj.index as usize]
-            .as_ref()
-            .expect("stale ObjId: object was swept");
+        let i = obj.index as usize;
+        assert!(
+            self.flags[i] & F_OCCUPIED != 0,
+            "stale ObjId: object was swept"
+        );
+        let o = &self.slab[i];
         assert_eq!(
             o.generation, obj.generation,
             "stale ObjId: slot was reused by a newer object"
@@ -868,9 +1132,12 @@ impl HeapInner {
     }
 
     pub(crate) fn resolve_mut(&mut self, obj: ObjId) -> &mut Object {
-        let o = self.slab[obj.index as usize]
-            .as_mut()
-            .expect("stale ObjId: object was swept");
+        let i = obj.index as usize;
+        assert!(
+            self.flags[i] & F_OCCUPIED != 0,
+            "stale ObjId: object was swept"
+        );
+        let o = &mut self.slab[i];
         assert_eq!(
             o.generation, obj.generation,
             "stale ObjId: slot was reused by a newer object"
@@ -963,6 +1230,27 @@ mod tests {
     }
 
     #[test]
+    fn ref_ranges_are_recycled_by_exact_size() {
+        let (heap, class) = simple_heap();
+        let a = heap.alloc_scalar(class, 3, 0, None);
+        let a_view_start = {
+            // Resolve the arena offset through a reference write/read.
+            let peer = heap.alloc_scalar(class, 0, 0, None);
+            heap.add_root(peer);
+            heap.set_ref(a, 1, Some(peer));
+            assert_eq!(heap.get_ref(a, 1), Some(peer));
+            peer
+        };
+        heap.gc(); // sweeps `a` (never rooted); its 3-slot range is freed
+        let b = heap.alloc_scalar(class, 3, 0, None);
+        // The recycled range must come back nulled, not with a's old refs.
+        assert_eq!(heap.get_ref(b, 0), None);
+        assert_eq!(heap.get_ref(b, 1), None);
+        assert_eq!(heap.get_ref(b, 2), None);
+        let _keep = a_view_start;
+    }
+
+    #[test]
     fn capacity_triggers_gc_then_oom() {
         let heap = Heap::with_capacity(256);
         let class = heap.register_class("Obj", None);
@@ -1034,5 +1322,91 @@ mod tests {
         );
         assert_eq!(heap.format_context(ctx), "HashMap:F.m:31;G.n:50");
         assert_eq!(heap.context_src_type(ctx), "HashMap");
+    }
+
+    #[test]
+    fn export_import_remaps_contexts_exactly() {
+        let src = Heap::new();
+        let c0 = src.intern_context("HashMap", &["A.m:1".to_owned(), "B.n:2".to_owned()], 2);
+        let c1 = src.intern_context("ArrayList", &["B.n:2".to_owned()], 1);
+
+        // Destination already knows some overlapping frames/contexts in a
+        // different id order.
+        let dst = Heap::new();
+        let pre = dst.intern_context("ArrayList", &["B.n:2".to_owned()], 1);
+
+        let remap = dst.import_contexts(&src.export_contexts());
+        assert_eq!(remap.len(), 2);
+        assert_eq!(remap[c1.0 as usize], pre, "existing context is reused");
+        assert_eq!(
+            dst.format_context(remap[c0.0 as usize]),
+            src.format_context(c0)
+        );
+        assert_eq!(
+            dst.format_context(remap[c1.0 as usize]),
+            src.format_context(c1)
+        );
+    }
+
+    #[test]
+    fn debug_while_heap_is_held_prints_locked_placeholder() {
+        let (heap, class) = simple_heap();
+        let _o = heap.alloc_scalar(class, 0, 0, None);
+        assert!(format!("{heap:?}").contains("objects"), "unlocked form");
+        let _guard = heap.lock();
+        // With the lock held (as a panic hook or tracing line inside an
+        // allocation would see it), Debug must not deadlock.
+        assert_eq!(format!("{heap:?}"), "Heap(<locked>)");
+    }
+
+    #[test]
+    fn shard_local_heap_behaves_identically() {
+        let run = |shard_local: bool| {
+            let heap = Heap::with_config(HeapConfig {
+                gc_interval_bytes: Some(1024),
+                shard_local,
+                ..HeapConfig::default()
+            });
+            let class = heap.register_class("Obj", None);
+            let keep = heap.alloc_scalar(class, 1, 8, None);
+            heap.add_root(keep);
+            for i in 0..100 {
+                let o = heap.alloc_scalar(class, 2, 16, None);
+                if i % 2 == 0 {
+                    heap.set_ref(keep, 0, Some(o));
+                }
+            }
+            heap.gc();
+            (heap.cycles(), heap.total_allocated_bytes(), heap.gc_count())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn shard_local_heap_reports_mode_and_zero_contention() {
+        let heap = Heap::with_config(HeapConfig {
+            shard_local: true,
+            ..HeapConfig::default()
+        });
+        assert!(heap.is_shard_local());
+        let class = heap.register_class("Obj", None);
+        for _ in 0..100 {
+            let _ = heap.alloc_scalar(class, 1, 0, None);
+        }
+        heap.gc();
+        assert_eq!(heap.lock_contention(), 0);
+        assert!(!Heap::new().is_shard_local());
+    }
+
+    #[test]
+    fn shard_local_debug_shows_locked_while_entered() {
+        let heap = Heap::with_config(HeapConfig {
+            shard_local: true,
+            ..HeapConfig::default()
+        });
+        let _guard = heap.lock();
+        assert_eq!(format!("{heap:?}"), "Heap(<locked>)");
+        drop(_guard);
+        assert!(format!("{heap:?}").contains("objects"));
     }
 }

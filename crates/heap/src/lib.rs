@@ -61,7 +61,7 @@ pub mod stats;
 mod telemetry;
 
 pub use clock::SimClock;
-pub use context::{CallStackSim, ContextId, ContextTable, FrameId};
+pub use context::{CallStackSim, ContextExport, ContextId, ContextTable, FrameId};
 pub use heap::{BatchAlloc, GcConfig, Heap, HeapConfig, OutOfMemory};
 pub use layout::MemoryModel;
 pub use object::{ClassId, ElemKind, ObjId, ObjectView};

@@ -45,19 +45,52 @@ pub enum ElemKind {
     },
 }
 
-#[derive(Debug)]
+/// A contiguous run of reference slots inside the heap's shared ref pool.
+///
+/// Objects no longer own a `Box<[Option<ObjId>]>` each; their reference
+/// fields (or array slots) live in one arena (`HeapInner::ref_pool`) and
+/// the object records only `start..start+len`. Allocating an object
+/// therefore costs zero process-allocator calls once the pool and the
+/// exact-size free-range buckets are warm — the property that makes
+/// shard-local mutator threads scale instead of contending on `malloc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RefRange {
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+}
+
+impl RefRange {
+    pub(crate) const EMPTY: RefRange = RefRange { start: 0, len: 0 };
+
+    pub(crate) fn as_range(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 pub(crate) enum ObjBody {
     Scalar {
-        refs: Box<[Option<ObjId>]>,
+        refs: RefRange,
         #[allow(dead_code)]
         prim_bytes: u32,
     },
     Array {
         elem: ElemKind,
-        /// Populated only for `ElemKind::Ref`.
-        slots: Box<[Option<ObjId>]>,
+        /// Populated only for `ElemKind::Ref` (empty for primitive arrays).
+        slots: RefRange,
         capacity: u32,
     },
+}
+
+impl ObjBody {
+    /// The body's reference slots in the shared pool (empty for primitive
+    /// arrays and ref-free scalars).
+    pub(crate) fn ref_range(&self) -> RefRange {
+        match self {
+            ObjBody::Scalar { refs, .. } => *refs,
+            ObjBody::Array { slots, .. } => *slots,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -68,17 +101,20 @@ pub(crate) struct Object {
     pub(crate) ctx: Option<ContextId>,
     pub(crate) body: ObjBody,
     /// Primitive metadata readable by semantic maps (logical size, used
-    /// bucket count, …). Written by collection implementations.
+    /// bucket count, …). Written by collection implementations. Cleared —
+    /// capacity retained — when the slot is swept, so slot reuse does not
+    /// reallocate it.
     pub(crate) meta: Vec<i64>,
 }
 
 impl Object {
-    pub(crate) fn refs_iter(&self) -> impl Iterator<Item = ObjId> + '_ {
-        let slice: &[Option<ObjId>] = match &self.body {
-            ObjBody::Scalar { refs, .. } => refs,
-            ObjBody::Array { slots, .. } => slots,
-        };
-        slice.iter().filter_map(|r| *r)
+    pub(crate) fn refs_iter<'p>(
+        &self,
+        pool: &'p [Option<ObjId>],
+    ) -> impl Iterator<Item = ObjId> + 'p {
+        pool[self.body.ref_range().as_range()]
+            .iter()
+            .filter_map(|r| *r)
     }
 
     pub(crate) fn array_capacity(&self) -> Option<u32> {
@@ -126,27 +162,55 @@ mod tests {
 
     #[test]
     fn refs_iter_skips_null_slots() {
+        // The ref pool holds an unrelated leading slot; the object's range
+        // covers only its own three slots.
+        let pool = vec![
+            Some(ObjId {
+                index: 99,
+                generation: 0,
+            }),
+            None,
+            Some(ObjId {
+                index: 7,
+                generation: 0,
+            }),
+            None,
+        ];
         let o = Object {
             class: ClassId(0),
             generation: 0,
             size: 16,
             ctx: None,
             body: ObjBody::Scalar {
-                refs: vec![
-                    None,
-                    Some(ObjId {
-                        index: 7,
-                        generation: 0,
-                    }),
-                    None,
-                ]
-                .into(),
+                refs: RefRange { start: 1, len: 3 },
                 prim_bytes: 0,
             },
             meta: Vec::new(),
         };
-        let targets: Vec<_> = o.refs_iter().collect();
+        let targets: Vec<_> = o.refs_iter(&pool).collect();
         assert_eq!(targets.len(), 1);
         assert_eq!(targets[0].index(), 7);
+    }
+
+    #[test]
+    fn empty_ref_range_iterates_nothing() {
+        let pool: Vec<Option<ObjId>> = vec![Some(ObjId {
+            index: 1,
+            generation: 0,
+        })];
+        let o = Object {
+            class: ClassId(0),
+            generation: 0,
+            size: 16,
+            ctx: None,
+            body: ObjBody::Array {
+                elem: ElemKind::Prim { bytes_per_elem: 4 },
+                slots: RefRange::EMPTY,
+                capacity: 8,
+            },
+            meta: Vec::new(),
+        };
+        assert_eq!(o.refs_iter(&pool).count(), 0);
+        assert_eq!(o.array_capacity(), Some(8));
     }
 }
