@@ -22,6 +22,7 @@ const FLAGS: &[&str] = &[
     "telemetry",
     "builtin",
     "heapprof",
+    "timeline",
 ];
 
 /// Option keys that take a value. Anything not listed here or in [`FLAGS`]
@@ -100,6 +101,7 @@ fn is_command_word(a: &str) -> bool {
             | "eval"
             | "lint"
             | "heapprof"
+            | "timeline"
             | "list-workloads"
             | "help"
     )
@@ -253,6 +255,16 @@ mod tests {
         assert_eq!(inv.options["out"], "profdir");
         let inv = p("profile synthetic --heapprof");
         assert!(inv.flag("heapprof"));
+    }
+
+    #[test]
+    fn timeline_command_and_flag() {
+        let inv = p("timeline synthetic --threads 2 --out trace.json");
+        assert_eq!(inv.command, vec!["timeline"]);
+        assert_eq!(inv.positional, vec!["synthetic"]);
+        assert_eq!(inv.options["out"], "trace.json");
+        let inv = p("profile synthetic --timeline");
+        assert!(inv.flag("timeline"));
     }
 
     #[test]

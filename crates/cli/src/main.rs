@@ -6,6 +6,7 @@
 //! chameleon optimize <workload> [--top K] [--manual-lazy]
 //! chameleon online <workload> [--eval-every N]
 //! chameleon trace <workload> [--telemetry] [--trace-out FILE]
+//! chameleon timeline <workload> [--threads N] [--out FILE]
 //! chameleon heapprof <workload> [--every N] [--out DIR]
 //! chameleon rules check <file.rules>
 //! chameleon rules eval <file.rules> <workload>
@@ -22,7 +23,7 @@ use chameleon_core::{
 };
 use chameleon_profiler::HeapProfile;
 use chameleon_rules::{analyze, parse_rules, RuleEngine, Severity, BUILTIN_RULES, DEFAULT_PARAMS};
-use chameleon_telemetry::{DriftConfig, Telemetry};
+use chameleon_telemetry::{chrome, DriftConfig, Telemetry, Tracer};
 use chameleon_workloads::{Bloat, Findbugs, Fop, Pmd, Soot, Synthetic, Tvla};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -37,6 +38,7 @@ USAGE:
   chameleon optimize <workload> [--top K] [--manual-lazy]
   chameleon online   <workload> [--eval-every N]
   chameleon trace    <workload> [--telemetry] [--trace-out FILE] [--threads N]
+  chameleon timeline <workload> [--threads N] [--out FILE]
   chameleon heapprof <workload> [--every N] [--out DIR] [--top K] [--threads N]
   chameleon rules check <file.rules>
   chameleon rules eval  <file.rules> <workload>
@@ -69,7 +71,11 @@ OPTIONS:
                   partition plan. An explicit N > 1 requires the workload
                   to support partitioning (tvla and synthetic do). Results
                   depend only on N, never on thread scheduling.
-  --out DIR       heapprof: output directory (default heapprof-<workload>)
+  --timeline      profile/trace/heapprof: additionally record causal spans
+                  and write a Chrome/Perfetto timeline to timeline.json
+                  (heapprof: <out-dir>/timeline.json)
+  --out FILE|DIR  timeline: output file (default trace.json);
+                  heapprof: output directory (default heapprof-<workload>)
   --builtin       lint: analyze the built-in Table 2 rule set
   --format F      lint: output `text` (default) or `json`
   --deny LEVEL    lint: exit non-zero on findings at or above
@@ -133,6 +139,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         ["optimize"] => cmd_optimize(&inv),
         ["online"] => cmd_online(&inv),
         ["trace"] => cmd_trace(&inv),
+        ["timeline"] => cmd_timeline(&inv),
         ["heapprof"] => cmd_heapprof(&inv),
         ["rules", "check"] => cmd_rules_check(&inv),
         ["rules", "eval"] => cmd_rules_eval(&inv),
@@ -202,6 +209,10 @@ fn cmd_profile(inv: &Invocation) -> Result<(), String> {
     if inv.flag("heapprof") {
         chameleon = chameleon.with_heap_profiling(inv.num_at_least_one("every", 1)?);
     }
+    let tracer = inv.flag("timeline").then(Tracer::new);
+    if let Some(tr) = &tracer {
+        chameleon = chameleon.with_tracer(tr.clone());
+    }
     let env = profile_env_with_threads(&chameleon, w.as_ref(), &threads)?;
     let report = env.report();
     println!(
@@ -229,6 +240,9 @@ fn cmd_profile(inv: &Invocation) -> Result<(), String> {
     if let Some(t) = &telemetry {
         emit_trace_log(inv, t)?;
     }
+    if let Some(tr) = &tracer {
+        write_timeline(tr, "timeline.json")?;
+    }
     Ok(())
 }
 
@@ -240,9 +254,13 @@ fn cmd_trace(inv: &Invocation) -> Result<(), String> {
     let top = inv.num("top", 10)? as usize;
     let threads = threads_arg(inv)?;
     let t = Telemetry::new();
-    let chameleon = Chameleon::new()
+    let mut chameleon = Chameleon::new()
         .with_profile_config(env_from(inv)?)
         .with_telemetry(t.clone());
+    let tracer = inv.flag("timeline").then(Tracer::new);
+    if let Some(tr) = &tracer {
+        chameleon = chameleon.with_tracer(tr.clone());
+    }
     let report = profile_env_with_threads(&chameleon, w.as_ref(), &threads)?.report();
     let suggestions = chameleon.engine().evaluate_traced(&report, Some(&t));
 
@@ -283,7 +301,51 @@ fn cmd_trace(inv: &Invocation) -> Result<(), String> {
     for s in suggestions.iter().take(top) {
         println!("  {s}");
     }
-    emit_trace_log(inv, &t)
+    emit_trace_log(inv, &t)?;
+    if let Some(tr) = &tracer {
+        write_timeline(tr, "timeline.json")?;
+    }
+    Ok(())
+}
+
+/// `chameleon timeline <workload>`: run the workload with the execution
+/// tracer armed and export the recorded spans as a Chrome trace-event JSON
+/// timeline, loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+fn cmd_timeline(inv: &Invocation) -> Result<(), String> {
+    let w = required_workload(inv, 0)?;
+    let threads = threads_arg(inv)?;
+    let out = inv
+        .options
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "trace.json".to_owned());
+    let tracer = Tracer::new();
+    let chameleon = Chameleon::new()
+        .with_profile_config(env_from(inv)?)
+        .with_tracer(tracer.clone());
+    let env = profile_env_with_threads(&chameleon, w.as_ref(), &threads)?;
+    let m = env.metrics();
+    println!(
+        "{} — sim time {} units, {} GC cycle(s), peak live {} B",
+        w.name(),
+        m.sim_time,
+        m.gc_count,
+        m.peak_live_bytes
+    );
+    write_timeline(&tracer, &out)
+}
+
+/// Renders the tracer's recorded spans as Chrome trace JSON into `path`.
+fn write_timeline(tracer: &Tracer, path: &str) -> Result<(), String> {
+    let records = tracer.records();
+    std::fs::write(path, chrome::render(&records))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    let (lanes, spans, instants) = chrome::summarize(&records);
+    println!(
+        "timeline written to {path}: {spans} span(s), {instants} instant(s) \
+         across {lanes} lane(s) — load in chrome://tracing or https://ui.perfetto.dev"
+    );
+    Ok(())
 }
 
 /// Writes the JSONL log where the user asked for it.
@@ -330,9 +392,13 @@ fn cmd_heapprof(inv: &Invocation) -> Result<(), String> {
         gc_interval_bytes: Some(32 * 1024),
         ..env_from(inv)?
     };
-    let chameleon = Chameleon::new()
+    let mut chameleon = Chameleon::new()
         .with_profile_config(config)
         .with_heap_profiling(every);
+    let tracer = inv.flag("timeline").then(Tracer::new);
+    if let Some(tr) = &tracer {
+        chameleon = chameleon.with_tracer(tr.clone());
+    }
     let env = profile_env_with_threads(&chameleon, w.as_ref(), &threads)?;
     let profile = HeapProfile::from_heap(&env.heap, SERIES_CAPACITY);
     if profile.snapshots.is_empty() {
@@ -357,6 +423,9 @@ fn cmd_heapprof(inv: &Invocation) -> Result<(), String> {
     write("snapshots.jsonl", &jsonl)?;
     write("flamegraph.folded", &flamegraph)?;
     write("summary.json", &summary)?;
+    if let Some(tr) = &tracer {
+        write_timeline(tr, &format!("{out}/timeline.json"))?;
+    }
 
     let peak = profile.peak_snapshot().expect("snapshots is non-empty");
     println!(
@@ -625,6 +694,44 @@ mod tests {
     #[test]
     fn profile_with_heapprof_cites_peak_cycles() {
         run_str("profile synthetic --heapprof --top 3").expect("ok");
+    }
+
+    #[test]
+    fn timeline_writes_perfetto_loadable_trace() {
+        let path = std::env::temp_dir().join("chameleon_cli_timeline_test.json");
+        run_str(&format!(
+            "timeline synthetic --threads 2 --out {}",
+            path.display()
+        ))
+        .expect("ok");
+        let body = std::fs::read_to_string(&path).expect("timeline written");
+        let v = chameleon_telemetry::json::parse(&body).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        let has = |name: &str| {
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+        };
+        assert!(has("run_parallel"), "{body}");
+        assert!(has("partition"), "{body}");
+        assert!(has("gc"), "{body}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn heapprof_with_timeline_writes_timeline_artifact() {
+        let dir = std::env::temp_dir().join("chameleon_cli_heapprof_timeline_test");
+        run_str(&format!(
+            "heapprof synthetic --every 2 --timeline --out {}",
+            dir.display()
+        ))
+        .expect("ok");
+        let body = std::fs::read_to_string(dir.join("timeline.json")).expect("timeline");
+        let v = chameleon_telemetry::json::parse(&body).expect("valid JSON");
+        assert!(!v.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+        assert!(body.contains("heap_snapshot_capture"), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

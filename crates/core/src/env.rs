@@ -15,7 +15,7 @@ use chameleon_collections::{CostModel, ListChoice, MapChoice, Runtime, SetChoice
 use chameleon_heap::{GcConfig, Heap, HeapConfig, HeapProfConfig};
 use chameleon_profiler::{ProfileReport, Profiler};
 use chameleon_rules::{PolicyUpdate, Suggestion};
-use chameleon_telemetry::Telemetry;
+use chameleon_telemetry::{Telemetry, TraceLane, Tracer};
 use std::sync::Arc;
 
 /// Environment construction parameters.
@@ -42,6 +42,11 @@ pub struct EnvConfig {
     /// every `every` GC cycles (None = off; simulation results are
     /// bit-identical either way).
     pub heapprof: Option<HeapProfConfig>,
+    /// Execution tracer for causal spans (None = tracing compiled out of
+    /// the run; with a disarmed tracer the hot path is one relaxed load).
+    /// Tracing never charges the simulated clock, so results are
+    /// bit-identical with tracing absent, armed, or exporting.
+    pub tracer: Option<Tracer>,
     /// Build the heap in single-mutator shard mode (no per-op mutex; see
     /// [`chameleon_heap::HeapConfig::shard_local`]). The parallel runner
     /// sets this for its hermetic partition environments; sequential
@@ -61,6 +66,7 @@ impl Default for EnvConfig {
             model: chameleon_heap::MemoryModel::jvm32(),
             telemetry: None,
             heapprof: None,
+            tracer: None,
             shard_heap: false,
         }
     }
@@ -140,6 +146,9 @@ pub struct Env {
     pub factory: CollectionFactory,
     /// The profiler, when profiling is enabled.
     pub profiler: Option<Arc<Profiler>>,
+    /// This environment's trace lane (lane 0 for the parent environment;
+    /// partition environments get the owning worker's lane).
+    pub(crate) trace: Option<TraceLane>,
     capture_depth: usize,
     /// The construction parameters, kept so the parallel runner can build
     /// identically configured hermetic partition environments.
@@ -166,11 +175,17 @@ impl Env {
         }
         let profiler = config.profiling.then(|| Profiler::install(&rt));
         let factory = CollectionFactory::with_capture(rt.clone(), config.capture.clone());
+        let trace = config.tracer.as_ref().map(|tr| {
+            let lane = tr.lane(tr.default_lane());
+            heap.attach_tracer(&lane);
+            lane
+        });
         Env {
             heap,
             rt,
             factory,
             profiler,
+            trace,
             capture_depth: config.capture.depth,
             config: config.clone(),
         }
@@ -200,6 +215,7 @@ impl Env {
     /// `workload_begin` / `workload_end` events on the shared `SimClock`;
     /// the end event carries the run's headline metrics.
     pub fn run(&self, workload: &dyn Workload) {
+        let _span = self.trace.as_ref().and_then(|l| l.scope("workload"));
         let telemetry = self.rt.telemetry().filter(|t| t.is_enabled());
         if let Some(t) = &telemetry {
             if let Some(mut e) = t.event("workload_begin", self.rt.clock().now()) {

@@ -112,6 +112,15 @@ impl Chameleon {
         self.profile_config.telemetry.as_ref()
     }
 
+    /// Attaches an execution tracer: profiling runs record causal spans
+    /// (workload, GC phases, partitions, merges) into the tracer's ring
+    /// buffers for timeline export and flight-recorder dumps. Simulation
+    /// results are bit-identical with tracing absent, armed or exporting.
+    pub fn with_tracer(mut self, tracer: chameleon_telemetry::Tracer) -> Self {
+        self.profile_config.tracer = Some(tracer);
+        self
+    }
+
     /// Enables continuous heap profiling in the profiling environment: a
     /// heap snapshot with retained-size attribution is captured every
     /// `every` GC cycles. Simulation results are bit-identical with or

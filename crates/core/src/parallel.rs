@@ -33,7 +33,7 @@ use crate::steal::StealQueues;
 use crate::workload::{PartitionTask, Workload};
 use chameleon_heap::{ContextExport, ContextId, CycleStats, HeapSnapshot};
 use chameleon_profiler::ContextTrace;
-use chameleon_telemetry::SpanTimer;
+use chameleon_telemetry::{SpanRecord, SpanTimer, Tracer};
 use parking_lot::Mutex;
 
 /// Mutator threads to use when the caller does not pick a count: the
@@ -139,12 +139,54 @@ struct PartitionOutcome {
     allocated_bytes: u64,
     allocated_objects: u64,
     wall_ns: u64,
+    /// Span records drained from the partition's child tracer (empty when
+    /// tracing is off). Ids live in the child's id space until the parent
+    /// adopts them at merge time, in partition-index order.
+    trace: Vec<SpanRecord>,
+    /// Parent-space id of the worker-side `partition` span the adopted
+    /// records are reparented under (0 = none).
+    trace_parent: u64,
+    /// Worker lane the partition executed on.
+    lane: u32,
 }
 
 /// Runs one partition to completion in a fresh hermetic environment and
-/// extracts its portable outcome.
-fn run_partition(config: &EnvConfig, task: &PartitionTask) -> PartitionOutcome {
+/// extracts its portable outcome. `trace` is `(parent tracer, worker lane,
+/// stolen)` when tracing is armed: the partition gets a `partition` span on
+/// the worker's lane (preceded by a `steal` instant when the index came
+/// from another worker's queue), and runs against a *child* tracer whose
+/// records the parent adopts during the deterministic merge — so worker
+/// rings stay single-writer and the trace is causal across the fork/join.
+fn run_partition(
+    config: &EnvConfig,
+    task: &PartitionTask,
+    index: usize,
+    trace: Option<(&Tracer, u32, bool)>,
+) -> PartitionOutcome {
     let timer = SpanTimer::start();
+    let (span, child_tracer) = match trace {
+        Some((tr, lane_id, stolen)) => {
+            let lane = tr.lane(lane_id);
+            if stolen {
+                lane.instant("steal", &[("partition", index as u64)]);
+            }
+            let span = lane
+                .scope("partition")
+                .map(|s| s.arg("partition", index as u64));
+            (span, Some(tr.child(lane_id)))
+        }
+        None => (None, None),
+    };
+    let traced_config;
+    let config = if let Some(child) = &child_tracer {
+        traced_config = EnvConfig {
+            tracer: Some(child.clone()),
+            ..config.clone()
+        };
+        &traced_config
+    } else {
+        config
+    };
     let env = Env::new(config);
     task.run(&env.factory);
     env.heap.gc();
@@ -153,6 +195,12 @@ fn run_partition(config: &EnvConfig, task: &PartitionTask) -> PartitionOutcome {
         .profiler
         .as_ref()
         .map(|p| p.traces())
+        .unwrap_or_default();
+    let trace_parent = span.as_ref().map_or(0, |s| s.id());
+    let lane = trace.map_or(0, |(_, lane_id, _)| lane_id);
+    let trace = child_tracer
+        .as_ref()
+        .map(|c| c.records())
         .unwrap_or_default();
     PartitionOutcome {
         name: task.name().to_owned(),
@@ -168,6 +216,9 @@ fn run_partition(config: &EnvConfig, task: &PartitionTask) -> PartitionOutcome {
         allocated_bytes: env.heap.total_allocated_bytes(),
         allocated_objects: env.heap.total_allocated_objects(),
         wall_ns: timer.elapsed_ns(),
+        trace,
+        trace_parent,
+        lane,
     }
 }
 
@@ -217,18 +268,42 @@ impl Env {
 
         // Children are silent (the parent narrates the run, per partition,
         // in merge order) and shard-local: one mutator per heap means the
-        // partition allocation path takes no lock at all.
+        // partition allocation path takes no lock at all. Tracing-wise the
+        // children are *not* detached: each partition records into a child
+        // tracer the parent adopts at merge time (worker lane w runs on
+        // trace lane w+1; lane 0 is the parent).
         let child_config = EnvConfig {
             telemetry: None,
+            tracer: None,
             shard_heap: true,
             ..self.config.clone()
         };
+        let tracer = self.config.tracer.clone().filter(|tr| tr.is_armed());
         let workers = config.threads.min(tasks.len());
+        let run_span = self
+            .trace
+            .as_ref()
+            .and_then(|l| l.scope("run_parallel"))
+            .map(|s| {
+                s.arg("partitions", tasks.len() as u64)
+                    .arg("threads", workers as u64)
+            });
         let outcomes: Vec<PartitionOutcome> = if workers == 1 {
-            tasks
+            let worker_span = tracer.as_ref().and_then(|tr| tr.lane(1).scope("worker"));
+            let outcomes = tasks
                 .iter()
-                .map(|t| run_partition(&child_config, t))
-                .collect()
+                .enumerate()
+                .map(|(i, t)| {
+                    run_partition(
+                        &child_config,
+                        t,
+                        i,
+                        tracer.as_ref().map(|tr| (tr, 1, false)),
+                    )
+                })
+                .collect();
+            drop(worker_span);
+            outcomes
         } else {
             // Work-stealing schedule: each worker owns a contiguous block
             // of partition indices and steals from the richest queue once
@@ -243,9 +318,18 @@ impl Env {
                     let tasks = &tasks;
                     let slots = &slots;
                     let child_config = &child_config;
+                    let tracer = &tracer;
                     s.spawn(move || {
+                        let lane_id = (w + 1) as u32;
+                        let _worker_span = tracer
+                            .as_ref()
+                            .and_then(|tr| tr.lane(lane_id).scope("worker"))
+                            .map(|sp| sp.arg("worker", w as u64));
                         while let Some(i) = queues.next(w) {
-                            *slots[i].lock() = Some(run_partition(child_config, &tasks[i]));
+                            let stolen = queues.home(i) != w;
+                            let trace = tracer.as_ref().map(|tr| (tr, lane_id, stolen));
+                            *slots[i].lock() =
+                                Some(run_partition(child_config, &tasks[i], i, trace));
                         }
                     });
                 }
@@ -261,6 +345,11 @@ impl Env {
         let mut survivors = 0usize;
         let mut child_contention = 0u64;
         for (index, outcome) in outcomes.into_iter().enumerate() {
+            let merge_span = self
+                .trace
+                .as_ref()
+                .and_then(|l| l.scope("merge_partition"))
+                .map(|s| s.arg("partition", index as u64));
             let base_units = self.rt.clock().now();
             self.rt.clock().charge(outcome.sim_time);
 
@@ -270,6 +359,7 @@ impl Env {
             let remap: Vec<ContextId> = self.heap.import_contexts(&outcome.contexts);
 
             let mut cycles = outcome.cycles;
+            let cycle_count = cycles.len() as u64;
             for c in &mut cycles {
                 c.at_units += base_units;
                 for (ctx, _) in &mut c.per_context {
@@ -312,6 +402,15 @@ impl Env {
             survivors += outcome.survivors;
             child_contention += outcome.lock_contention;
 
+            // Adopt the partition's child-tracer records: ids remap into
+            // the parent's id space, roots reparent under the worker-side
+            // `partition` span, and the records land on the worker's lane.
+            // Merge order is partition-index order, so the adopted id
+            // assignment is deterministic for any thread count.
+            if let Some(tr) = &tracer {
+                tr.adopt(&outcome.trace, outcome.trace_parent, outcome.lane);
+            }
+
             if let Some(t) = &telemetry {
                 // Batched cross-shard flush: the partition ran with no
                 // telemetry attached, so its capture counters land here as
@@ -321,17 +420,32 @@ impl Env {
                 t.counter("heap.context.misses").add(ctx_misses);
                 t.counter("heap.context.hits")
                     .add(outcome.captures.saturating_sub(ctx_misses));
+                // Every count below is the partition's *own* total (the
+                // event previously reported the parent's running GC total
+                // as `cycles`), so parent-side aggregates must equal the
+                // sum of these events over all partitions.
+                let ops: u64 = outcome
+                    .traces
+                    .iter()
+                    .map(|(_, trace)| trace.all_ops_total())
+                    .sum();
                 if let Some(mut e) = t.event("mutator_partition", self.rt.clock().now()) {
                     e.str("name", &outcome.name)
                         .num("index", index as u64)
                         .num("sim_time", outcome.sim_time)
-                        .num("cycles", self.heap.gc_count())
+                        .num("cycles", cycle_count)
+                        .num("ops", ops)
+                        .num("allocated_bytes", outcome.allocated_bytes)
+                        .num("allocated_objects", outcome.allocated_objects)
+                        .num("captures", outcome.captures)
                         .num("survivors", outcome.survivors as u64)
                         .num("lock_contention", outcome.lock_contention)
                         .num("wall_ns", outcome.wall_ns);
                 }
             }
+            drop(merge_span);
         }
+        drop(run_span);
 
         let lock_contention = child_contention + self.heap.lock_contention();
         if let Some(t) = &telemetry {
@@ -560,6 +674,50 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("plain"), "{err}");
+    }
+
+    #[test]
+    fn tracing_is_invisible_to_results_and_adopts_partition_spans() {
+        let plain = Env::new(&EnvConfig::default());
+        plain
+            .run_parallel(&Burst { sites: 8 }, ParallelConfig::with_threads(2))
+            .expect("parallel run");
+
+        let tracer = Tracer::new();
+        let traced = Env::new(&EnvConfig {
+            tracer: Some(tracer.clone()),
+            ..EnvConfig::default()
+        });
+        traced
+            .run_parallel(&Burst { sites: 8 }, ParallelConfig::with_threads(2))
+            .expect("parallel run");
+        assert_eq!(
+            fingerprint(&plain),
+            fingerprint(&traced),
+            "tracing must not perturb simulated results"
+        );
+
+        let recs = tracer.records();
+        let names: Vec<&str> = recs.iter().map(|r| r.name).collect();
+        assert!(names.contains(&"run_parallel"), "{names:?}");
+        assert!(names.contains(&"worker"), "{names:?}");
+        assert!(names.contains(&"merge_partition"), "{names:?}");
+        // One partition span per partition; the partition's adopted GC
+        // spans hang off it causally.
+        let partitions: Vec<_> = recs.iter().filter(|r| r.name == "partition").collect();
+        assert_eq!(partitions.len(), 2, "{names:?}");
+        for p in &partitions {
+            assert!(
+                recs.iter().any(|r| r.parent == p.id && r.name == "gc"),
+                "adopted child gc span under partition {}",
+                p.id
+            );
+        }
+        // Adoption must keep ids globally unique.
+        let mut ids: Vec<u64> = recs.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), recs.len(), "duplicate span ids after adoption");
     }
 
     #[test]

@@ -18,6 +18,10 @@ use std::collections::VecDeque;
 /// Per-worker task queues over partition indices `0..tasks`.
 pub(crate) struct StealQueues {
     queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Block-assignment parameters, kept so [`StealQueues::home`] can
+    /// recover which worker a partition was originally dealt to.
+    base: usize,
+    extra: usize,
 }
 
 impl StealQueues {
@@ -36,7 +40,26 @@ impl StealQueues {
                 Mutex::new(block)
             })
             .collect();
-        StealQueues { queues }
+        StealQueues {
+            queues,
+            base,
+            extra,
+        }
+    }
+
+    /// The worker whose block originally contained `task`. A worker that
+    /// pulls a partition whose home is another queue has stolen it — the
+    /// parallel runner marks that with a `steal` instant-event.
+    pub(crate) fn home(&self, task: usize) -> usize {
+        let boundary = self.extra * (self.base + 1);
+        if self.base == 0 {
+            // Fewer tasks than workers: every task sits alone in its queue.
+            task
+        } else if task < boundary {
+            task / (self.base + 1)
+        } else {
+            self.extra + (task - boundary) / self.base
+        }
     }
 
     /// Next partition index for `worker`: its own queue front first, then a
@@ -96,6 +119,24 @@ mod tests {
             assert_eq!(seen.len(), tasks, "{workers} workers / {tasks} tasks");
             for w in 0..workers {
                 assert_eq!(q.next(w), None, "drained queues stay drained");
+            }
+        }
+    }
+
+    #[test]
+    fn home_matches_the_initial_block_assignment() {
+        for (workers, tasks) in [(1, 5), (3, 7), (4, 4), (5, 3), (2, 9), (4, 1)] {
+            let q = StealQueues::new(workers, tasks);
+            // Reconstruct the dealt blocks independently of home().
+            let base = tasks / workers;
+            let extra = tasks % workers;
+            let mut next = 0usize;
+            for w in 0..workers {
+                let len = base + usize::from(w < extra);
+                for t in next..next + len {
+                    assert_eq!(q.home(t), w, "{workers} workers / {tasks} tasks, task {t}");
+                }
+                next += len;
             }
         }
     }

@@ -16,6 +16,7 @@
 //! make that property testable.
 
 use crate::heap::Heap;
+use chameleon_telemetry::TraceLane;
 use parking_lot::RwLock;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -23,7 +24,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Interned identifier of one stack frame (e.g. `"tvla.util.HashMapFactory:31"`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -337,6 +338,10 @@ pub(crate) struct StripedContextTable {
     ctx_stripes: [RwLock<HashMap<OwnedContextKey, ContextId>>; STRIPES],
     frame_misses: AtomicU64,
     context_misses: AtomicU64,
+    /// Execution-trace lane recording stripe-wait spans on the miss path
+    /// (write-lock acquisitions only — the warm hit path stays untouched).
+    /// Bound to the first lane attached, like the capture counters.
+    tracer: OnceLock<TraceLane>,
 }
 
 /// FNV-1a over arbitrary bytes; deterministic across runs (unlike the
@@ -382,12 +387,29 @@ impl StripedContextTable {
 
     /// Interns a frame. Returns `(id, missed)`; the warm path takes one
     /// stripe read lock and allocates nothing.
+    /// Binds the stripe-wait trace lane; only the first call takes effect.
+    pub(crate) fn set_tracer(&self, lane: TraceLane) {
+        let _ = self.tracer.set(lane);
+    }
+
+    /// Span around a miss-path write-lock acquisition of `stripe`; `None`
+    /// (one relaxed load) with no armed tracer.
+    fn stripe_wait_span(&self, stripe: usize) -> Option<chameleon_telemetry::trace::TraceScope> {
+        self.tracer
+            .get()
+            .and_then(|l| l.scope("ctx_stripe_wait"))
+            .map(|s| s.arg("stripe", stripe as u64))
+    }
+
     pub(crate) fn intern_frame(&self, name: &str) -> (FrameId, bool) {
-        let stripe = &self.frame_stripes[Self::frame_stripe(name)];
+        let idx = Self::frame_stripe(name);
+        let stripe = &self.frame_stripes[idx];
         if let Some(id) = stripe.read().get(name) {
             return (*id, false);
         }
+        let wait = self.stripe_wait_span(idx);
         let mut map = stripe.write();
+        drop(wait);
         if let Some(id) = map.get(name) {
             // Another thread interned it between our read and write locks.
             return (*id, false);
@@ -412,7 +434,8 @@ impl StripedContextTable {
         depth: usize,
     ) -> (ContextId, bool) {
         let truncated = &stack[..depth.min(stack.len())];
-        let stripe = &self.ctx_stripes[Self::ctx_stripe(src_type, truncated)];
+        let idx = Self::ctx_stripe(src_type, truncated);
+        let stripe = &self.ctx_stripes[idx];
         let probe = BorrowedContextKey {
             src_type,
             stack: truncated,
@@ -420,7 +443,9 @@ impl StripedContextTable {
         if let Some(id) = stripe.read().get(&probe as &dyn ContextKey) {
             return (*id, false);
         }
+        let wait = self.stripe_wait_span(idx);
         let mut map = stripe.write();
+        drop(wait);
         if let Some(id) = map.get(&probe as &dyn ContextKey) {
             return (*id, false);
         }

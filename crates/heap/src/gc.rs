@@ -18,20 +18,26 @@
 //! marked iff its stamp equals the current cycle's epoch), so no per-cycle
 //! mark allocation or clearing is needed.
 
-use crate::heap::{HeapInner, F_OCCUPIED, F_TOP_COLL};
+use crate::heap::{HeapInner, ANOMALY_WARMUP, F_OCCUPIED, F_TOP_COLL, PAUSE_HISTORY};
 use crate::object::{ElemKind, ObjBody, ObjId, Object};
 use crate::semantic::{AdtDescriptor, SemanticMap};
 use crate::snapshot::{self, SnapAcc};
 use crate::stats::{AdtTotals, CycleStats};
+use chameleon_telemetry::trace::{gc_shard_lane, SpanKind, SpanRecord, MAX_SPAN_ARGS};
 use chameleon_telemetry::SpanTimer;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Runs one full collection cycle on the heap.
 pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
-    // Wall-clock phase timing happens only with telemetry enabled; the
-    // simulated results below never depend on it.
-    let timed = inner.telemetry.as_ref().is_some_and(|ht| ht.on());
+    // Wall-clock phase timing happens only with telemetry or tracing on;
+    // the simulated results below never depend on it.
+    let lane = inner.tracer.clone().filter(|l| l.armed());
+    let timed = inner.telemetry.as_ref().is_some_and(|ht| ht.on()) || lane.is_some();
+    let _gc_span = lane
+        .as_ref()
+        .and_then(|l| l.scope("gc"))
+        .map(|s| s.arg("cycle", inner.gc_count + 1));
 
     // Snapshot capture is due on cycles 1, 1+every, 1+2*every, ... after
     // profiling was enabled. One Option check per cycle when disabled.
@@ -48,11 +54,15 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
         marks.extend((marks.len()..inner.slab.len()).map(|_| AtomicU32::new(0)));
     }
 
+    let mark_span = lane.as_ref().and_then(|l| l.scope("gc_mark"));
     let mark_timer = timed.then(SpanTimer::start);
     mark(inner, &marks, epoch);
     let mark_ns = mark_timer.map_or(0, |t| t.elapsed_ns());
+    drop(mark_span);
 
     // ----- fused live/semantic/sweep scan (sharded) ----------------------------
+    let scan_span = lane.as_ref().and_then(|l| l.scope("gc_scan"));
+    let scan_begin_ns = lane.as_ref().map_or(0, |l| l.now_ns());
     let scan_timer = timed.then(SpanTimer::start);
     let threads = inner.gc_config.threads.max(1);
     let n_classes = inner.classes.len();
@@ -91,6 +101,29 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
         })
     };
     let scan_ns = scan_timer.map_or(0, |t| t.elapsed_ns());
+    // Per-shard scan spans, recorded post-hoc on the collecting thread
+    // (keeping every ring single-writer) from each worker's own elapsed
+    // time; they render on synthetic shard lanes because shards overlap
+    // in wall time.
+    if let (Some(l), Some(span)) = (&lane, &scan_span) {
+        for (shard, acc) in accs.iter().enumerate() {
+            let mut args = [("", 0u64); MAX_SPAN_ARGS];
+            args[0] = ("shard", shard as u64);
+            args[1] = ("live_objects", acc.live_objects);
+            l.record(SpanRecord {
+                id: l.tracer().alloc_id(),
+                parent: span.id(),
+                lane: gc_shard_lane(l.lane(), shard),
+                kind: SpanKind::Complete,
+                begin_ns: scan_begin_ns,
+                end_ns: scan_begin_ns + acc.elapsed_ns,
+                name: "gc_scan_shard",
+                args,
+                nargs: 2,
+            });
+        }
+    }
+    drop(scan_span);
 
     // ----- merge (order-independent u64 sums; dense ids are pre-sorted) --------
     let mut live_bytes = 0u64;
@@ -119,6 +152,7 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
     // Workers are chunk-ordered and each sweep list is ascending, so the
     // concatenation frees slots in ascending index order — the same free-list
     // order a sequential sweep produces.
+    let sweep_span = lane.as_ref().and_then(|l| l.scope("gc_sweep"));
     let sweep_timer = timed.then(SpanTimer::start);
     for acc in &accs {
         for &i in &acc.sweep_list {
@@ -127,6 +161,7 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
         }
     }
     let sweep_ns = sweep_timer.map_or(0, |t| t.elapsed_ns());
+    drop(sweep_span);
     inner.heap_bytes = inner.heap_bytes.saturating_sub(swept_bytes);
     inner.generation = inner.generation.wrapping_add(1).max(1);
     inner.gc_count += 1;
@@ -144,10 +179,34 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
         0
     };
 
+    // ----- flight-recorder anomaly trigger --------------------------------------
+    // Purely observational: compares the deterministic pause cost against the
+    // running median of recent cycles and dumps the trace rings to disk when
+    // a pause exceeds `anomaly_factor` times that median. The history itself
+    // is deterministic data, so it is maintained whether or not tracing is
+    // armed; only the dump requires an armed tracer.
+    if let Some(l) = &lane {
+        if cfg.anomaly_factor > 0 && inner.pause_history.len() >= ANOMALY_WARMUP {
+            let mut sorted: Vec<u64> = inner.pause_history.iter().copied().collect();
+            sorted.sort_unstable();
+            let median = sorted[sorted.len() / 2];
+            if median > 0 && pause_cost_units > cfg.anomaly_factor.saturating_mul(median) {
+                let _ = l.tracer().flight_dump("gc-anomaly");
+            }
+        }
+    }
+    inner.pause_history.push_back(pause_cost_units);
+    if inner.pause_history.len() > PAUSE_HISTORY {
+        inner.pause_history.pop_front();
+    }
+
     // ----- snapshot assembly ----------------------------------------------------
     // Pure read-side work: the merged accumulator plus virtual-root edges
     // resolved against the (already swept, but roots are live) slab. Never
     // touches the clock or the cycle statistics.
+    let snap_span = snap_due
+        .then(|| lane.as_ref().and_then(|l| l.scope("heap_snapshot_capture")))
+        .flatten();
     let snapshot = snap_due.then(|| {
         let mut merged = SnapAcc::new(n_contexts);
         for acc in &accs {
@@ -172,6 +231,7 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
             collection,
         )
     });
+    drop(snap_span);
 
     let per_context: Vec<_> = per_ctx_dense
         .into_iter()
@@ -199,39 +259,37 @@ pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
         type_distribution,
     };
 
-    if timed {
-        if let Some(ht) = inner.telemetry.as_ref() {
-            ht.gc_cycles.inc();
-            ht.gc_pause_units.record(pause_cost_units);
-            ht.gc_marked_objects.add(live_objects);
-            ht.gc_swept_objects.add(swept_objects);
-            let shard_ns: Vec<u64> = accs.iter().map(|a| a.elapsed_ns).collect();
-            if let Some(mut e) = ht.t.event("gc_cycle", at_units) {
-                e.num("cycle", stats.cycle)
-                    .num("live_bytes", live_bytes)
-                    .num("live_objects", live_objects)
-                    .num("swept_bytes", swept_bytes)
-                    .num("swept_objects", swept_objects)
-                    .num("pause_units", pause_cost_units)
-                    .num("threads", threads as u64)
-                    .num("mark_ns", mark_ns)
-                    .num("scan_ns", scan_ns)
-                    .num("sweep_ns", sweep_ns)
-                    .nums("shard_scan_ns", &shard_ns)
-                    .num("coll_live", stats.collection.live)
-                    .num("coll_used", stats.collection.used)
-                    .num("coll_core", stats.collection.core)
-                    .num("coll_count", stats.collection.count);
-            }
-            if let Some(s) = &snapshot {
-                ht.prof_snapshots.inc();
-                if let Some(mut e) = ht.t.event("heap_snapshot", at_units) {
-                    e.num("cycle", s.cycle)
-                        .num("live_bytes", s.live_bytes)
-                        .num("live_objects", s.live_objects)
-                        .num("retained_root", s.retained_root)
-                        .num("contexts", s.contexts.len() as u64);
-                }
+    if let Some(ht) = inner.telemetry.as_ref().filter(|ht| ht.on()) {
+        ht.gc_cycles.inc();
+        ht.gc_pause_units.record(pause_cost_units);
+        ht.gc_marked_objects.add(live_objects);
+        ht.gc_swept_objects.add(swept_objects);
+        let shard_ns: Vec<u64> = accs.iter().map(|a| a.elapsed_ns).collect();
+        if let Some(mut e) = ht.t.event("gc_cycle", at_units) {
+            e.num("cycle", stats.cycle)
+                .num("live_bytes", live_bytes)
+                .num("live_objects", live_objects)
+                .num("swept_bytes", swept_bytes)
+                .num("swept_objects", swept_objects)
+                .num("pause_units", pause_cost_units)
+                .num("threads", threads as u64)
+                .num("mark_ns", mark_ns)
+                .num("scan_ns", scan_ns)
+                .num("sweep_ns", sweep_ns)
+                .nums("shard_scan_ns", &shard_ns)
+                .num("coll_live", stats.collection.live)
+                .num("coll_used", stats.collection.used)
+                .num("coll_core", stats.collection.core)
+                .num("coll_count", stats.collection.count);
+        }
+        if let Some(s) = &snapshot {
+            ht.prof_snapshots.inc();
+            if let Some(mut e) = ht.t.event("heap_snapshot", at_units) {
+                e.num("cycle", s.cycle)
+                    .num("live_bytes", s.live_bytes)
+                    .num("live_objects", s.live_objects)
+                    .num("retained_root", s.retained_root)
+                    .num("contexts", s.contexts.len() as u64);
             }
         }
     }

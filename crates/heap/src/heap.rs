@@ -43,10 +43,10 @@ use crate::semantic::{ClassRegistry, SemanticMap};
 use crate::snapshot::{HeapProfConfig, HeapProfState, HeapSnapshot};
 use crate::stats::CycleStats;
 use crate::telemetry::HeapTelemetry;
-use chameleon_telemetry::Telemetry;
+use chameleon_telemetry::{Telemetry, TraceLane};
 use parking_lot::{Mutex, MutexGuard};
 use std::cell::UnsafeCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -87,7 +87,19 @@ pub struct GcConfig {
     pub cost_per_live_kib: u64,
     /// Fixed simulated cost units charged per cycle (stop-the-world pause).
     pub cost_per_cycle: u64,
+    /// Flight-recorder anomaly trigger: when an execution tracer is
+    /// attached and a cycle's pause cost exceeds `anomaly_factor ×` the
+    /// running median of the last [`PAUSE_HISTORY`] cycles (after
+    /// [`ANOMALY_WARMUP`] warm-up cycles), the tracer's ring buffers are
+    /// dumped to its flight directory. The trigger compares deterministic
+    /// simulated cost units, never wall clock. `0` disables the trigger.
+    pub anomaly_factor: u64,
 }
+
+/// Pause-cost samples retained for the anomaly trigger's running median.
+pub const PAUSE_HISTORY: usize = 32;
+/// Cycles observed before the anomaly trigger may fire.
+pub const ANOMALY_WARMUP: usize = 8;
 
 impl Default for GcConfig {
     fn default() -> Self {
@@ -95,6 +107,7 @@ impl Default for GcConfig {
             threads: 1,
             cost_per_live_kib: 600,
             cost_per_cycle: 50_000,
+            anomaly_factor: 8,
         }
     }
 }
@@ -167,6 +180,12 @@ pub(crate) struct HeapInner {
     /// Pre-resolved telemetry handles; `None` (the default) keeps every hot
     /// path exactly as uninstrumented.
     pub(crate) telemetry: Option<HeapTelemetry>,
+    /// Execution-trace lane for GC phase spans; `None` (the default)
+    /// keeps collection cycles span-free.
+    pub(crate) tracer: Option<TraceLane>,
+    /// Recent `pause_cost_units` (deterministic sim units) feeding the
+    /// flight-recorder anomaly trigger's running median.
+    pub(crate) pause_history: VecDeque<u64>,
     /// Continuous heap profiling; `None` (the default) keeps the GC scan
     /// free of snapshot work.
     pub(crate) heapprof: Option<HeapProfState>,
@@ -322,6 +341,8 @@ impl Heap {
             marks: Vec::new(),
             mark_epoch: 0,
             telemetry: None,
+            tracer: None,
+            pause_history: VecDeque::new(),
             heapprof: None,
         };
         let repr = if config.shard_local {
@@ -422,6 +443,19 @@ impl Heap {
     pub fn attach_telemetry(&self, telemetry: &Telemetry) {
         self.lock().telemetry = Some(HeapTelemetry::new(telemetry));
         let _ = self.capture_tele.set(HeapTelemetry::new(telemetry));
+    }
+
+    /// Attaches an execution-trace lane: GC cycles record causal phase
+    /// spans (mark, sharded scan, sweep, snapshot capture) and the
+    /// context-intern table records stripe-wait spans on its miss path
+    /// (binding to the *first* lane attached, like the capture counters).
+    /// Tracing reads only the wall clock and never charges the
+    /// [`SimClock`], so simulated results are bit-identical with it
+    /// absent, armed, or exporting. Also arms the flight-recorder anomaly
+    /// trigger (see [`GcConfig::anomaly_factor`]).
+    pub fn attach_tracer(&self, lane: &TraceLane) {
+        self.lock().tracer = Some(lane.clone());
+        self.contexts.set_tracer(lane.clone());
     }
 
     /// Enables (with `Some`) or disables (with `None`) continuous heap

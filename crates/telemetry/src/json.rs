@@ -102,6 +102,58 @@ impl Value {
     }
 }
 
+/// Renders a [`Value`] back to its canonical JSON text: no whitespace,
+/// object keys in sorted (`BTreeMap`) order, numbers via Rust's shortest
+/// round-trip float formatting (integers up to 2^53 print without a
+/// fractional part). Because the form is canonical, `render` is a fixed
+/// point under re-parsing: `render(&parse(&render(v))?)` equals
+/// `render(v)` byte for byte (property-tested over span trees in
+/// `tests/trace_json_roundtrip.rs`).
+pub fn render(v: &Value) -> String {
+    let mut out = String::new();
+    render_into(&mut out, v);
+    out
+}
+
+fn render_into(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            if !n.is_finite() {
+                out.push_str("null");
+            } else if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 {
+                let _ = write!(out, "{}", *n as i64);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Value::Str(s) => write_str(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_str(out, k);
+                out.push(':');
+                render_into(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Parses one JSON document; trailing non-whitespace is an error.
 pub fn parse(src: &str) -> Result<Value, String> {
     let mut p = Parser {

@@ -36,12 +36,15 @@
 //! chameleon_telemetry::json::validate_jsonl(&log, &["ev", "t"]).unwrap();
 //! ```
 
+pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod series;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricKind, MetricSnapshot};
 pub use series::{DriftConfig, DriftFinding, SeriesSample, SeriesStore};
+pub use trace::{SpanKind, SpanRecord, TraceLane, TraceScope, Tracer};
 
 use metrics::Registry;
 use std::fmt;

@@ -1,0 +1,194 @@
+//! Round-trip properties of the in-tree JSON codec that backs the
+//! timeline exporter: control characters survive escaping, deep nesting
+//! parses back, and `json::render` is a byte-identical fixed point under
+//! re-parsing — both over arbitrary value trees and over real Chrome
+//! trace documents rendered from span records.
+
+use chameleon_telemetry::trace::MAX_SPAN_ARGS;
+use chameleon_telemetry::{chrome, json, SpanKind, SpanRecord, Tracer};
+use json::Value;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[test]
+fn control_characters_round_trip_through_escaping() {
+    // Every mandatory-escape char (U+0000..U+001F), plus the quote and
+    // backslash escapes, in one string.
+    let nasty: String = (0u32..0x20)
+        .filter_map(char::from_u32)
+        .chain(['"', '\\', '/', 'é', '😀'])
+        .collect();
+    let v = Value::Obj(BTreeMap::from([
+        (nasty.clone(), Value::Str(nasty.clone())),
+        ("plain".to_owned(), Value::Str("x".to_owned())),
+    ]));
+    let text = json::render(&v);
+    assert!(
+        text.contains("\\u0000") && text.contains("\\n") && text.contains("\\\""),
+        "escapes missing from {text}"
+    );
+    let back = json::parse(&text).expect("escaped text parses");
+    assert_eq!(back, v);
+    assert_eq!(json::render(&back), text, "render is a fixed point");
+}
+
+#[test]
+fn deeply_nested_documents_round_trip() {
+    // 64 alternating array/object levels around a scalar core.
+    let mut v = Value::Str("core".to_owned());
+    for depth in 0..64 {
+        v = if depth % 2 == 0 {
+            Value::Arr(vec![v, Value::Num(f64::from(depth))])
+        } else {
+            Value::Obj(BTreeMap::from([(format!("level{depth}"), v)]))
+        };
+    }
+    let text = json::render(&v);
+    let back = json::parse(&text).expect("deep document parses");
+    assert_eq!(back, v);
+    assert_eq!(json::render(&back), text);
+}
+
+#[test]
+fn span_names_with_control_characters_export_cleanly() {
+    // Names are &'static str, so give the tracer literals that exercise
+    // every escape class the exporter must handle.
+    let tracer = Tracer::new();
+    let lane = tracer.lane(0);
+    for name in [
+        "quote\"back\\slash",
+        "ctl\u{1}\u{1f}\ttab\nnewline",
+        "spän-😀",
+    ] {
+        drop(lane.scope(name));
+    }
+    let body = chrome::render(&tracer.records());
+    let v = json::parse(&body).expect("timeline parses");
+    let names: Vec<&str> = v
+        .get("traceEvents")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .map(|e| e.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "quote\"back\\slash",
+            "ctl\u{1}\u{1f}\ttab\nnewline",
+            "spän-😀"
+        ]
+    );
+}
+
+/// Arbitrary JSON strings, biased toward the escape-heavy low code points.
+fn arb_string() -> BoxedStrategy<String> {
+    prop::collection::vec(0u32..0x2000, 0..10)
+        .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+        .boxed()
+}
+
+/// Arbitrary value trees up to `depth` levels of arrays/objects.
+fn arb_value(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000_000_000i64..1_000_000_000_000).prop_map(|n| Value::Num(n as f64)),
+        // Raw bit patterns cover subnormals, huge magnitudes, NaN and
+        // infinities (the latter render as canonical `null`).
+        any::<u64>().prop_map(|bits| Value::Num(f64::from_bits(bits))),
+        arb_string().prop_map(Value::Str),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_value(depth - 1);
+    prop_oneof![
+        leaf,
+        prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Arr),
+        prop::collection::vec((arb_string(), inner), 0..4)
+            .prop_map(|kvs| Value::Obj(kvs.into_iter().collect())),
+    ]
+    .boxed()
+}
+
+/// Arbitrary span records over a small static name/key pool.
+fn arb_record() -> BoxedStrategy<SpanRecord> {
+    const NAMES: [&str; 4] = ["gc", "worker \"w\"", "merge\\partition", "st\neal"];
+    const KEYS: [&str; 4] = ["partition", "shard", "live_objects", "worker"];
+    (
+        (1u64..1 << 40),
+        (0u64..1 << 40),
+        (0u32..1_200_000),
+        (0u64..1 << 50),
+        (0u64..1 << 20),
+        (
+            0usize..4,
+            any::<bool>(),
+            prop::collection::vec(any::<u64>(), MAX_SPAN_ARGS),
+        ),
+    )
+        .prop_map(
+            |(id, parent, lane, begin_ns, dur_ns, (name, instant, vals))| {
+                let mut args = [("", 0u64); MAX_SPAN_ARGS];
+                let nargs = (id % (MAX_SPAN_ARGS as u64 + 1)) as u8;
+                for (slot, v) in args.iter_mut().zip(vals) {
+                    *slot = (KEYS[(v % 4) as usize], v);
+                }
+                SpanRecord {
+                    id,
+                    parent,
+                    lane,
+                    kind: if instant {
+                        SpanKind::Instant
+                    } else {
+                        SpanKind::Complete
+                    },
+                    begin_ns,
+                    end_ns: if instant { begin_ns } else { begin_ns + dur_ns },
+                    name: NAMES[name],
+                    args,
+                    nargs,
+                }
+            },
+        )
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `render` output always parses back to the same value, and a second
+    /// render is byte-identical: the canonical form is a fixed point.
+    #[test]
+    fn render_is_a_fixed_point_under_reparse(v in arb_value(3)) {
+        let text = json::render(&v);
+        let back = json::parse(&text).unwrap_or_else(|e| panic!("{e}: {text}"));
+        let text2 = json::render(&back);
+        prop_assert_eq!(&text2, &text, "re-render diverged");
+        // And once normalized, parse∘render is the identity on values.
+        prop_assert_eq!(json::parse(&text2).unwrap(), back);
+    }
+
+    /// Real timeline documents — rendered from arbitrary span records —
+    /// are themselves fixed points of the codec.
+    #[test]
+    fn chrome_documents_reserialize_byte_identically(
+        recs in prop::collection::vec(arb_record(), 0..40)
+    ) {
+        let body = chrome::render(&recs);
+        let v = json::parse(&body).unwrap_or_else(|e| panic!("{e}"));
+        let canon = json::render(&v);
+        prop_assert_eq!(json::render(&json::parse(&canon).unwrap()), canon);
+        // Every complete event kept its identity args through the trip.
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let complete = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .count();
+        let expected = recs.iter().filter(|r| r.kind == SpanKind::Complete).count();
+        prop_assert_eq!(complete, expected);
+    }
+}
