@@ -5,6 +5,8 @@
 //! Criterion micro-benchmarks validating the cost-model orderings on real
 //! hardware. See EXPERIMENTS.md at the workspace root for the index.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use chameleon_core::{ExperimentResult, Workload};
 use chameleon_rules::RuleEngine;
 

@@ -41,6 +41,8 @@
 //! assert_eq!(cycle.collection.count, 1);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cost;
 pub mod elem;
 pub mod factory;

@@ -52,6 +52,11 @@ pub struct EnvConfig {
     /// sets this for its hermetic partition environments; sequential
     /// environments keep the shared representation.
     pub shard_heap: bool,
+    /// Partition index forwarded to [`chameleon_heap::HeapConfig::shard_index`]
+    /// so a shard heap's concurrent-entry panic names its partition. Only
+    /// meaningful with [`EnvConfig::shard_heap`]; the parallel runner sets it
+    /// per partition.
+    pub shard_index: Option<usize>,
 }
 
 impl Default for EnvConfig {
@@ -68,6 +73,7 @@ impl Default for EnvConfig {
             heapprof: None,
             tracer: None,
             shard_heap: false,
+            shard_index: None,
         }
     }
 }
@@ -167,6 +173,7 @@ impl Env {
             },
             model: config.model,
             shard_local: config.shard_heap,
+            shard_index: config.shard_index,
         });
         heap.set_heap_profiling(config.heapprof);
         let rt = Runtime::with_cost(heap.clone(), config.cost);

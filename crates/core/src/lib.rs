@@ -35,13 +35,21 @@
 //! assert!(result.min_heap_after <= result.min_heap_before);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod env;
 pub mod experiment;
 pub mod metrics;
 pub mod minheap;
 pub mod online;
 pub mod parallel;
+/// Public only under `--features model` so `tests/model_steal.rs` can
+/// model-check the queues; an internal scheduling detail otherwise.
+#[cfg(feature = "model")]
+pub mod steal;
+#[cfg(not(feature = "model"))]
 mod steal;
+mod sync;
 pub mod workload;
 
 pub use env::{portable_updates, Env, EnvConfig, PortableChoice, PortableUpdate};

@@ -114,6 +114,8 @@ impl StatsSink for OnlineSink {
             for c in &report.contexts {
                 *by_type.entry(c.src_type.as_str()).or_insert(0) += c.potential_bytes;
             }
+            // hashmap-iter-ok: each type is judged against the floor
+            // independently; visit order cannot change which are disabled.
             for (ty, potential) in by_type {
                 if potential < floor {
                     self.capture.disable_tracking_for(ty);

@@ -177,17 +177,14 @@ fn run_partition(
         }
         None => (None, None),
     };
-    let traced_config;
-    let config = if let Some(child) = &child_tracer {
-        traced_config = EnvConfig {
-            tracer: Some(child.clone()),
-            ..config.clone()
-        };
-        &traced_config
-    } else {
-        config
-    };
-    let env = Env::new(config);
+    let mut local_config = config.clone();
+    // Name the partition in the heap's single-mutator machinery so a
+    // concurrent-entry panic reports which partition was entered twice.
+    local_config.shard_index = Some(index);
+    if let Some(child) = &child_tracer {
+        local_config.tracer = Some(child.clone());
+    }
+    let env = Env::new(&local_config);
     task.run(&env.factory);
     env.heap.gc();
     let survivors = env.rt.flush_survivors();

@@ -12,11 +12,11 @@
 //! are collected by partition index, so any steal order yields bit-
 //! identical merged output.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::VecDeque;
 
 /// Per-worker task queues over partition indices `0..tasks`.
-pub(crate) struct StealQueues {
+pub struct StealQueues {
     queues: Vec<Mutex<VecDeque<usize>>>,
     /// Block-assignment parameters, kept so [`StealQueues::home`] can
     /// recover which worker a partition was originally dealt to.
@@ -27,7 +27,7 @@ pub(crate) struct StealQueues {
 impl StealQueues {
     /// Distributes `tasks` indices across `workers` queues in contiguous
     /// blocks (first queues get the larger blocks when not divisible).
-    pub(crate) fn new(workers: usize, tasks: usize) -> Self {
+    pub fn new(workers: usize, tasks: usize) -> Self {
         assert!(workers > 0, "at least one worker queue");
         let base = tasks / workers;
         let extra = tasks % workers;
@@ -50,7 +50,7 @@ impl StealQueues {
     /// The worker whose block originally contained `task`. A worker that
     /// pulls a partition whose home is another queue has stolen it — the
     /// parallel runner marks that with a `steal` instant-event.
-    pub(crate) fn home(&self, task: usize) -> usize {
+    pub fn home(&self, task: usize) -> usize {
         let boundary = self.extra * (self.base + 1);
         if self.base == 0 {
             // Fewer tasks than workers: every task sits alone in its queue.
@@ -65,7 +65,7 @@ impl StealQueues {
     /// Next partition index for `worker`: its own queue front first, then a
     /// steal from the back of the longest other queue. `None` once every
     /// queue is empty.
-    pub(crate) fn next(&self, worker: usize) -> Option<usize> {
+    pub fn next(&self, worker: usize) -> Option<usize> {
         if let Some(i) = self.queues[worker].lock().pop_front() {
             return Some(i);
         }

@@ -1,0 +1,9 @@
+//! std-vs-loom indirection for this crate's concurrency kernel (the
+//! work-stealing partition queues). See `chameleon_telemetry::sync` for
+//! the scheme; this crate only needs the lock type.
+
+#[cfg(feature = "model")]
+pub(crate) use loom::sync::Mutex;
+
+#[cfg(not(feature = "model"))]
+pub(crate) use parking_lot::Mutex;

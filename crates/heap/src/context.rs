@@ -16,14 +16,13 @@
 //! make that property testable.
 
 use crate::heap::Heap;
+use crate::sync::{AtomicU64, Ordering, RwLock};
 use chameleon_telemetry::TraceLane;
-use parking_lot::RwLock;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Interned identifier of one stack frame (e.g. `"tvla.util.HashMapFactory:31"`).

@@ -23,10 +23,10 @@ use crate::object::{ElemKind, ObjBody, ObjId, Object};
 use crate::semantic::{AdtDescriptor, SemanticMap};
 use crate::snapshot::{self, SnapAcc};
 use crate::stats::{AdtTotals, CycleStats};
+use crate::sync::{AtomicU32, Ordering};
 use chameleon_telemetry::trace::{gc_shard_lane, SpanKind, SpanRecord, MAX_SPAN_ARGS};
 use chameleon_telemetry::SpanTimer;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Runs one full collection cycle on the heap.
 pub(crate) fn collect(inner: &mut HeapInner) -> CycleStats {
@@ -310,7 +310,9 @@ fn next_epoch(inner: &mut HeapInner, marks: &mut [AtomicU32]) -> u32 {
     inner.mark_epoch = inner.mark_epoch.wrapping_add(1);
     if inner.mark_epoch == 0 {
         for m in marks.iter_mut() {
-            *m.get_mut() = 0;
+            // relaxed: &mut access proves exclusivity; the store only needs
+            // to be a plain write (and compiles to one).
+            m.store(0, Ordering::Relaxed);
         }
         inner.mark_epoch = 1;
     }
@@ -371,6 +373,8 @@ fn scan_chunk(
             continue;
         }
         let o = &inner.slab[i];
+        // relaxed: sweep runs after every marker thread joined; the join
+        // is the happens-before edge that publishes the mark words.
         if marks[i].load(Ordering::Relaxed) != epoch {
             acc.swept_bytes += u64::from(o.size);
             acc.swept_objects += 1;
@@ -478,6 +482,8 @@ fn claim(inner: &HeapInner, marks: &[AtomicU32], epoch: u32, obj: ObjId) -> bool
     if inner.slab[i].generation != obj.generation {
         return false;
     }
+    // relaxed: the swap only needs atomicity so each object is claimed by
+    // exactly one marker; publication to the sweeper happens at join.
     marks[i].swap(epoch, Ordering::Relaxed) != epoch
 }
 

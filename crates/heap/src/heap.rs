@@ -42,14 +42,12 @@ use crate::object::{ClassId, ElemKind, ObjBody, ObjId, Object, ObjectView, RefRa
 use crate::semantic::{ClassRegistry, SemanticMap};
 use crate::snapshot::{HeapProfConfig, HeapProfState, HeapSnapshot};
 use crate::stats::CycleStats;
+use crate::sync::{AtomicBool, AtomicU32, AtomicU64, Mutex, MutexGuard, Ordering, UnsafeCell};
 use crate::telemetry::HeapTelemetry;
 use chameleon_telemetry::{Telemetry, TraceLane};
-use parking_lot::{Mutex, MutexGuard};
-use std::cell::UnsafeCell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Panic payload used for the simulated `OutOfMemoryError`.
@@ -130,6 +128,11 @@ pub struct HeapConfig {
     /// that panics. The parallel runtime builds its hermetic partition
     /// heaps this way so the shard-local allocation path takes no lock.
     pub shard_local: bool,
+    /// Partition index of a shard-local heap, named in the concurrent-entry
+    /// panic message so a contract violation reports *which* partition was
+    /// entered twice. Ignored for shared heaps; the parallel runner sets it
+    /// when building partition environments.
+    pub shard_index: Option<usize>,
 }
 
 /// Packed per-slot flags (`HeapInner::flags`), one byte per slab slot.
@@ -195,6 +198,10 @@ pub(crate) struct HeapInner {
 /// or panics, so at most one `&mut HeapInner` ever exists.
 struct ShardCell {
     busy: AtomicBool,
+    /// Partition index this shard heap belongs to (from
+    /// [`HeapConfig::shard_index`]); names the shard in the concurrent-entry
+    /// panic so the report points at a partition, not just "a heap".
+    index: Option<usize>,
     inner: UnsafeCell<HeapInner>,
 }
 
@@ -229,7 +236,7 @@ impl Deref for HeapGuard<'_> {
         match self {
             HeapGuard::Shared(g) => g,
             // SAFETY: the busy flag guarantees this is the only guard.
-            HeapGuard::Shard(g) => unsafe { &*g.cell.inner.get() },
+            HeapGuard::Shard(g) => g.cell.inner.with(|p| unsafe { &*p }),
         }
     }
 }
@@ -239,7 +246,7 @@ impl DerefMut for HeapGuard<'_> {
         match self {
             HeapGuard::Shared(g) => g,
             // SAFETY: the busy flag guarantees this is the only guard.
-            HeapGuard::Shard(g) => unsafe { &mut *g.cell.inner.get() },
+            HeapGuard::Shard(g) => g.cell.inner.with_mut(|p| unsafe { &mut *p }),
         }
     }
 }
@@ -348,6 +355,7 @@ impl Heap {
         let repr = if config.shard_local {
             Repr::Shard(Arc::new(ShardCell {
                 busy: AtomicBool::new(false),
+                index: config.shard_index,
                 inner: UnsafeCell::new(inner),
             }))
         } else {
@@ -366,11 +374,15 @@ impl Heap {
     /// one `try_lock` — no extra atomic traffic for single-threaded runs.
     /// Shard-local heaps flip one busy flag instead of locking.
     ///
+    /// `op` names the heap operation being entered; it appears in the
+    /// shard-mode concurrent-entry panic so a violation report says which
+    /// operation collided on which partition.
+    ///
     /// # Panics
     ///
     /// Panics if a shard-local heap is entered while another thread is
     /// inside it (single-mutator contract).
-    fn lock(&self) -> HeapGuard<'_> {
+    fn lock(&self, op: &'static str) -> HeapGuard<'_> {
         match &self.repr {
             Repr::Shared(m) => match m.try_lock() {
                 Some(guard) => HeapGuard::Shared(guard),
@@ -380,10 +392,18 @@ impl Heap {
                 }
             },
             Repr::Shard(cell) => {
-                assert!(
-                    !cell.busy.swap(true, Ordering::Acquire),
-                    "shard-local heap entered concurrently (single-mutator contract)"
-                );
+                if cell.busy.swap(true, Ordering::Acquire) {
+                    match cell.index {
+                        Some(i) => panic!(
+                            "shard-local heap of partition {i} entered concurrently \
+                             during `{op}` (single-mutator contract)"
+                        ),
+                        None => panic!(
+                            "shard-local heap entered concurrently during `{op}` \
+                             (single-mutator contract)"
+                        ),
+                    }
+                }
                 HeapGuard::Shard(ShardGuard { cell })
             }
         }
@@ -428,7 +448,7 @@ impl Heap {
     /// Attaches a simulated clock; the collector charges its cycle costs to
     /// it.
     pub fn attach_clock(&self, clock: SimClock) {
-        self.lock().clock = Some(clock);
+        self.lock("attach_clock").clock = Some(clock);
     }
 
     /// Attaches a telemetry handle. Metric handles are resolved once, here;
@@ -441,7 +461,7 @@ impl Heap {
     /// attached to this heap (they are read without the heap lock);
     /// re-attaching redirects only the GC-side metrics.
     pub fn attach_telemetry(&self, telemetry: &Telemetry) {
-        self.lock().telemetry = Some(HeapTelemetry::new(telemetry));
+        self.lock("attach_telemetry").telemetry = Some(HeapTelemetry::new(telemetry));
         let _ = self.capture_tele.set(HeapTelemetry::new(telemetry));
     }
 
@@ -454,7 +474,7 @@ impl Heap {
     /// absent, armed, or exporting. Also arms the flight-recorder anomaly
     /// trigger (see [`GcConfig::anomaly_factor`]).
     pub fn attach_tracer(&self, lane: &TraceLane) {
-        self.lock().tracer = Some(lane.clone());
+        self.lock("attach_tracer").tracer = Some(lane.clone());
         self.contexts.set_tracer(lane.clone());
     }
 
@@ -468,18 +488,21 @@ impl Heap {
     /// on, off, or absent. Re-enabling discards previously captured
     /// snapshots.
     pub fn set_heap_profiling(&self, config: Option<HeapProfConfig>) {
-        self.lock().heapprof = config.map(HeapProfState::new);
+        self.lock("set_heap_profiling").heapprof = config.map(HeapProfState::new);
     }
 
     /// The active heap-profiling configuration, if any.
     pub fn heap_profiling(&self) -> Option<HeapProfConfig> {
-        self.lock().heapprof.as_ref().map(|s| s.config)
+        self.lock("heap_profiling")
+            .heapprof
+            .as_ref()
+            .map(|s| s.config)
     }
 
     /// All heap snapshots captured so far (empty unless
     /// [`Heap::set_heap_profiling`] enabled capture).
     pub fn heap_snapshots(&self) -> Vec<HeapSnapshot> {
-        self.lock()
+        self.lock("heap_snapshots")
             .heapprof
             .as_ref()
             .map(|s| s.snapshots.clone())
@@ -488,31 +511,31 @@ impl Heap {
 
     /// Discards captured snapshots while keeping profiling enabled.
     pub fn clear_heap_snapshots(&self) {
-        if let Some(s) = self.lock().heapprof.as_mut() {
+        if let Some(s) = self.lock("clear_heap_snapshots").heapprof.as_mut() {
             s.snapshots.clear();
         }
     }
 
     /// The layout model this heap uses.
     pub fn model(&self) -> MemoryModel {
-        self.lock().model
+        self.lock("model").model
     }
 
     /// Changes the capacity cap (used by the minimal-heap search).
     pub fn set_capacity(&self, capacity: Option<u64>) {
-        self.lock().capacity = capacity;
+        self.lock("set_capacity").capacity = capacity;
     }
 
     // ----- classes and contexts -------------------------------------------------
 
     /// Registers a class (idempotent by name).
     pub fn register_class(&self, name: &str, map: Option<SemanticMap>) -> ClassId {
-        self.lock().classes.register(name, map)
+        self.lock("register_class").classes.register(name, map)
     }
 
     /// Returns the display name of `class`.
     pub fn class_name(&self, class: ClassId) -> String {
-        self.lock().classes.info(class).name.clone()
+        self.lock("class_name").classes.info(class).name.clone()
     }
 
     /// Interns an allocation context from frame display names
@@ -605,7 +628,7 @@ impl Heap {
 
     /// Changes the allocation-driven GC interval.
     pub fn set_gc_interval_bytes(&self, interval: Option<u64>) {
-        self.lock().gc_interval_bytes = interval;
+        self.lock("set_gc_interval_bytes").gc_interval_bytes = interval;
     }
 
     /// Number of distinct allocation contexts interned.
@@ -667,7 +690,7 @@ impl Heap {
         prim_bytes: u32,
         ctx: Option<ContextId>,
     ) -> ObjId {
-        let mut inner = self.lock();
+        let mut inner = self.lock("alloc_scalar");
         let size = inner.model.object_size(ref_fields, prim_bytes);
         inner.ensure_room(u64::from(size));
         let refs = inner.alloc_range(ref_fields);
@@ -687,7 +710,7 @@ impl Heap {
         capacity: u32,
         ctx: Option<ContextId>,
     ) -> ObjId {
-        let mut inner = self.lock();
+        let mut inner = self.lock("alloc_array");
         let elem_bytes = match elem {
             ElemKind::Ref => inner.model.ref_bytes,
             ElemKind::Prim { bytes_per_elem } => bytes_per_elem,
@@ -732,7 +755,7 @@ impl Heap {
         links: &[(usize, usize, usize)],
         roots: &[usize],
     ) -> [ObjId; N] {
-        let mut inner = self.lock();
+        let mut inner = self.lock("alloc_batch");
         let model = inner.model;
         let sizes = reqs.map(|r| r.size(&model));
         let batch_bytes: u64 = sizes.iter().map(|s| u64::from(*s)).sum();
@@ -783,6 +806,8 @@ impl Heap {
             let range = inner.resolve(ids[src]).body.ref_range();
             inner.ref_pool[range.slot(field)] = Some(ids[dst]);
         }
+        // hashmap-iter-ok: `roots` here is the `&[usize]` parameter of
+        // request indices, not the heap's root map.
         for &root in roots {
             *inner.roots.entry(ids[root]).or_insert(0) += 1;
         }
@@ -797,7 +822,7 @@ impl Heap {
     ///
     /// Panics if `obj` is stale or `field` is out of bounds.
     pub fn set_ref(&self, obj: ObjId, field: usize, target: Option<ObjId>) {
-        let mut inner = self.lock();
+        let mut inner = self.lock("set_ref");
         let range = match inner.resolve(obj).body {
             ObjBody::Scalar { refs, .. } => refs,
             ObjBody::Array { .. } => panic!("set_ref on array object; use set_elem"),
@@ -807,7 +832,7 @@ impl Heap {
 
     /// Reads reference field `field` of `obj`.
     pub fn get_ref(&self, obj: ObjId, field: usize) -> Option<ObjId> {
-        let inner = self.lock();
+        let inner = self.lock("get_ref");
         let range = match inner.resolve(obj).body {
             ObjBody::Scalar { refs, .. } => refs,
             ObjBody::Array { .. } => panic!("get_ref on array object; use get_elem"),
@@ -817,7 +842,7 @@ impl Heap {
 
     /// Stores `target` into slot `idx` of a reference array.
     pub fn set_elem(&self, arr: ObjId, idx: usize, target: Option<ObjId>) {
-        let mut inner = self.lock();
+        let mut inner = self.lock("set_elem");
         let range = match inner.resolve(arr).body {
             ObjBody::Array { slots, .. } => slots,
             ObjBody::Scalar { .. } => panic!("set_elem on scalar object; use set_ref"),
@@ -827,7 +852,7 @@ impl Heap {
 
     /// Reads slot `idx` of a reference array.
     pub fn get_elem(&self, arr: ObjId, idx: usize) -> Option<ObjId> {
-        let inner = self.lock();
+        let inner = self.lock("get_elem");
         let range = match inner.resolve(arr).body {
             ObjBody::Array { slots, .. } => slots,
             ObjBody::Scalar { .. } => panic!("get_elem on scalar object; use get_ref"),
@@ -837,7 +862,7 @@ impl Heap {
 
     /// Writes semantic-map metadata slot `idx` (grows the vector as needed).
     pub fn set_meta(&self, obj: ObjId, idx: usize, value: i64) {
-        let mut inner = self.lock();
+        let mut inner = self.lock("set_meta");
         let meta = &mut inner.resolve_mut(obj).meta;
         if meta.len() <= idx {
             meta.resize(idx + 1, 0);
@@ -847,13 +872,13 @@ impl Heap {
 
     /// Reads semantic-map metadata slot `idx` (0 if never written).
     pub fn get_meta(&self, obj: ObjId, idx: usize) -> i64 {
-        let inner = self.lock();
+        let inner = self.lock("get_meta");
         inner.resolve(obj).meta.get(idx).copied().unwrap_or(0)
     }
 
     /// Returns a snapshot view of `obj`.
     pub fn view(&self, obj: ObjId) -> ObjectView {
-        let inner = self.lock();
+        let inner = self.lock("view");
         let o = inner.resolve(obj);
         ObjectView {
             class: o.class,
@@ -867,7 +892,7 @@ impl Heap {
 
     /// Whether `obj` still resolves (has not been swept).
     pub fn is_live(&self, obj: ObjId) -> bool {
-        let inner = self.lock();
+        let inner = self.lock("is_live");
         let i = obj.index as usize;
         inner.flags.get(i).is_some_and(|f| f & F_OCCUPIED != 0)
             && inner.slab[i].generation == obj.generation
@@ -875,24 +900,24 @@ impl Heap {
 
     /// Aligned size of `obj` in bytes.
     pub fn size_of(&self, obj: ObjId) -> u32 {
-        self.lock().resolve(obj).size
+        self.lock("size_of").resolve(obj).size
     }
 
     /// Class of `obj`.
     pub fn class_of(&self, obj: ObjId) -> ClassId {
-        self.lock().resolve(obj).class
+        self.lock("class_of").resolve(obj).class
     }
 
     // ----- roots ----------------------------------------------------------------
 
     /// Registers `obj` as a GC root (reference counted).
     pub fn add_root(&self, obj: ObjId) {
-        *self.lock().roots.entry(obj).or_insert(0) += 1;
+        *self.lock("add_root").roots.entry(obj).or_insert(0) += 1;
     }
 
     /// Releases one root registration of `obj`.
     pub fn remove_root(&self, obj: ObjId) {
-        let mut inner = self.lock();
+        let mut inner = self.lock("remove_root");
         if let Some(n) = inner.roots.get_mut(&obj) {
             *n -= 1;
             if *n == 0 {
@@ -903,51 +928,51 @@ impl Heap {
 
     /// Number of distinct roots.
     pub fn root_count(&self) -> usize {
-        self.lock().roots.len()
+        self.lock("root_count").roots.len()
     }
 
     // ----- GC and statistics ----------------------------------------------------
 
     /// Runs a full mark-sweep cycle and returns its statistics.
     pub fn gc(&self) -> CycleStats {
-        let mut inner = self.lock();
+        let mut inner = self.lock("gc");
         gc::collect(&mut inner)
     }
 
     /// All per-cycle statistics recorded so far (Table 3 rows).
     pub fn cycles(&self) -> Vec<CycleStats> {
-        self.lock().cycles.clone()
+        self.lock("cycles").cycles.clone()
     }
 
     /// Clears recorded cycle statistics (between runs).
     pub fn clear_cycles(&self) {
-        self.lock().cycles.clear();
+        self.lock("clear_cycles").cycles.clear();
     }
 
     /// Bytes currently occupied in the heap (live + not-yet-collected
     /// garbage).
     pub fn heap_bytes(&self) -> u64 {
-        self.lock().heap_bytes
+        self.lock("heap_bytes").heap_bytes
     }
 
     /// Total bytes ever allocated.
     pub fn total_allocated_bytes(&self) -> u64 {
-        self.lock().total_allocated_bytes
+        self.lock("total_allocated_bytes").total_allocated_bytes
     }
 
     /// Total objects ever allocated.
     pub fn total_allocated_objects(&self) -> u64 {
-        self.lock().total_allocated_objects
+        self.lock("total_allocated_objects").total_allocated_objects
     }
 
     /// Number of GC cycles run.
     pub fn gc_count(&self) -> u64 {
-        self.lock().gc_count
+        self.lock("gc_count").gc_count
     }
 
     /// Number of objects currently in the table (live + garbage).
     pub fn object_count(&self) -> usize {
-        let inner = self.lock();
+        let inner = self.lock("object_count");
         inner.slab.len() - inner.free.len()
     }
 
@@ -965,7 +990,7 @@ impl Heap {
         allocated_bytes: u64,
         allocated_objects: u64,
     ) {
-        let mut inner = self.lock();
+        let mut inner = self.lock("absorb_partition");
         let base = inner.gc_count;
         let absorbed = cycles.len() as u64;
         for c in &mut cycles {
@@ -1387,7 +1412,7 @@ mod tests {
         let (heap, class) = simple_heap();
         let _o = heap.alloc_scalar(class, 0, 0, None);
         assert!(format!("{heap:?}").contains("objects"), "unlocked form");
-        let _guard = heap.lock();
+        let _guard = heap.lock("debug_test");
         // With the lock held (as a panic hook or tracing line inside an
         // allocation would see it), Debug must not deadlock.
         assert_eq!(format!("{heap:?}"), "Heap(<locked>)");
@@ -1438,7 +1463,7 @@ mod tests {
             shard_local: true,
             ..HeapConfig::default()
         });
-        let _guard = heap.lock();
+        let _guard = heap.lock("debug_test");
         assert_eq!(format!("{heap:?}"), "Heap(<locked>)");
         drop(_guard);
         assert!(format!("{heap:?}").contains("objects"));

@@ -48,6 +48,8 @@
 //! assert!(cycle.collection.used < cycle.collection.live); // 7 empty slots
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod clock;
 pub mod context;
 mod gc;
@@ -58,6 +60,7 @@ pub mod object;
 pub mod semantic;
 pub mod snapshot;
 pub mod stats;
+mod sync;
 mod telemetry;
 
 pub use clock::SimClock;

@@ -165,12 +165,14 @@ pub(crate) fn build_snapshot(
     let root = n_contexts + 1;
     let n_nodes = n_contexts + 2;
 
-    // Sorted edge list -> deterministic successor order -> deterministic
-    // postorder and dominator tree regardless of hash-set iteration order.
+    // hashmap-iter-ok: sorted edge list -> deterministic successor order
+    // -> deterministic postorder and dominator tree regardless of
+    // hash-set iteration order.
     let mut edges: Vec<u64> = acc.edges.iter().copied().collect();
     edges.sort_unstable();
     let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
     let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
+    // hashmap-iter-ok: `edges` is the sorted Vec above, not the hash set.
     for e in edges {
         let src = (e >> 32) as u32;
         let dst = (e & 0xffff_ffff) as u32;

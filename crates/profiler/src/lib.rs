@@ -36,6 +36,8 @@
 //! assert!(report.contexts[0].label.contains("App.load:7"));
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod context_trace;
 pub mod heapprof;
 #[allow(clippy::module_inception)]

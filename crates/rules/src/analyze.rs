@@ -15,6 +15,9 @@
 //! * **suggestion soundness** — the action target's collection kind must
 //!   be compatible with the rule's type pattern (no `List : … -> HashMap`),
 //!   resolved against the shared [`kinds`] registry;
+//! * **exact duplicates** — a rule repeating an earlier rule's matched
+//!   types, action and (semantically, by DNF-region equality) condition;
+//!   decided only when both regions are fully exact, reported as `Info`;
 //! * **hygiene** — undefined and unused parameters, tautological
 //!   conditions, dead type patterns.
 //!
@@ -822,10 +825,39 @@ pub fn analyze(rules: &[Rule], params: &HashMap<String, f64>, src: &str) -> Lint
         }
     }
 
+    // --- exact duplicates ---
+    for j in 1..rules.len() {
+        if infos[j].excluded {
+            continue;
+        }
+        for i in 0..j {
+            if infos[i].excluded {
+                continue;
+            }
+            if rules[i].action == rules[j].action
+                && same_type_set(&infos[i].matched, &infos[j].matched)
+                && region_identical(&infos[i].region, &infos[j].region)
+            {
+                diags.push(
+                    Diagnostic::new(
+                        Severity::Info,
+                        "duplicate-rule",
+                        "rule is an exact duplicate of an earlier rule: same matched \
+                         types, semantically equal condition, identical action",
+                        rules[j].span,
+                    )
+                    .with_note("first occurrence is here", rules[i].span),
+                );
+                break;
+            }
+        }
+    }
+
     // Findings so far read top-down in rule order.
     diags.sort_by_key(|d| d.span.start);
 
     // --- unused parameters (ruleset-wide, reported last) ---
+    // hashmap-iter-ok: collected and sorted before any report is emitted.
     let mut names: Vec<&String> = params.keys().collect();
     names.sort();
     for name in names {
@@ -855,6 +887,39 @@ pub fn analyze_source(src: &str, params: &HashMap<String, f64>) -> Result<LintRe
 
 /// Decides whether rule `i` is (possibly) shadowed by higher-priority
 /// rules, returning the diagnostic if so.
+/// Same set of matched types, ignoring order and multiplicity.
+fn same_type_set(a: &[&'static str], b: &[&'static str]) -> bool {
+    let sa: BTreeSet<&str> = a.iter().copied().collect();
+    let sb: BTreeSet<&str> = b.iter().copied().collect();
+    sa == sb
+}
+
+/// Semantic condition equality, decided only for fully exact regions: the
+/// conjunct lists must match as multisets of constraint boxes. Opaque or
+/// capped regions never compare equal — exact-only by design, since a
+/// missed duplicate is harmless while a false one is noise.
+fn region_identical(a: &Region, b: &Region) -> bool {
+    if a.capped || b.capped || a.conjuncts.len() != b.conjuncts.len() {
+        return false;
+    }
+    let exact =
+        a.conjuncts.iter().all(Conjunct::is_exact) && b.conjuncts.iter().all(Conjunct::is_exact);
+    if !exact {
+        return false;
+    }
+    let mut used = vec![false; b.conjuncts.len()];
+    'boxes: for ca in &a.conjuncts {
+        for (k, cb) in b.conjuncts.iter().enumerate() {
+            if !used[k] && ca.constraints == cb.constraints {
+                used[k] = true;
+                continue 'boxes;
+            }
+        }
+        return false;
+    }
+    true
+}
+
 fn shadow_check(rules: &[Rule], infos: &[RuleInfo], i: usize) -> Option<Diagnostic> {
     let info = &infos[i];
 
@@ -1044,6 +1109,70 @@ mod tests {
         let report2 = lint(src2, &[]);
         assert_eq!(report2.diagnostics[0].code, "tautological-condition");
         assert_eq!(report2.diagnostics[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn duplicate_rule_is_flagged_as_info() {
+        // Conditions are written differently but denote the same region;
+        // actions and matched types are identical.
+        let src = "HashMap : maxSize < 16 -> ArrayMap;\nHashMap : !(maxSize >= 16) -> ArrayMap";
+        let report = lint(src, &[]);
+        let dups: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "duplicate-rule")
+            .collect();
+        assert_eq!(dups.len(), 1, "{}", report.render(src));
+        assert_eq!(dups[0].severity, Severity::Info);
+        let (line, _) = line_col(src, dups[0].span.start);
+        assert_eq!(line, 2, "primary span on the later copy");
+        assert_eq!(dups[0].notes.len(), 1);
+        let (nline, _) = line_col(src, dups[0].notes[0].span.start);
+        assert_eq!(nline, 1, "note span on the first occurrence");
+    }
+
+    #[test]
+    fn near_duplicates_are_not_flagged() {
+        // Different action target.
+        let src = "HashMap : maxSize < 16 -> ArrayMap;\nHashMap : maxSize < 16 -> LinkedMap";
+        let report = lint(src, &[]);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .all(|d| d.code != "duplicate-rule"),
+            "{}",
+            report.render(src)
+        );
+        // Different condition region.
+        let src = "HashMap : maxSize < 16 -> ArrayMap;\nHashMap : maxSize < 17 -> ArrayMap";
+        let report = lint(src, &[]);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .all(|d| d.code != "duplicate-rule"),
+            "{}",
+            report.render(src)
+        );
+    }
+
+    #[test]
+    fn opaque_conditions_never_report_duplicates() {
+        // `maxSize > initialCapacity` is a multi-metric atom the domain
+        // treats as opaque: textually identical rules must still not be
+        // called duplicates, because equality is undecided.
+        let src = "HashMap : maxSize > initialCapacity -> ArrayMap;\n\
+                   HashMap : maxSize > initialCapacity -> ArrayMap";
+        let report = lint(src, &[]);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .all(|d| d.code != "duplicate-rule"),
+            "{}",
+            report.render(src)
+        );
     }
 
     #[test]

@@ -36,6 +36,8 @@
 //! engine.set_param("SMALL", 12.0);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod analyze;
 pub mod ast;
 pub mod builtin;

@@ -36,10 +36,13 @@
 //! chameleon_telemetry::json::validate_jsonl(&log, &["ev", "t"]).unwrap();
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod series;
+pub mod sync;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricKind, MetricSnapshot};
@@ -139,12 +142,14 @@ impl Telemetry {
 
     /// Switches event and metric recording on or off.
     pub fn set_enabled(&self, enabled: bool) {
+        // relaxed: advisory flag; a stale read delays the toggle by one event.
         self.inner.enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// The cheap enabled-check every instrumented fast path performs first.
     #[inline]
     pub fn is_enabled(&self) -> bool {
+        // relaxed: advisory flag; a stale read delays the toggle by one event.
         self.inner.enabled.load(Ordering::Relaxed)
     }
 

@@ -147,7 +147,7 @@ impl Histogram {
         self.inner
             .counts
             .iter()
-            .map(|c| c.load(Ordering::Relaxed))
+            .map(|c| c.load(Ordering::Relaxed)) // relaxed: monotonic counters
             .collect()
     }
 

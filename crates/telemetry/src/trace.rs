@@ -36,10 +36,9 @@
 //! path reads rings that may still be live).
 
 use crate::chrome;
-use std::cell::UnsafeCell;
+use crate::sync::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering, UnsafeCell};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -129,6 +128,14 @@ impl SpanRecord {
 struct Slot {
     seq: AtomicU32,
     rec: UnsafeCell<SpanRecord>,
+    /// Model-only redundant copies of the record's write generation
+    /// (`seq / 2`), stored between the same fences that bracket `rec`.
+    /// The record payload is non-atomic, so the model's weak-memory
+    /// explorer cannot serve stale values of it — these atomic mirrors
+    /// carry the observable staleness instead, and the reader asserts
+    /// their consistency after accepting a snapshot. See `snapshot_into`.
+    #[cfg(feature = "model")]
+    mirror: [AtomicU64; 2],
 }
 
 /// Fixed-capacity overwrite-oldest span ring for one lane.
@@ -158,6 +165,8 @@ impl TraceRing {
             .map(|_| Slot {
                 seq: AtomicU32::new(0),
                 rec: UnsafeCell::new(SpanRecord::empty()),
+                #[cfg(feature = "model")]
+                mirror: [AtomicU64::new(0), AtomicU64::new(0)],
             })
             .collect();
         TraceRing {
@@ -185,16 +194,26 @@ impl TraceRing {
             // drop the record rather than tear a slot.
             return;
         }
-        let h = self.head.load(Ordering::Relaxed);
+        let h = self.head.load(Ordering::Relaxed); // relaxed: only this writer moves head
         let slot = &self.slots[(h % self.slots.len() as u64) as usize];
-        let seq = slot.seq.load(Ordering::Relaxed);
-        slot.seq.store(seq.wrapping_add(1), Ordering::Relaxed); // odd: in progress
+        let seq = slot.seq.load(Ordering::Relaxed); // relaxed: only this writer moves seq
+                                                    // relaxed: odd marks in-progress; the Release fence below orders it.
+        slot.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
         fence(Ordering::Release);
         // SAFETY: the `writer` flag admits exactly one writer, and readers
         // validate `seq` around their copy, discarding torn records.
-        unsafe { *slot.rec.get() = rec };
+        slot.rec.with_mut(|p| unsafe { *p = rec });
+        #[cfg(feature = "model")]
+        {
+            // relaxed: generation mirrors are ordered by the bracketing
+            // fences, exactly like the payload they stand in for.
+            let gen = u64::from(seq.wrapping_add(2) >> 1);
+            slot.mirror[0].store(gen, Ordering::Relaxed); // relaxed: fenced, as above
+            slot.mirror[1].store(gen, Ordering::Relaxed); // relaxed: fenced, as above
+        }
         fence(Ordering::Release);
-        slot.seq.store(seq.wrapping_add(2), Ordering::Relaxed); // even: stable
+        // relaxed: even marks stable; the Release fence above orders it.
+        slot.seq.store(seq.wrapping_add(2), Ordering::Relaxed);
         self.head.store(h + 1, Ordering::Release);
         self.writer.store(false, Ordering::Release);
     }
@@ -217,10 +236,37 @@ impl TraceRing {
             }
             // SAFETY: copy is discarded below unless `seq` stayed stable
             // across it (no writer touched this slot during the read).
-            let rec = unsafe { std::ptr::read_volatile(slot.rec.get()) };
+            let rec = slot
+                .rec
+                .with_racy(|p| unsafe { std::ptr::read_volatile(p) });
+            // relaxed: the acquire fence below orders these reads before
+            // the seq recheck (the seqlock validation edge).
+            #[cfg(feature = "model")]
+            let mirror = (
+                slot.mirror[0].load(Ordering::Relaxed), // relaxed: fenced, as above
+                slot.mirror[1].load(Ordering::Relaxed), // relaxed: fenced, as above
+            );
             fence(Ordering::Acquire);
+            // relaxed: the Acquire fence above gives this recheck its edge.
             if slot.seq.load(Ordering::Relaxed) != s0 || rec.name.is_empty() {
                 continue;
+            }
+            // Model invariant: an accepted snapshot is untorn and belongs
+            // to exactly the generation the seq word advertised. Both
+            // asserts depend on the fences above — remove either release
+            // fence in `push` (or the acquire fence here) and the explorer
+            // finds a schedule where a stale mirror slips through.
+            #[cfg(feature = "model")]
+            if loom::is_modeling() {
+                assert_eq!(
+                    mirror.0, mirror.1,
+                    "seqlock accepted a torn record (mirror words disagree)"
+                );
+                assert_eq!(
+                    mirror.0,
+                    u64::from(s0 >> 1),
+                    "seqlock accepted a stale record (generation != seq/2)"
+                );
             }
             out.push(rec);
         }
@@ -304,11 +350,13 @@ impl Tracer {
     /// Whether spans are being recorded (one relaxed load).
     #[inline]
     pub fn is_armed(&self) -> bool {
+        // relaxed: advisory flag; a stale read delays arming by one event.
         self.inner.armed.load(Ordering::Relaxed)
     }
 
     /// Arms or disarms recording.
     pub fn set_armed(&self, armed: bool) {
+        // relaxed: advisory flag; a stale read delays arming by one event.
         self.inner.armed.store(armed, Ordering::Relaxed);
     }
 
@@ -491,6 +539,7 @@ impl TraceLane {
             return None;
         }
         let id = self.tracer.alloc_id();
+        // relaxed: `current` is lane-local (single mutator per lane).
         let parent = self.ring.current.swap(id, Ordering::Relaxed);
         Some(TraceScope {
             lane: self.clone(),
@@ -511,6 +560,7 @@ impl TraceLane {
         let now = self.now_ns();
         let mut rec = SpanRecord {
             id: self.tracer.alloc_id(),
+            // relaxed: `current` is lane-local (single mutator per lane).
             parent: self.ring.current.load(Ordering::Relaxed),
             lane: self.ring.lane,
             kind: SpanKind::Instant,
@@ -568,6 +618,7 @@ impl TraceScope {
 impl Drop for TraceScope {
     fn drop(&mut self) {
         let end_ns = self.lane.now_ns();
+        // relaxed: `current` is lane-local (single mutator per lane).
         self.lane.ring.current.store(self.parent, Ordering::Relaxed);
         self.lane.ring.push(SpanRecord {
             id: self.id,
@@ -637,6 +688,87 @@ mod tests {
         let is: Vec<u64> = recs.iter().map(|r| r.key_values()[0].1).collect();
         assert_eq!(is, (13..20).collect::<Vec<_>>(), "newest window survives");
         assert!(recs.iter().all(|r| r.lane == 3));
+    }
+
+    fn rec(id: u64, name: &'static str) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: 0,
+            lane: 0,
+            kind: SpanKind::Instant,
+            begin_ns: 0,
+            end_ns: 0,
+            name,
+            args: [("", 0); MAX_SPAN_ARGS],
+            nargs: 0,
+        }
+    }
+
+    #[test]
+    fn capacity_one_ring_counts_pushes_but_snapshots_nothing() {
+        // Degenerate edge: with one slot the reader window (capacity − 1)
+        // is empty, because the only slot is always the write frontier.
+        // Pushes must still be counted and must never wedge the ring.
+        let ring = TraceRing::new(0, 1);
+        for i in 0..5 {
+            ring.push(rec(i + 1, "e"));
+        }
+        assert_eq!(ring.pushed(), 5);
+        let mut out = Vec::new();
+        ring.snapshot_into(usize::MAX, &mut out);
+        assert!(out.is_empty(), "window must stay clear of the frontier");
+        // The public constructor refuses the degenerate ring: capacity is
+        // clamped to 2, so a "capacity-1" tracer still keeps one record.
+        let t = Tracer::with_capacity(1);
+        let lane = t.lane(0);
+        lane.instant("i", &[]);
+        lane.instant("j", &[]);
+        let recs = t.records();
+        assert_eq!(recs.len(), 1, "clamped ring keeps a one-record window");
+        assert_eq!(recs[0].name, "j");
+    }
+
+    #[test]
+    fn seq_rollover_keeps_accepting_records() {
+        // The per-slot seq word is u32 and gains 2 per overwrite; force it
+        // to the wrap boundary and check the odd/even protocol survives
+        // `u32::MAX − 1 → u32::MAX (odd, in progress) → 0 (even, stable)`.
+        let ring = TraceRing::new(0, 2);
+        for slot in ring.slots.iter() {
+            slot.seq.store(u32::MAX - 1, Ordering::Release);
+        }
+        ring.push(rec(1, "wrap"));
+        assert_eq!(ring.slots[0].seq.load(Ordering::Acquire), 0, "seq wrapped");
+        let mut out = Vec::new();
+        ring.snapshot_into(usize::MAX, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name, "wrap");
+        // The next overwrite of the same slot restarts the even ladder.
+        ring.push(rec(2, "a"));
+        ring.push(rec(3, "b"));
+        assert_eq!(ring.slots[0].seq.load(Ordering::Acquire), 2);
+    }
+
+    #[test]
+    fn reader_skips_slot_held_mid_write() {
+        // A slot whose seq is odd is mid-write; the reader must skip it
+        // (not block, not surface a half-written record) and still return
+        // the stable neighbours.
+        let ring = TraceRing::new(0, 4);
+        ring.push(rec(1, "a"));
+        ring.push(rec(2, "b"));
+        ring.push(rec(3, "c"));
+        let held = &ring.slots[1];
+        let seq = held.seq.load(Ordering::Acquire);
+        held.seq.store(seq.wrapping_add(1), Ordering::Release); // odd: writer parked
+        let mut out = Vec::new();
+        ring.snapshot_into(usize::MAX, &mut out);
+        let names: Vec<_> = out.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["a", "c"], "mid-write slot must be skipped");
+        held.seq.store(seq.wrapping_add(2), Ordering::Release); // even again
+        out.clear();
+        ring.snapshot_into(usize::MAX, &mut out);
+        assert_eq!(out.len(), 3, "slot returns once the write completes");
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! the full Chameleon pipeline (profile → rules → apply → re-run) can be
 //! driven end to end.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bloat;
 pub mod findbugs;
 pub mod fop;

@@ -8,6 +8,8 @@
 //! nanoseconds per iteration to stdout. No plots, no statistics files —
 //! just honest numbers so benches still run offline.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,81 @@
+//! Race-checked interior mutability.
+//!
+//! Inside a model run every access is a scheduling point, and reads and
+//! writes are checked against FastTrack-style access epochs: two accesses
+//! from different threads without a happens-before edge, at least one of
+//! them a write, fail the schedule as a data race. Outside a model run the
+//! cell degrades to a plain `std::cell::UnsafeCell`.
+
+use crate::rt;
+use std::sync::atomic::AtomicUsize;
+
+/// Model-checked counterpart of `std::cell::UnsafeCell`.
+///
+/// Access is closure-scoped like upstream loom: [`UnsafeCell::with`] for
+/// reads, [`UnsafeCell::with_mut`] for writes, plus [`UnsafeCell::with_racy`]
+/// for deliberately unsynchronized reads that a protocol validates after
+/// the fact (seqlock readers).
+#[derive(Debug)]
+pub struct UnsafeCell<T: ?Sized> {
+    /// Lazily-registered model id: 0 = unregistered, otherwise id + 1
+    /// (see `rt::lazy_cell`).
+    id: AtomicUsize,
+    inner: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: mirrors upstream loom (and the std atomics): the cell is shared
+// across model threads on purpose, and every access path (`with`,
+// `with_mut`, `with_racy`) is either race-checked by the runtime or
+// explicitly marked racy-by-design and validated by the caller's protocol.
+unsafe impl<T: Send + ?Sized> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Wraps `value`. Registers the cell with the active model run, if
+    /// any.
+    pub fn new(value: T) -> Self {
+        let cell = UnsafeCell {
+            id: AtomicUsize::new(0),
+            inner: std::cell::UnsafeCell::new(value),
+        };
+        cell.model_id();
+        cell
+    }
+
+    /// Consumes the cell and returns the wrapped value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    fn model_id(&self) -> Option<usize> {
+        rt::lazy_cell(&self.id)
+    }
+
+    /// Immutable access: records a read and checks it against concurrent
+    /// writes.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some(id) = self.model_id() {
+            rt::cell_access(id, false);
+        }
+        f(self.inner.get())
+    }
+
+    /// Mutable access: records a write and checks it against every
+    /// concurrent access.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some(id) = self.model_id() {
+            rt::cell_access(id, true);
+        }
+        f(self.inner.get())
+    }
+
+    /// Unchecked read for racy-by-design protocols (a seqlock reader's
+    /// speculative copy): still a scheduling point, but records no access,
+    /// so the caller's validation step — not the race detector — is what
+    /// rejects torn results.
+    pub fn with_racy<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if self.model_id().is_some() {
+            rt::yield_point();
+        }
+        f(self.inner.get())
+    }
+}

@@ -1,0 +1,75 @@
+//! Model-aware threads: `spawn`/`join` with spawn and join
+//! happens-before edges inside a model run, plain `std::thread` outside.
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+
+enum Inner<T> {
+    Model {
+        tid: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+    Real(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Inside a model run a panicking child fails the whole schedule
+    /// before `join` returns, so the `Err` variant only surfaces in
+    /// passthrough mode.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Model { tid, result } => {
+                rt::join_model(tid);
+                let v = result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined model thread left no result");
+                Ok(v)
+            }
+            Inner::Real(h) => h.join(),
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model run the child becomes a scheduled
+/// model thread inheriting the parent's vector clock; outside it is a
+/// plain OS thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if rt::in_model() {
+        let result = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let tid = rt::spawn_model(move || {
+            let v = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+        });
+        JoinHandle {
+            inner: Inner::Model { tid, result },
+        }
+    } else {
+        JoinHandle {
+            inner: Inner::Real(std::thread::spawn(f)),
+        }
+    }
+}
+
+/// Scheduling point with no memory effect (`std::thread::yield_now`
+/// analogue): gives the explorer a place to switch threads.
+pub fn yield_now() {
+    if rt::in_model() {
+        rt::yield_point();
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -6,6 +6,8 @@
 //! `lock()` never returns a poison error (a poisoned std lock is recovered
 //! by taking the inner value, mirroring parking_lot's poison-free design).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::fmt;
 
 /// Mutex with parking_lot's poison-free `lock()` signature.

@@ -11,6 +11,8 @@
 //! failure message names the case that reproduces it. No shrinking — the
 //! failing input is printed verbatim instead.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::fmt::Debug;
 use std::marker::PhantomData;
 use std::rc::Rc;

@@ -5,6 +5,8 @@
 //! gen_ratio, gen_bool}`) backed by xoshiro256++ with SplitMix64 seeding.
 //! Deterministic for a given seed, which is all the simulation needs.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level entropy source.

@@ -20,6 +20,8 @@
 //! See `examples/quickstart.rs` for the five-minute tour and the
 //! `chameleon-bench` crate for every table/figure harness.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub use chameleon_collections as collections;
 pub use chameleon_core as core;
 pub use chameleon_heap as heap;
