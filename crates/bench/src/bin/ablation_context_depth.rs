@@ -7,19 +7,29 @@
 //! at depth 1 all seven logical contexts collapse into one — and its merged
 //! statistics blur the per-site size profile.
 
-use chameleon_bench::hr;
+use chameleon_bench::out::Out;
+use chameleon_bench::outln;
 use chameleon_collections::factory::CaptureConfig;
 use chameleon_core::{Chameleon, EnvConfig};
 use chameleon_workloads::Tvla;
 
 fn main() {
-    println!("Ablation — context depth vs suggestion quality (TVLA, factory-heavy)");
-    hr(78);
-    println!(
-        "{:<7} {:>14} {:>14} {:>16} {:>14}",
-        "depth", "map contexts", "suggestions", "auto-applicable", "captures"
+    let out = Out::new("ablation_context_depth");
+    outln!(
+        out,
+        "Ablation — context depth vs suggestion quality (TVLA, factory-heavy)"
     );
-    hr(78);
+    out.hr(78);
+    outln!(
+        out,
+        "{:<7} {:>14} {:>14} {:>16} {:>14}",
+        "depth",
+        "map contexts",
+        "suggestions",
+        "auto-applicable",
+        "captures"
+    );
+    out.hr(78);
     for depth in [1usize, 2, 3, 4] {
         let cfg = EnvConfig {
             capture: CaptureConfig {
@@ -37,7 +47,8 @@ fn main() {
             .count();
         let suggestions = chameleon.engine().evaluate(&report);
         let applicable = suggestions.iter().filter(|s| s.auto_applicable()).count();
-        println!(
+        outln!(
+            out,
             "{:<7} {:>14} {:>14} {:>16} {:>14}",
             depth,
             map_contexts,
@@ -46,6 +57,9 @@ fn main() {
             report.contexts.len(),
         );
     }
-    hr(78);
-    println!("paper: depth 1 cannot disambiguate factory allocations; 2-3 suffices");
+    out.hr(78);
+    outln!(
+        out,
+        "paper: depth 1 cannot disambiguate factory allocations; 2-3 suffices"
+    );
 }

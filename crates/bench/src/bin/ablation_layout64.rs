@@ -7,21 +7,32 @@
 //! This sweep re-runs the minimal-heap experiment for TVLA and FindBugs
 //! under both layouts.
 
-use chameleon_bench::{hr, pct};
+use chameleon_bench::out::Out;
+use chameleon_bench::outln;
+use chameleon_bench::pct;
 use chameleon_core::{run_experiment, EnvConfig, Workload};
 use chameleon_heap::MemoryModel;
 use chameleon_rules::RuleEngine;
 use chameleon_workloads::{Findbugs, Tvla};
 
 fn main() {
+    let out = Out::new("ablation_layout64");
     let engine = RuleEngine::builtin();
-    println!("Ablation — layout sensitivity (paper model: 32-bit JVM)");
-    hr(84);
-    println!(
-        "{:<10} {:<8} {:>12} {:>12} {:>12}",
-        "benchmark", "layout", "before(B)", "after(B)", "improvement"
+    outln!(
+        out,
+        "Ablation — layout sensitivity (paper model: 32-bit JVM)"
     );
-    hr(84);
+    out.hr(84);
+    outln!(
+        out,
+        "{:<10} {:<8} {:>12} {:>12} {:>12}",
+        "benchmark",
+        "layout",
+        "before(B)",
+        "after(B)",
+        "improvement"
+    );
+    out.hr(84);
     let workloads: Vec<Box<dyn Workload>> =
         vec![Box::new(Tvla::default()), Box::new(Findbugs::default())];
     for w in &workloads {
@@ -34,7 +45,8 @@ fn main() {
                 ..EnvConfig::default()
             };
             let result = run_experiment(w.as_ref(), &engine, &cfg, None);
-            println!(
+            outln!(
+                out,
                 "{:<10} {:<8} {:>12} {:>12} {:>12}",
                 result.name,
                 name,
@@ -44,7 +56,13 @@ fn main() {
             );
         }
     }
-    hr(84);
-    println!("(note: the minimal-heap searches re-run under the profiling layout, so the");
-    println!(" 64-bit rows measure an end-to-end 64-bit pipeline, not a unit conversion)");
+    out.hr(84);
+    outln!(
+        out,
+        "(note: the minimal-heap searches re-run under the profiling layout, so the"
+    );
+    outln!(
+        out,
+        " 64-bit rows measure an end-to-end 64-bit pipeline, not a unit conversion)"
+    );
 }

@@ -6,12 +6,14 @@
 //! reports the overhead/coverage trade: capture cost shrinks linearly while
 //! the top contexts remain discoverable well past 1-in-10 sampling.
 
-use chameleon_bench::hr;
+use chameleon_bench::out::Out;
+use chameleon_bench::outln;
 use chameleon_collections::factory::{CaptureConfig, CaptureMethod};
 use chameleon_core::{Chameleon, Env, EnvConfig};
 use chameleon_workloads::Bloat;
 
 fn main() {
+    let out = Out::new("ablation_sampling");
     let w = Bloat::default();
 
     // Uninstrumented baseline time.
@@ -26,13 +28,22 @@ fn main() {
     base_env.run(&w);
     let baseline = base_env.metrics().sim_time;
 
-    println!("Ablation — context-capture sampling (bloat, Throwable capture)");
-    hr(86);
-    println!(
-        "{:<12} {:>10} {:>12} {:>10} {:>14} {:>14}",
-        "sample 1/N", "captures", "overhead", "contexts", "suggestions", "top-site found"
+    outln!(
+        out,
+        "Ablation — context-capture sampling (bloat, Throwable capture)"
     );
-    hr(86);
+    out.hr(86);
+    outln!(
+        out,
+        "{:<12} {:>10} {:>12} {:>10} {:>14} {:>14}",
+        "sample 1/N",
+        "captures",
+        "overhead",
+        "contexts",
+        "suggestions",
+        "top-site found"
+    );
+    out.hr(86);
     for period in [1u32, 2, 10, 50, 200] {
         let cfg = EnvConfig {
             capture: CaptureConfig {
@@ -51,7 +62,8 @@ fn main() {
         let found_top = suggestions
             .iter()
             .any(|s| s.label.contains("bloat.cfg.Block"));
-        println!(
+        outln!(
+            out,
             "{:<12} {:>10} {:>11.1}% {:>10} {:>14} {:>14}",
             format!("1/{period}"),
             env.metrics().capture_count,
@@ -61,6 +73,9 @@ fn main() {
             found_top,
         );
     }
-    hr(86);
-    println!("paper: sampling trades profiling overhead for attribution coverage");
+    out.hr(86);
+    outln!(
+        out,
+        "paper: sampling trades profiling overhead for attribution coverage"
+    );
 }

@@ -8,7 +8,8 @@
 //! the gate on and off and measures the time consequence of the ungated
 //! replacement.
 
-use chameleon_bench::hr;
+use chameleon_bench::out::Out;
+use chameleon_bench::outln;
 use chameleon_collections::factory::Selection;
 use chameleon_collections::{CollectionFactory, MapChoice};
 use chameleon_core::{Env, EnvConfig, PortableChoice, PortableUpdate, Workload};
@@ -35,16 +36,21 @@ fn bimodal() -> impl Workload {
 }
 
 fn main() {
+    let out = Out::new("ablation_stability");
     let w = bimodal();
-    println!("Ablation — stability gate on a bimodal context (90% size-2, 10% size-600)");
-    hr(70);
+    outln!(
+        out,
+        "Ablation — stability gate on a bimodal context (90% size-2, 10% size-600)"
+    );
+    out.hr(70);
 
     // Profile once.
     let env = Env::new(&EnvConfig::default());
     env.run(&w);
     let report = env.report();
     let ctx = &report.contexts[0];
-    println!(
+    outln!(
+        out,
         "context {}: avg maxSize {:.1}, std {:.1} -> stable? {}",
         ctx.label,
         ctx.trace.max_size_avg(),
@@ -55,12 +61,13 @@ fn main() {
     // Gated engine (default): what does it suggest?
     let gated = RuleEngine::builtin();
     let gated_suggestions = gated.evaluate(&report);
-    println!(
+    outln!(
+        out,
         "\nwith stability gate ({} suggestion(s)):",
         gated_suggestions.len()
     );
     for s in &gated_suggestions {
-        println!("  {s}");
+        outln!(out, "  {s}");
     }
 
     // Ungated engine: effectively disable the gate.
@@ -71,12 +78,13 @@ fn main() {
         op_rel_threshold: None,
     });
     let ungated_suggestions = ungated.evaluate(&report);
-    println!(
+    outln!(
+        out,
         "\nwithout stability gate ({} suggestion(s)):",
         ungated_suggestions.len()
     );
     for s in &ungated_suggestions {
-        println!("  {s}");
+        outln!(out, "  {s}");
     }
 
     // Consequence: force the ungated ArrayMap choice and measure time.
@@ -111,13 +119,15 @@ fn main() {
     adaptive_env.run(&w);
     let adapted = adaptive_env.metrics().sim_time;
 
-    hr(70);
-    println!("time, HashMap baseline:        {baseline:>12} units");
-    println!(
+    out.hr(70);
+    outln!(out, "time, HashMap baseline:        {baseline:>12} units");
+    outln!(
+        out,
         "time, ungated ArrayMap:        {degraded:>12} units ({:+.1}%)",
         100.0 * (degraded as f64 - baseline as f64) / baseline as f64
     );
-    println!(
+    outln!(
+        out,
         "time, gated SizeAdaptingMap:   {adapted:>12} units ({:+.1}%)",
         100.0 * (adapted as f64 - baseline as f64) / baseline as f64
     );

@@ -4,6 +4,8 @@
 //!
 //! Run from the workspace root: `cargo run --release --bin bench_gc`.
 
+use chameleon_bench::out::{host_meta_json, write_artifact, Out};
+use chameleon_bench::outln;
 use chameleon_collections::factory::CollectionFactory;
 use chameleon_collections::Runtime;
 use chameleon_heap::semantic::{AdtDescriptor, CollectionKind, SemanticMap};
@@ -103,7 +105,11 @@ fn median(mut xs: Vec<f64>) -> f64 {
 }
 
 fn main() {
-    let mut json = String::from("{\n  \"gc_cycle\": [\n");
+    let out = Out::new("bench_gc");
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host\": {},", host_meta_json());
+    let _ = writeln!(json, "  \"repeats\": {CYCLES},");
+    json.push_str("  \"gc_cycle\": [\n");
     let mut first = true;
     for threads in [1usize, 2, 4] {
         let heap = populate(threads);
@@ -118,7 +124,8 @@ fn main() {
             .collect();
         let med = median(samples.clone());
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        println!(
+        outln!(
+            out,
             "gc_cycle threads={threads}: median {med:.1} us, min {min:.1} us ({objects} objects)"
         );
         if !first {
@@ -156,7 +163,8 @@ fn main() {
     let min_off = off_us.iter().copied().fold(f64::INFINITY, f64::min);
     let min_on = on_us.iter().copied().fold(f64::INFINITY, f64::min);
     let overhead_pct = 100.0 * (min_on - min_off) / min_off;
-    println!(
+    outln!(
+        out,
         "telemetry_overhead: off {min_off:.1} us, on {min_on:.1} us ({overhead_pct:+.2}%, \
          {} event(s))",
         telemetry.event_count()
@@ -206,10 +214,12 @@ fn main() {
         }
     }
     let spans = tracer.records().len();
-    println!(
+    outln!(
+        out,
         "trace_overhead: off {:.1} us, armed {:.1} us ({trace_pct:+.2}%, bound \
          {TRACE_BOUND_PCT:.0}%, {spans} span(s) in the rings)",
-        trace_min.0, trace_min.1
+        trace_min.0,
+        trace_min.1
     );
     let _ = writeln!(
         json,
@@ -247,7 +257,8 @@ fn main() {
     let prof_overhead_pct = 100.0 * (prof_min_on - prof_min_off) / prof_min_off;
     let snapshots = on_heap.heap_snapshots();
     let contexts = snapshots.last().map_or(0, |s| s.contexts.len());
-    println!(
+    outln!(
+        out,
         "heapprof_overhead: off {prof_min_off:.1} us, on {prof_min_on:.1} us \
          ({prof_overhead_pct:+.2}%, bound {HEAPPROF_BOUND_PCT:.0}%, {} snapshot(s), \
          {contexts} context(s))",
@@ -261,8 +272,7 @@ fn main() {
         prof_overhead_pct <= HEAPPROF_BOUND_PCT,
         snapshots.len()
     );
-    std::fs::write("BENCH_heapprof.json", &heapprof_json).expect("write BENCH_heapprof.json");
-    println!("wrote BENCH_heapprof.json");
+    write_artifact("BENCH_heapprof.json", &heapprof_json);
 
     // Warm context capture: ns/op and intern misses over the timed loop.
     let f = CollectionFactory::new(Runtime::new(Heap::new()));
@@ -279,7 +289,8 @@ fn main() {
     let ns_per_op = t0.elapsed().as_nanos() as f64 / f64::from(OPS);
     let misses_after = heap.context_intern_misses();
     let intern_allocs = (misses_after.0 - misses_before.0) + (misses_after.1 - misses_before.1);
-    println!(
+    outln!(
+        out,
         "context_capture warm: {ns_per_op:.1} ns/op, {intern_allocs} intern allocs over {OPS} ops"
     );
     let _ = write!(
@@ -287,6 +298,5 @@ fn main() {
         "  \"context_capture\": {{\"warm_ns_per_op\": {ns_per_op:.2}, \"intern_allocs\": {intern_allocs}, \"ops\": {OPS}}}\n}}\n"
     );
 
-    std::fs::write("BENCH_gc.json", &json).expect("write BENCH_gc.json");
-    println!("wrote BENCH_gc.json");
+    write_artifact("BENCH_gc.json", &json);
 }

@@ -6,6 +6,8 @@
 //!
 //! Run from the workspace root: `cargo run --release --bin bench_mt`.
 
+use chameleon_bench::out::{host_meta_json, write_artifact, Out};
+use chameleon_bench::outln;
 use chameleon_core::{Env, EnvConfig, ParallelConfig};
 use chameleon_workloads::synthetic::{SizeDist, Synthetic, SyntheticSite};
 use std::fmt::Write as _;
@@ -44,6 +46,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 }
 
 fn main() {
+    let out = Out::new("bench_mt");
     let w = workload();
 
     // Pure-sequential baseline: one un-partitioned `Env::run`, the cost
@@ -57,13 +60,16 @@ fn main() {
     }
     let seq_med = median(seq_samples.clone());
     let seq_min = seq_samples.iter().copied().fold(f64::INFINITY, f64::min);
-    println!(
+    outln!(
+        out,
         "sequential baseline: median {seq_med:.1} us, min {seq_min:.1} us \
          ({} sites, no partitioning)",
         w.sites.len()
     );
 
     let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host\": {},", host_meta_json());
+    let _ = writeln!(json, "  \"repeats\": {REPEATS},");
     let _ = writeln!(
         json,
         "  \"sequential_baseline\": {{\"median_us\": {seq_med:.2}, \
@@ -97,7 +103,8 @@ fn main() {
         let med = median(samples.clone());
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let overhead_pct = (med - seq_med) / seq_med * 100.0;
-        println!(
+        outln!(
+            out,
             "parallel_mutators threads={threads}: median {med:.1} us, min {min:.1} us \
              ({PARTITIONS} partitions, {} sites, lock contention {lock_contention}, \
              {survivors} survivor(s), {overhead_pct:+.1}% vs sequential)",
@@ -131,7 +138,8 @@ fn main() {
             .map(|(t, (m, _))| (*t, *m))
             .collect::<Vec<_>>()
     );
-    println!(
+    outln!(
+        out,
         "determinism: merged profile identical across thread counts 1/2/4 \
          ({} report bytes)",
         baseline.1.len()
@@ -143,6 +151,5 @@ fn main() {
         baseline.1.len()
     );
 
-    std::fs::write("BENCH_mt.json", &json).expect("write BENCH_mt.json");
-    println!("wrote BENCH_mt.json");
+    write_artifact("BENCH_mt.json", &json);
 }

@@ -6,18 +6,30 @@
 //! alongside, as the paper reports "more than 20% ... by making the lists
 //! into LazyArrayLists".
 
-use chameleon_bench::{hr, paper_numbers, pct, run_paper_experiment};
+use chameleon_bench::out::Out;
+use chameleon_bench::outln;
+use chameleon_bench::{paper_numbers, pct, run_paper_experiment};
 use chameleon_core::min_heap_size;
 use chameleon_workloads::{paper_benchmarks, Bloat};
 
 fn main() {
-    println!("Fig. 6 — minimal-heap improvement (% of original min heap)");
-    hr(78);
-    println!(
-        "{:<10} {:>12} {:>12} {:>10} {:>10} {:>12}",
-        "benchmark", "before(B)", "after(B)", "measured", "paper", "suggestions"
+    let out = Out::new("fig6_min_heap");
+    outln!(
+        out,
+        "Fig. 6 — minimal-heap improvement (% of original min heap)"
     );
-    hr(78);
+    out.hr(78);
+    outln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>10} {:>10} {:>12}",
+        "benchmark",
+        "before(B)",
+        "after(B)",
+        "measured",
+        "paper",
+        "suggestions"
+    );
+    out.hr(78);
     for w in paper_benchmarks() {
         let result = run_paper_experiment(w.as_ref());
         let mut improvement = result.space_improvement().pct();
@@ -26,7 +38,8 @@ fn main() {
         // the 56% came from manually making the allocation itself lazy; the
         // LazyArrayList policy alone gives "more than 20%").
         if result.name == "bloat" {
-            println!(
+            outln!(
+                out,
                 "{:<10} {:>12} {:>12} {:>10} {:>10} {:>12}",
                 " policy",
                 result.min_heap_before,
@@ -47,7 +60,8 @@ fn main() {
             }
         }
         let paper = paper_numbers(result.name).expect("known benchmark");
-        println!(
+        outln!(
+            out,
             "{:<10} {:>12} {:>12} {:>10} {:>10} {:>12}",
             result.name,
             result.min_heap_before,
@@ -57,5 +71,5 @@ fn main() {
             result.suggestions.len(),
         );
     }
-    hr(78);
+    out.hr(78);
 }

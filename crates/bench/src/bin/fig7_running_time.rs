@@ -4,21 +4,35 @@
 //! size, so GC pressure differences count (that is the entire PMD effect:
 //! 16% fewer GCs → 8.33% faster).
 
-use chameleon_bench::{hr, paper_numbers, pct, run_paper_experiment};
+use chameleon_bench::out::Out;
+use chameleon_bench::outln;
+use chameleon_bench::{paper_numbers, pct, run_paper_experiment};
 use chameleon_workloads::paper_benchmarks;
 
 fn main() {
-    println!("Fig. 7 — running-time improvement at the original minimal heap size");
-    hr(86);
-    println!(
-        "{:<10} {:>14} {:>14} {:>9} {:>9} {:>9} {:>9}",
-        "benchmark", "before(units)", "after(units)", "measured", "paper", "GCs", "GCs'"
+    let out = Out::new("fig7_running_time");
+    outln!(
+        out,
+        "Fig. 7 — running-time improvement at the original minimal heap size"
     );
-    hr(86);
+    out.hr(86);
+    outln!(
+        out,
+        "{:<10} {:>14} {:>14} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark",
+        "before(units)",
+        "after(units)",
+        "measured",
+        "paper",
+        "GCs",
+        "GCs'"
+    );
+    out.hr(86);
     for w in paper_benchmarks() {
         let r = run_paper_experiment(w.as_ref());
         let paper = paper_numbers(r.name).expect("known benchmark");
-        println!(
+        outln!(
+            out,
             "{:<10} {:>14} {:>14} {:>9} {:>9} {:>9} {:>9}",
             r.name,
             r.time_before.sim_time,
@@ -29,6 +43,9 @@ fn main() {
             r.time_after.gc_count,
         );
     }
-    hr(86);
-    println!("(units are deterministic simulated cost units; see DESIGN.md §1)");
+    out.hr(86);
+    outln!(
+        out,
+        "(units are deterministic simulated cost units; see DESIGN.md §1)"
+    );
 }

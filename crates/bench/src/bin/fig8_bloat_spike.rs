@@ -4,11 +4,13 @@
 //! consumed by LinkedList$Entry objects allocated as the head of an empty
 //! linked list".
 
-use chameleon_bench::hr;
+use chameleon_bench::out::Out;
+use chameleon_bench::outln;
 use chameleon_core::{Env, EnvConfig};
 use chameleon_workloads::Bloat;
 
 fn main() {
+    let out = Out::new("fig8_bloat_spike");
     let env = Env::new(&EnvConfig {
         gc_interval_bytes: Some(64 * 1024),
         ..EnvConfig::default()
@@ -16,13 +18,23 @@ fn main() {
     env.run(&Bloat::default());
     let report = env.report();
 
-    println!("Fig. 8 — bloat: collection share of live data per GC cycle");
-    hr(70);
-    println!("{:>6} {:>12} {:>8}  chart", "cycle", "live(B)", "coll%");
-    hr(70);
+    outln!(
+        out,
+        "Fig. 8 — bloat: collection share of live data per GC cycle"
+    );
+    out.hr(70);
+    outln!(
+        out,
+        "{:>6} {:>12} {:>8}  chart",
+        "cycle",
+        "live(B)",
+        "coll%"
+    );
+    out.hr(70);
     for p in &report.series {
         let bars = (p.live_pct / 2.0).round() as usize;
-        println!(
+        outln!(
+            out,
             "{:>6} {:>12} {:>7.1}%  {}",
             p.cycle,
             p.heap_live,
@@ -30,7 +42,7 @@ fn main() {
             "#".repeat(bars)
         );
     }
-    hr(70);
+    out.hr(70);
 
     // Quantify the paper's "25% of the heap = empty-list entries" claim at
     // the spike cycle.
@@ -51,7 +63,8 @@ fn main() {
         .find(|(c, _, _)| *c == entry_class)
         .map(|(_, b, _)| *b)
         .unwrap_or(0);
-    println!(
+    outln!(
+        out,
         "at the spike (cycle {}): LinkedList$Entry = {} B = {:.1}% of live data \
          (paper: ~25%)",
         spike.cycle,

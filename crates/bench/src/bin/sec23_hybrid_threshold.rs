@@ -11,7 +11,9 @@
 //! (no saving); 16 keeps them array-backed (big saving, linear-probe time
 //! cost); beyond 16 the pre-sized array only adds slack.
 
-use chameleon_bench::{hr, pct};
+use chameleon_bench::out::Out;
+use chameleon_bench::outln;
+use chameleon_bench::pct;
 use chameleon_collections::factory::Selection;
 use chameleon_collections::{CollectionFactory, MapChoice};
 use chameleon_core::{
@@ -69,21 +71,36 @@ fn measure(updates: &[PortableUpdate]) -> (u64, u64) {
 }
 
 fn main() {
+    let out = Out::new("sec23_hybrid_threshold");
     let (base_heap, base_time) = measure(&[]);
-    println!("§2.3 — ArrayMap→HashMap conversion-threshold sweep (map sizes 12-15)");
-    hr(76);
-    println!(
-        "{:<26} {:>11} {:>10} {:>12} {:>10}",
-        "configuration", "minheap(B)", "Δspace", "time(units)", "Δtime"
+    outln!(
+        out,
+        "§2.3 — ArrayMap→HashMap conversion-threshold sweep (map sizes 12-15)"
     );
-    hr(76);
-    println!(
+    out.hr(76);
+    outln!(
+        out,
         "{:<26} {:>11} {:>10} {:>12} {:>10}",
-        "HashMap (original)", base_heap, "-", base_time, "-"
+        "configuration",
+        "minheap(B)",
+        "Δspace",
+        "time(units)",
+        "Δtime"
+    );
+    out.hr(76);
+    outln!(
+        out,
+        "{:<26} {:>11} {:>10} {:>12} {:>10}",
+        "HashMap (original)",
+        base_heap,
+        "-",
+        base_time,
+        "-"
     );
     for threshold in [8usize, 13, 16, 24, 32] {
         let (h, t) = measure(&policy(MapChoice::SizeAdapting(threshold)));
-        println!(
+        outln!(
+            out,
             "{:<26} {:>11} {:>10} {:>12} {:>10}",
             format!("SizeAdaptingMap({threshold})"),
             h,
@@ -93,7 +110,8 @@ fn main() {
         );
     }
     let (h, t) = measure(&policy(MapChoice::ArrayMap));
-    println!(
+    outln!(
+        out,
         "{:<26} {:>11} {:>10} {:>12} {:>10}",
         "ArrayMap (no conversion)",
         h,
@@ -101,7 +119,13 @@ fn main() {
         t,
         pct(100.0 * (t as f64 - base_time as f64) / base_time as f64),
     );
-    hr(76);
-    println!("paper: threshold 16 → low footprint at +8% time; 13 → no footprint gain;");
-    println!("       >16 → no further footprint gain and growing time degradation");
+    out.hr(76);
+    outln!(
+        out,
+        "paper: threshold 16 → low footprint at +8% time; 13 → no footprint gain;"
+    );
+    outln!(
+        out,
+        "       >16 → no further footprint gain and growing time degradation"
+    );
 }

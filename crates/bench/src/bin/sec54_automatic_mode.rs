@@ -14,7 +14,8 @@
 //! per unit of application work, so it takes the prohibitive slot; see
 //! EXPERIMENTS.md.
 
-use chameleon_bench::hr;
+use chameleon_bench::out::Out;
+use chameleon_bench::outln;
 use chameleon_collections::factory::{CaptureConfig, CaptureMethod};
 use chameleon_core::{min_heap_size, portable_updates, run_online, Env, EnvConfig, OnlineConfig};
 use chameleon_rules::RuleEngine;
@@ -22,13 +23,24 @@ use chameleon_workloads::{paper_benchmarks, Tvla};
 use std::sync::Arc;
 
 fn main() {
-    println!("§5.4 — fully-automatic online mode: slowdown vs uninstrumented run");
-    hr(92);
-    println!(
-        "{:<10} {:>14} {:>14} {:>9} {:>10} {:>9} {:>9}",
-        "benchmark", "baseline", "online", "slowdown", "captures", "evals", "replaced"
+    let out = Out::new("sec54_automatic_mode");
+    outln!(
+        out,
+        "§5.4 — fully-automatic online mode: slowdown vs uninstrumented run"
     );
-    hr(92);
+    out.hr(92);
+    outln!(
+        out,
+        "{:<10} {:>14} {:>14} {:>9} {:>10} {:>9} {:>9}",
+        "benchmark",
+        "baseline",
+        "online",
+        "slowdown",
+        "captures",
+        "evals",
+        "replaced"
+    );
+    out.hr(92);
     for w in paper_benchmarks() {
         // Baseline: no instrumentation at all.
         let base_env = Env::new(&EnvConfig {
@@ -51,7 +63,8 @@ fn main() {
         let result =
             run_online(w.as_ref(), Arc::new(RuleEngine::builtin()), &cfg).expect("online run");
         let online = result.metrics.sim_time;
-        println!(
+        outln!(
+            out,
             "{:<10} {:>14} {:>14} {:>8.2}x {:>10} {:>9} {:>9}",
             w.name(),
             baseline,
@@ -62,11 +75,14 @@ fn main() {
             result.replacements,
         );
     }
-    hr(92);
+    out.hr(92);
 
     // The paper's space-parity claim: for TVLA, online replacement achieves
     // the same space saving as applying the suggestions manually.
-    println!("\nTVLA space parity (online vs offline-applied policy):");
+    outln!(
+        out,
+        "\nTVLA space parity (online vs offline-applied policy):"
+    );
     let w = Tvla::default();
     let engine = RuleEngine::builtin();
 
@@ -92,12 +108,14 @@ fn main() {
     let online = run_online(&w, Arc::new(RuleEngine::builtin()), &cfg).expect("online run");
     let online_min = min_heap_size(&w, &online.converged_policy, 128 * 1024);
 
-    println!("  original min heap: {baseline_min} B");
-    println!(
+    outln!(out, "  original min heap: {baseline_min} B");
+    outln!(
+        out,
         "  offline policy:    {offline_min} B ({:.1}% saving)",
         100.0 * (baseline_min - offline_min) as f64 / baseline_min as f64
     );
-    println!(
+    outln!(
+        out,
         "  online policy:     {online_min} B ({:.1}% saving; paper: identical to manual)",
         100.0 * (baseline_min.saturating_sub(online_min)) as f64 / baseline_min as f64
     );

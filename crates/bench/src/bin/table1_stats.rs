@@ -4,51 +4,75 @@
 //! counts, operation totals, average/deviation of operation counts and of
 //! the maximal size.
 
-use chameleon_bench::hr;
+use chameleon_bench::out::Out;
+use chameleon_bench::outln;
 use chameleon_core::{Env, EnvConfig};
 use chameleon_workloads::Tvla;
 
 fn main() {
+    let out = Out::new("table1_stats");
     let env = Env::new(&EnvConfig::default());
     env.run(&Tvla::default());
     let report = env.report();
 
-    println!("Table 1 — statistics gathered per execution (TVLA)");
-    hr(72);
-    println!("{:<42} {:>12} {:>12}", "metric", "Total", "Max");
-    hr(72);
+    outln!(out, "Table 1 — statistics gathered per execution (TVLA)");
+    out.hr(72);
+    outln!(out, "{:<42} {:>12} {:>12}", "metric", "Total", "Max");
+    out.hr(72);
     let t = &report.totals;
-    println!(
+    outln!(
+        out,
         "{:<42} {:>12} {:>12}",
-        "Overall live data (B)", t.total_live, t.max_live
+        "Overall live data (B)",
+        t.total_live,
+        t.max_live
     );
-    println!(
+    outln!(
+        out,
         "{:<42} {:>12} {:>12}",
-        "Collection live data (B)", t.total.live, t.max.live
+        "Collection live data (B)",
+        t.total.live,
+        t.max.live
     );
-    println!(
+    outln!(
+        out,
         "{:<42} {:>12} {:>12}",
-        "Collection used data (B)", t.total.used, t.max.used
+        "Collection used data (B)",
+        t.total.used,
+        t.max.used
     );
-    println!(
+    outln!(
+        out,
         "{:<42} {:>12} {:>12}",
-        "Collection core data (B)", t.total.core, t.max.core
+        "Collection core data (B)",
+        t.total.core,
+        t.max.core
     );
-    println!(
+    outln!(
+        out,
         "{:<42} {:>12} {:>12}",
-        "Collection object number", t.total.count, t.max.count
+        "Collection object number",
+        t.total.count,
+        t.max.count
     );
-    hr(72);
+    out.hr(72);
 
-    println!("\nPer-context aggregation (top 4 by potential):");
-    hr(96);
-    println!(
+    outln!(out, "\nPer-context aggregation (top 4 by potential):");
+    out.hr(96);
+    outln!(
+        out,
         "{:<44} {:>6} {:>9} {:>9} {:>9} {:>8}",
-        "context", "insts", "#allOps", "avgMaxSz", "stdMaxSz", "pot(B)"
+        "context",
+        "insts",
+        "#allOps",
+        "avgMaxSz",
+        "stdMaxSz",
+        "pot(B)"
     );
-    hr(96);
+    out.hr(96);
     for c in report.top(4) {
-        println!(
+        outln!(
+            out,
             "{:<44} {:>6} {:>9} {:>9.2} {:>9.2} {:>8}",
             truncate(&c.label, 44),
             c.trace.instances,
@@ -58,12 +82,16 @@ fn main() {
             c.potential_bytes,
         );
     }
-    hr(96);
+    out.hr(96);
 
-    println!("\nOperation-count averages and deviations for the top context:");
+    outln!(
+        out,
+        "\nOperation-count averages and deviations for the top context:"
+    );
     let top = &report.contexts[0];
     for (op, _) in top.trace.op_distribution() {
-        println!(
+        outln!(
+            out,
             "  #{:<22} avg {:>8.2}  std {:>8.2}",
             op,
             top.trace.op_avg(op),

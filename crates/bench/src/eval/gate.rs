@@ -1,0 +1,184 @@
+//! Regression gating against checked-in goldens.
+//!
+//! A golden pins, per cell: the config hash (a hash mismatch means the
+//! cell's configuration changed and the golden must be regenerated, not
+//! compared), the exact suggestion set, the exact GC count, and the cost
+//! ratio and simulated time within percentage tolerance bands. The
+//! simulation is deterministic, so the bands exist to absorb intentional
+//! cost-model recalibration, not noise — they default to ±0.5%.
+
+use super::spec::SCHEMA;
+use crate::out::host_meta;
+use chameleon_telemetry::json::{self, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Default tolerance band, percent, for `cost_ratio` and `sim_time`.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 0.5;
+
+/// Reads `summary.json` from a results directory.
+fn load_summary(dir: &Path) -> Result<Value, String> {
+    let path = dir.join("summary.json");
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {} (run the matrix first): {e}", path.display()))?;
+    json::parse(&src).map_err(|e| format!("{} does not parse: {e}", path.display()))
+}
+
+/// Writes a golden file distilled from a results directory's summary.
+pub fn write_golden(dir: &Path, golden_path: &Path) -> Result<usize, String> {
+    let summary = load_summary(dir)?;
+    let cells = summary
+        .get("cells")
+        .and_then(Value::as_arr)
+        .ok_or("summary missing cells")?;
+    let golden_cells: Vec<Value> = cells
+        .iter()
+        .map(|cell| {
+            let mut g = BTreeMap::new();
+            for key in [
+                "id",
+                "hash",
+                "suggestions",
+                "cost_ratio",
+                "sim_time_before",
+                "gc_before",
+            ] {
+                if let Some(v) = cell.get(key) {
+                    g.insert(key.to_string(), v.clone());
+                }
+            }
+            Value::Obj(g)
+        })
+        .collect();
+    let count = golden_cells.len();
+    let mut doc = BTreeMap::new();
+    doc.insert("schema".to_string(), Value::Str(SCHEMA.to_string()));
+    let mut tol = BTreeMap::new();
+    tol.insert("cost_ratio".to_string(), Value::Num(DEFAULT_TOLERANCE_PCT));
+    tol.insert("sim_time".to_string(), Value::Num(DEFAULT_TOLERANCE_PCT));
+    doc.insert("tolerance_pct".to_string(), Value::Obj(tol));
+    doc.insert("host".to_string(), host_meta());
+    doc.insert("cells".to_string(), Value::Arr(golden_cells));
+    if let Some(parent) = golden_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    std::fs::write(golden_path, json::render(&Value::Obj(doc)))
+        .map_err(|e| format!("cannot write {}: {e}", golden_path.display()))?;
+    Ok(count)
+}
+
+/// Diffs a results directory against a golden. Returns a pass message, or
+/// an error listing every drifted cell (the caller exits nonzero).
+pub fn gate(dir: &Path, golden_path: &Path) -> Result<String, String> {
+    let summary = load_summary(dir)?;
+    let golden_src = std::fs::read_to_string(golden_path)
+        .map_err(|e| format!("cannot read golden {}: {e}", golden_path.display()))?;
+    let golden = json::parse(&golden_src)
+        .map_err(|e| format!("golden {} does not parse: {e}", golden_path.display()))?;
+    if golden.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        return Err(format!(
+            "golden {} has schema {:?}, expected {SCHEMA} — regenerate with --write-golden",
+            golden_path.display(),
+            golden.get("schema").and_then(Value::as_str)
+        ));
+    }
+    let tol = |key: &str| {
+        golden
+            .get("tolerance_pct")
+            .and_then(|t| t.get(key))
+            .and_then(Value::as_f64)
+            .unwrap_or(DEFAULT_TOLERANCE_PCT)
+    };
+    let tol_cost = tol("cost_ratio");
+    let tol_time = tol("sim_time");
+
+    let rows: BTreeMap<&str, &Value> = summary
+        .get("cells")
+        .and_then(Value::as_arr)
+        .ok_or("summary missing cells")?
+        .iter()
+        .filter_map(|r| r.get("id").and_then(Value::as_str).map(|id| (id, r)))
+        .collect();
+    let golden_cells = golden
+        .get("cells")
+        .and_then(Value::as_arr)
+        .ok_or("golden missing cells")?;
+
+    let mut drifts: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    for g in golden_cells {
+        let id = g
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap_or("<missing id>");
+        let Some(row) = rows.get(id) else {
+            drifts.push(format!("{id}: cell missing from results"));
+            continue;
+        };
+        compared += 1;
+        let gs = |v: &Value, k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+        if gs(g, "hash") != gs(row, "hash") {
+            drifts.push(format!(
+                "{id}: config hash changed ({} -> {}) — regenerate the golden",
+                gs(g, "hash").unwrap_or_default(),
+                gs(row, "hash").unwrap_or_default()
+            ));
+            continue;
+        }
+        let golden_sugg = g.get("suggestions").map(json::render).unwrap_or_default();
+        let row_sugg = row.get("suggestions").map(json::render).unwrap_or_default();
+        if golden_sugg != row_sugg {
+            drifts.push(format!(
+                "{id}: suggestion set drifted\n  golden: {golden_sugg}\n  got:    {row_sugg}"
+            ));
+        }
+        if g.get("gc_before").and_then(Value::as_f64)
+            != row.get("gc_before").and_then(Value::as_f64)
+        {
+            drifts.push(format!(
+                "{id}: gc count drifted ({:?} -> {:?})",
+                g.get("gc_before").and_then(Value::as_f64),
+                row.get("gc_before").and_then(Value::as_f64)
+            ));
+        }
+        for (key, band) in [("cost_ratio", tol_cost), ("sim_time_before", tol_time)] {
+            let want = g.get(key).and_then(Value::as_f64);
+            let got = row.get(key).and_then(Value::as_f64);
+            match (want, got) {
+                (Some(want), Some(got)) => {
+                    let denom = want.abs().max(f64::EPSILON);
+                    let delta_pct = 100.0 * (got - want).abs() / denom;
+                    if delta_pct > band {
+                        drifts.push(format!(
+                            "{id}: {key} drifted {delta_pct:.3}% (golden {want}, got {got}, \
+                             tolerance {band}%)"
+                        ));
+                    }
+                }
+                _ => drifts.push(format!("{id}: {key} missing on one side")),
+            }
+        }
+    }
+
+    if !drifts.is_empty() {
+        return Err(format!(
+            "gate FAILED: {} drift(s) across {} golden cell(s):\n{}",
+            drifts.len(),
+            golden_cells.len(),
+            drifts.join("\n")
+        ));
+    }
+    let extra = rows.len().saturating_sub(compared);
+    Ok(format!(
+        "gate OK: {compared} cell(s) match {} (tolerance cost_ratio ±{tol_cost}%, \
+         sim_time ±{tol_time}%{})",
+        golden_path.display(),
+        if extra > 0 {
+            format!("; {extra} result cell(s) not pinned by the golden")
+        } else {
+            String::new()
+        }
+    ))
+}

@@ -7,6 +7,9 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod eval;
+pub mod out;
+
 use chameleon_core::{ExperimentResult, Workload};
 use chameleon_rules::RuleEngine;
 

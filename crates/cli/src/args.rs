@@ -23,6 +23,10 @@ const FLAGS: &[&str] = &[
     "builtin",
     "heapprof",
     "timeline",
+    // eval fleet modes (`chameleon eval`)
+    "gate",
+    "report",
+    "fresh",
 ];
 
 /// Option keys that take a value. Anything not listed here or in [`FLAGS`]
@@ -40,6 +44,18 @@ const VALUE_OPTIONS: &[&str] = &[
     "every",
     "out",
     "threads",
+    // eval fleet axes and knobs (`chameleon eval`); the telemetry axis is
+    // `telemetry-axis` because `--telemetry` is already a boolean flag.
+    "spec",
+    "workloads",
+    "rulesets",
+    "heaps",
+    "telemetry-axis",
+    "repeats",
+    "jobs",
+    "max-cells",
+    "golden",
+    "write-golden",
 ];
 
 /// Parses raw arguments (without the binary name).
@@ -89,22 +105,76 @@ fn valid_options() -> Vec<String> {
         .collect()
 }
 
+/// One `chameleon` subcommand: its command-word path and the operand /
+/// option synopsis shown in `--help`.
+pub struct Subcommand {
+    /// Command words, e.g. `["rules", "check"]`.
+    pub path: &'static [&'static str],
+    /// Synopsis after the command words (empty when the command is bare).
+    pub usage: &'static str,
+}
+
+/// Single source of truth for the subcommand surface. Command-word
+/// recognition, the generated `--help` text, and the dispatch-coverage
+/// test all derive from this table, so a new subcommand cannot be added
+/// without appearing in the help output.
+pub const SUBCOMMANDS: &[Subcommand] = &[
+    Subcommand {
+        path: &["list-workloads"],
+        usage: "",
+    },
+    Subcommand {
+        path: &["profile"],
+        usage: "<workload> [--depth N] [--sample N] [--top K] [--throwable] \
+                [--heapprof] [--timeline] [--threads N]",
+    },
+    Subcommand {
+        path: &["optimize"],
+        usage: "<workload> [--top K] [--manual-lazy]",
+    },
+    Subcommand {
+        path: &["online"],
+        usage: "<workload> [--eval-every N] [--shutoff-below B]",
+    },
+    Subcommand {
+        path: &["trace"],
+        usage: "<workload> [--telemetry] [--trace-out FILE] [--timeline] [--threads N]",
+    },
+    Subcommand {
+        path: &["timeline"],
+        usage: "<workload> [--threads N] [--out FILE]",
+    },
+    Subcommand {
+        path: &["heapprof"],
+        usage: "<workload> [--every N] [--out DIR] [--top K] [--threads N] [--timeline]",
+    },
+    Subcommand {
+        path: &["rules", "check"],
+        usage: "<file.rules>",
+    },
+    Subcommand {
+        path: &["rules", "eval"],
+        usage: "<file.rules> <workload>",
+    },
+    Subcommand {
+        path: &["lint"],
+        usage: "<file.rules | --builtin> [--format text|json] [--deny LEVEL]",
+    },
+    Subcommand {
+        path: &["eval"],
+        usage: "[--spec FILE] [--workloads A,B] [--rulesets builtin,FILE] \
+                [--heaps P,Q] [--threads 1,2,4] [--telemetry-axis off,on] \
+                [--repeats N] [--out DIR] [--jobs N] [--max-cells N] [--fresh] \
+                [--gate | --report | --write-golden FILE] [--golden FILE]",
+    },
+    Subcommand {
+        path: &["help"],
+        usage: "",
+    },
+];
+
 fn is_command_word(a: &str) -> bool {
-    matches!(
-        a,
-        "profile"
-            | "optimize"
-            | "online"
-            | "trace"
-            | "rules"
-            | "check"
-            | "eval"
-            | "lint"
-            | "heapprof"
-            | "timeline"
-            | "list-workloads"
-            | "help"
-    )
+    SUBCOMMANDS.iter().any(|s| s.path.contains(&a))
 }
 
 impl Invocation {

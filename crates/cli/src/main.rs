@@ -11,7 +11,11 @@
 //! chameleon rules check <file.rules>
 //! chameleon rules eval <file.rules> <workload>
 //! chameleon lint <file.rules | --builtin> [--format text|json] [--deny LEVEL]
+//! chameleon eval [--spec FILE | axis overrides] [--gate | --report | ...]
 //! ```
+//!
+//! The authoritative subcommand list lives in [`args::SUBCOMMANDS`]; the
+//! `--help` text is generated from it.
 
 mod args;
 
@@ -24,26 +28,30 @@ use chameleon_core::{
 use chameleon_profiler::HeapProfile;
 use chameleon_rules::{analyze, parse_rules, RuleEngine, Severity, BUILTIN_RULES, DEFAULT_PARAMS};
 use chameleon_telemetry::{chrome, DriftConfig, Telemetry, Tracer};
-use chameleon_workloads::{Bloat, Findbugs, Fop, Pmd, Soot, Synthetic, Tvla};
+use chameleon_workloads::Bloat;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str = "\
-chameleon — adaptive selection of collections (PLDI 2009 reproduction)
+/// Builds the `--help` text from the subcommand registry, so the help can
+/// never drift from the set of dispatchable commands.
+fn usage() -> String {
+    let mut s = String::from(
+        "chameleon — adaptive selection of collections (PLDI 2009 reproduction)\n\nUSAGE:\n",
+    );
+    for c in args::SUBCOMMANDS {
+        let words = c.path.join(" ");
+        if c.usage.is_empty() {
+            let _ = writeln!(s, "  chameleon {words}");
+        } else {
+            let _ = writeln!(s, "  chameleon {words:<14} {}", c.usage);
+        }
+    }
+    s.push_str(OPTIONS_HELP);
+    s
+}
 
-USAGE:
-  chameleon list-workloads
-  chameleon profile  <workload> [--depth N] [--sample N] [--top K] [--throwable]
-                     [--heapprof] [--threads N]
-  chameleon optimize <workload> [--top K] [--manual-lazy]
-  chameleon online   <workload> [--eval-every N]
-  chameleon trace    <workload> [--telemetry] [--trace-out FILE] [--threads N]
-  chameleon timeline <workload> [--threads N] [--out FILE]
-  chameleon heapprof <workload> [--every N] [--out DIR] [--top K] [--threads N]
-  chameleon rules check <file.rules>
-  chameleon rules eval  <file.rules> <workload>
-  chameleon lint <file.rules | --builtin> [--format text|json] [--deny LEVEL]
-
+const OPTIONS_HELP: &str = "
 WORKLOADS:
   tvla, bloat, fop, findbugs, pmd, soot, synthetic
 
@@ -80,19 +88,25 @@ OPTIONS:
   --format F      lint: output `text` (default) or `json`
   --deny LEVEL    lint: exit non-zero on findings at or above
                   `info`, `warn`, or `error` (default error)
+
+EVAL (experiment-matrix fleet; see crates/bench/src/eval):
+  --spec FILE     declarative matrix spec (key = a, b lines); axis options
+                  below override individual axes of the spec or defaults
+  --workloads A,B --rulesets builtin,FILE --heaps P,Q --threads 1,2,4
+  --telemetry-axis off,on   matrix axes (comma-separated lists)
+  --repeats N     run each cell N times, keep the fastest wall time
+  --out DIR       results directory (default <results>/eval)
+  --jobs N        worker threads executing cells (default host parallelism)
+  --max-cells N   stop after N newly computed cells (resume later)
+  --fresh         ignore rows on disk instead of resuming from them
+  --gate          diff the results directory against the golden; nonzero
+                  exit on drift   [--golden FILE]
+  --report        fold the results directory into markdown + BENCH_eval.json
+  --write-golden FILE   distill the results directory into a golden
 ";
 
 fn workload(name: &str) -> Option<Box<dyn Workload>> {
-    Some(match name {
-        "tvla" => Box::new(Tvla::default()),
-        "bloat" => Box::new(Bloat::default()),
-        "fop" => Box::new(Fop::default()),
-        "findbugs" => Box::new(Findbugs::default()),
-        "pmd" => Box::new(Pmd::default()),
-        "soot" => Box::new(Soot::default()),
-        "synthetic" => Box::new(Synthetic::small_maps(5)),
-        _ => return None,
-    })
+    chameleon_workloads::by_name(name)
 }
 
 fn env_from(inv: &Invocation) -> Result<EnvConfig, String> {
@@ -124,15 +138,18 @@ fn main() -> ExitCode {
 fn run(raw: &[String]) -> Result<(), String> {
     let inv = args::parse(raw)?;
     if inv.flag("help") || (inv.command.is_empty() && inv.positional.is_empty()) {
-        print!("{USAGE}");
+        print!("{}", usage());
         return Ok(());
     }
     match inv.command.iter().map(String::as_str).collect::<Vec<_>>()[..] {
         ["list-workloads"] => {
-            for w in chameleon_workloads::paper_benchmarks() {
-                println!("{}", w.name());
+            for name in chameleon_workloads::NAMES {
+                println!("{name}");
             }
-            println!("synthetic");
+            Ok(())
+        }
+        ["help"] => {
+            print!("{}", usage());
             Ok(())
         }
         ["profile"] => cmd_profile(&inv),
@@ -144,8 +161,37 @@ fn run(raw: &[String]) -> Result<(), String> {
         ["rules", "check"] => cmd_rules_check(&inv),
         ["rules", "eval"] => cmd_rules_eval(&inv),
         ["lint"] => cmd_lint(&inv),
-        _ => Err(format!("unknown command; try --help\n\n{USAGE}")),
+        ["eval"] => cmd_eval(&inv),
+        _ => Err(format!("unknown command; try --help\n\n{}", usage())),
     }
+}
+
+/// `chameleon eval`: front end to the experiment-matrix evaluation fleet
+/// in `chameleon_bench::eval`. Translates the parsed invocation into the
+/// flat option map shared with the standalone `eval_matrix` binary, so the
+/// two entry points cannot drift apart.
+fn cmd_eval(inv: &Invocation) -> Result<(), String> {
+    if !inv.positional.is_empty() {
+        return Err(format!(
+            "eval takes no positional operands (got `{}`); axes are set with \
+             --workloads/--rulesets/... lists",
+            inv.positional.join(" ")
+        ));
+    }
+    let mut opts = std::collections::BTreeMap::new();
+    for (k, v) in &inv.options {
+        let key = k.as_str();
+        if chameleon_bench::eval::VALUE_KEYS.contains(&key)
+            || chameleon_bench::eval::FLAG_KEYS.contains(&key)
+        {
+            opts.insert(k.clone(), v.clone());
+        } else {
+            return Err(format!("option --{key} does not apply to eval"));
+        }
+    }
+    let msg = chameleon_bench::eval::run_with(&opts)?;
+    println!("{msg}");
+    Ok(())
 }
 
 fn required_workload(inv: &Invocation, pos: usize) -> Result<Box<dyn Workload>, String> {
@@ -807,6 +853,104 @@ mod tests {
         assert!(run_str("lint --builtin --format yaml")
             .expect_err("bad format")
             .contains("bad --format"));
+    }
+
+    #[test]
+    fn help_lists_every_subcommand_exactly_once() {
+        let text = usage();
+        for c in args::SUBCOMMANDS {
+            let words = c.path.join(" ");
+            let count = text
+                .lines()
+                .filter(|l| {
+                    l.strip_prefix("  chameleon ")
+                        .is_some_and(|rest| rest == words || rest.starts_with(&format!("{words} ")))
+                })
+                .count();
+            assert_eq!(count, 1, "`{words}` must appear exactly once in help");
+        }
+    }
+
+    #[test]
+    fn every_registered_subcommand_has_a_dispatch_arm() {
+        // Each registry path must reach a real arm, never the catch-all
+        // `unknown command` error. Commands that would otherwise do heavy
+        // work are steered onto a fast error path first.
+        for c in args::SUBCOMMANDS {
+            let mut argv: Vec<String> = c.path.iter().map(|w| (*w).to_owned()).collect();
+            if c.path == ["eval"] {
+                argv.extend(["--report", "--out", "/nonexistent-eval-results"].map(String::from));
+            }
+            if let Err(e) = run(&argv) {
+                assert!(
+                    !e.contains("unknown command"),
+                    "`{}` has no dispatch arm: {e}",
+                    c.path.join(" ")
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn help_command_and_flag_both_work() {
+        run_str("help").expect("help command");
+        run_str("--help").expect("help flag");
+    }
+
+    #[test]
+    fn eval_option_keys_are_all_parseable() {
+        // The CLI's option tables must cover every key the eval fleet
+        // understands, or `chameleon eval --<key>` would be rejected while
+        // `eval_matrix --<key>` works.
+        for k in chameleon_bench::eval::VALUE_KEYS {
+            let argv = vec!["eval".to_owned(), format!("--{k}"), "x".to_owned()];
+            let inv = args::parse(&argv).unwrap_or_else(|e| panic!("--{k}: {e}"));
+            assert_eq!(inv.options.get(k).map(String::as_str), Some("x"), "--{k}");
+        }
+        for k in chameleon_bench::eval::FLAG_KEYS {
+            let argv = vec!["eval".to_owned(), format!("--{k}")];
+            let inv = args::parse(&argv).unwrap_or_else(|e| panic!("--{k}: {e}"));
+            assert!(inv.flag(k), "--{k}");
+        }
+    }
+
+    #[test]
+    fn eval_rejects_inapplicable_options_and_positionals() {
+        let err = run_str("eval --depth 3").expect_err("depth is not an eval option");
+        assert!(err.contains("--depth does not apply to eval"), "{err}");
+        let err = run_str("eval synthetic").expect_err("no positionals");
+        assert!(err.contains("no positional operands"), "{err}");
+    }
+
+    #[test]
+    fn eval_runs_a_one_cell_matrix_and_reports() {
+        let dir = std::env::temp_dir().join("chameleon_cli_eval_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = format!(
+            "eval --workloads synthetic --rulesets builtin --heaps default \
+             --threads 1 --telemetry-axis off --out {}",
+            dir.display()
+        );
+        run_str(&base).expect("one-cell matrix runs");
+        assert!(dir.join("manifest.json").exists());
+        assert!(dir.join("cells.jsonl").exists());
+        assert!(dir.join("summary.json").exists());
+        // Keep the report's BENCH_eval.json artifact inside the temp dir
+        // instead of the test's working directory.
+        std::env::set_var("CHAMELEON_RESULTS_DIR", &dir);
+        let report = run_str(&format!("eval --report --out {}", dir.display()));
+        std::env::remove_var("CHAMELEON_RESULTS_DIR");
+        report.expect("report");
+        assert!(dir.join("report.md").exists());
+        assert!(dir.join("BENCH_eval.json").exists());
+        let err = run_str(&format!(
+            "eval --gate --out {} --golden {}",
+            dir.display(),
+            dir.join("no-such-golden.json").display()
+        ))
+        .expect_err("missing golden fails the gate");
+        assert!(err.contains("cannot read golden"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

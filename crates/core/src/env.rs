@@ -57,6 +57,13 @@ pub struct EnvConfig {
     /// meaningful with [`EnvConfig::shard_heap`]; the parallel runner sets it
     /// per partition.
     pub shard_index: Option<usize>,
+    /// Portable policy installed at construction ([`Env::apply_policy`]).
+    /// Carrying the policy in the config — rather than applying it to a
+    /// built environment — makes it reach the hermetic partition
+    /// environments of [`Env::run_parallel`], which clone the parent
+    /// config: a policy-carrying parallel re-run exercises the replacement
+    /// collections inside every partition, not just the merge phase.
+    pub policy: Vec<PortableUpdate>,
 }
 
 impl Default for EnvConfig {
@@ -74,6 +81,7 @@ impl Default for EnvConfig {
             tracer: None,
             shard_heap: false,
             shard_index: None,
+            policy: Vec::new(),
         }
     }
 }
@@ -187,7 +195,7 @@ impl Env {
             heap.attach_tracer(&lane);
             lane
         });
-        Env {
+        let env = Env {
             heap,
             rt,
             factory,
@@ -195,7 +203,11 @@ impl Env {
             trace,
             capture_depth: config.capture.depth,
             config: config.clone(),
+        };
+        if !config.policy.is_empty() {
+            env.apply_policy(&config.policy);
         }
+        env
     }
 
     /// Re-interns and installs portable policy updates into this

@@ -10,6 +10,7 @@
 use crate::env::{portable_updates, Env, EnvConfig, PortableUpdate};
 use crate::metrics::{Improvement, RunMetrics};
 use crate::minheap::min_heap_size_with;
+use crate::parallel::{ParallelConfig, ParallelError};
 use crate::workload::Workload;
 use chameleon_profiler::ProfileReport;
 use chameleon_rules::{RuleEngine, Suggestion};
@@ -125,6 +126,111 @@ pub fn run_experiment(
     }
 }
 
+/// Outcome of a quick profile → suggest → apply → re-run cycle on one
+/// workload (no minimal-heap search). This is the per-cell experiment the
+/// evaluation matrix runs: both runs use the *same* `config`, so the cost
+/// ratio compares the policy against the baseline under identical heap
+/// limits, capture settings and thread counts.
+#[derive(Debug)]
+pub struct QuickExperiment {
+    /// Workload name.
+    pub name: &'static str,
+    /// The profiling report from the baseline run.
+    pub report: ProfileReport,
+    /// All suggestions the rule engine produced.
+    pub suggestions: Vec<Suggestion>,
+    /// The policy applied to the re-run (all auto-applicable suggestions).
+    pub applied: Vec<PortableUpdate>,
+    /// Metrics of the baseline run.
+    pub before: RunMetrics,
+    /// Metrics of the policy re-run.
+    pub after: RunMetrics,
+    /// Per-cycle GC pause costs (simulated units) of the baseline run.
+    pub pause_units_before: Vec<u64>,
+    /// Per-cycle GC pause costs (simulated units) of the policy re-run.
+    pub pause_units_after: Vec<u64>,
+}
+
+impl QuickExperiment {
+    /// Simulated-time cost ratio of the policy run over the baseline
+    /// (1.0 = no change, < 1.0 = the policy is cheaper).
+    pub fn cost_ratio(&self) -> f64 {
+        if self.before.sim_time == 0 {
+            return 1.0;
+        }
+        self.after.sim_time as f64 / self.before.sim_time as f64
+    }
+}
+
+/// Runs the quick experiment: one profiled baseline run, rule evaluation,
+/// and one re-run with every auto-applicable suggestion installed as a
+/// portable policy — both under `config`, both through
+/// [`Env::run_parallel`] when `parallel` is given (the policy reaches the
+/// hermetic partition environments via [`EnvConfig::policy`]).
+///
+/// # Errors
+///
+/// Propagates [`ParallelError`] when `parallel` is given and the workload
+/// cannot run under that partitioning (e.g. it has no partition plan).
+pub fn run_quick_experiment(
+    workload: &dyn Workload,
+    engine: &RuleEngine,
+    config: &EnvConfig,
+    parallel: Option<ParallelConfig>,
+) -> Result<QuickExperiment, ParallelError> {
+    let run = |cfg: &EnvConfig| -> Result<Env, ParallelError> {
+        let env = Env::new(cfg);
+        match parallel {
+            Some(pc) => {
+                env.run_parallel(workload, pc)?;
+            }
+            None => env.run(workload),
+        }
+        Ok(env)
+    };
+
+    let env = run(config)?;
+    let report = env.report();
+    let suggestions = engine.evaluate_traced(&report, config.telemetry.as_ref());
+    let applicable: Vec<Suggestion> = suggestions
+        .iter()
+        .filter(|s| s.auto_applicable())
+        .cloned()
+        .collect();
+    let applied = portable_updates(&applicable, &env.heap);
+    let before = env.metrics();
+    let pause_units_before = env
+        .heap
+        .cycles()
+        .iter()
+        .map(|c| c.pause_cost_units)
+        .collect();
+
+    let after_config = EnvConfig {
+        policy: applied.clone(),
+        ..config.clone()
+    };
+    let after_env = run(&after_config)?;
+    let after = after_env.metrics();
+    let pause_units_after = after_env
+        .heap
+        .cycles()
+        .iter()
+        .map(|c| c.pause_cost_units)
+        .collect();
+
+    Ok(QuickExperiment {
+        name: workload.name(),
+        report,
+        suggestions,
+        applied,
+        before,
+        after,
+        pause_units_before,
+        pause_units_after,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +309,121 @@ mod tests {
         assert_eq!(result.applied.len(), 1);
         // The applied one must be the higher-potential site (siteA).
         assert!(result.applied[0].frames[0].contains("siteA"));
+    }
+
+    #[test]
+    fn quick_experiment_applies_policy_and_improves() {
+        let engine = RuleEngine::builtin();
+        let quick = run_quick_experiment(&small_maps(), &engine, &EnvConfig::default(), None)
+            .expect("sequential quick experiment");
+        assert!(
+            !quick.applied.is_empty(),
+            "expected applicable suggestions: {:?}",
+            quick.suggestions
+        );
+        assert!(
+            quick.after.total_allocated_bytes < quick.before.total_allocated_bytes,
+            "sparse HashMaps -> ArrayMap should shrink allocation: {} -> {}",
+            quick.before.total_allocated_bytes,
+            quick.after.total_allocated_bytes
+        );
+        assert!(quick.cost_ratio() > 0.0);
+    }
+
+    #[test]
+    fn quick_experiment_parallel_matches_sequential_profile() {
+        use chameleon_workloads_shim::partitionable;
+        let w = partitionable();
+        let engine = RuleEngine::builtin();
+        let seq =
+            run_quick_experiment(&w, &engine, &EnvConfig::default(), None).expect("sequential run");
+        let par = run_quick_experiment(
+            &w,
+            &engine,
+            &EnvConfig::default(),
+            Some(ParallelConfig {
+                partitions: 2,
+                threads: 2,
+            }),
+        )
+        .expect("parallel run");
+        // Rule evaluation sees the same merged profile either way.
+        let render = |s: &[Suggestion]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(render(&seq.suggestions), render(&par.suggestions));
+    }
+
+    #[test]
+    fn config_policy_reaches_partition_environments() {
+        use chameleon_workloads_shim::partitionable;
+        let w = partitionable();
+        let engine = RuleEngine::builtin();
+        let pc = ParallelConfig {
+            partitions: 2,
+            threads: 2,
+        };
+        let quick = run_quick_experiment(&w, &engine, &EnvConfig::default(), Some(pc))
+            .expect("parallel quick experiment");
+        assert!(!quick.applied.is_empty(), "need a policy to propagate");
+        // A re-run whose *config* carries the policy must allocate less
+        // inside the partitions — if the hermetic child environments
+        // dropped the policy, allocation would match the baseline exactly.
+        assert!(
+            quick.after.total_allocated_bytes < quick.before.total_allocated_bytes,
+            "policy had no effect inside partitions: {} -> {}",
+            quick.before.total_allocated_bytes,
+            quick.after.total_allocated_bytes
+        );
+    }
+
+    /// Minimal partitionable workload for the parallel quick-experiment
+    /// tests (the real partitionable workloads live in
+    /// `chameleon-workloads`, which depends on this crate).
+    mod chameleon_workloads_shim {
+        use crate::workload::{PartitionTask, Workload};
+        use chameleon_collections::CollectionFactory;
+
+        struct PartitionedMaps;
+
+        fn fill(f: &CollectionFactory, site: &str, count: usize) {
+            let _g = f.enter(site);
+            let mut keep = Vec::new();
+            for s in 0..count {
+                let mut m = f.new_map::<i64, i64>(None);
+                for i in 0..4 {
+                    m.put(i, s as i64 * 10 + i);
+                }
+                let _ = m.get(&2);
+                keep.push(m);
+            }
+        }
+
+        impl Workload for PartitionedMaps {
+            fn name(&self) -> &'static str {
+                "partitioned-maps"
+            }
+            fn run(&self, f: &CollectionFactory) {
+                fill(f, "part.Site:0", 40);
+                fill(f, "part.Site:1", 40);
+            }
+            fn partitions(&self, parts: usize) -> Option<Vec<PartitionTask>> {
+                let parts = parts.min(2);
+                Some(
+                    (0..parts)
+                        .map(|p| {
+                            PartitionTask::new(format!("part{p}"), move |f: &CollectionFactory| {
+                                fill(f, &format!("part.Site:{p}"), 40);
+                                if parts == 1 {
+                                    fill(f, "part.Site:1", 40);
+                                }
+                            })
+                        })
+                        .collect(),
+                )
+            }
+        }
+
+        pub fn partitionable() -> impl Workload {
+            PartitionedMaps
+        }
     }
 }

@@ -53,7 +53,7 @@ mod sync;
 pub mod workload;
 
 pub use env::{portable_updates, Env, EnvConfig, PortableChoice, PortableUpdate};
-pub use experiment::{run_experiment, ExperimentResult};
+pub use experiment::{run_experiment, run_quick_experiment, ExperimentResult, QuickExperiment};
 pub use metrics::{Improvement, RunMetrics};
 pub use minheap::{
     completes_under, completes_under_with, min_heap_size, min_heap_size_with, silence_oom_panics,

@@ -425,6 +425,36 @@ mod tests {
     }
 
     #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new(&[10, 100]);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "empty histogram, q={q}");
+        }
+        // A histogram with no finite bounds only has the overflow bucket,
+        // whose lower edge is 0.
+        let h = Histogram::new(&[]);
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.record(7);
+        assert_eq!(h.quantile(0.5), 0.0, "overflow clamps to its lower edge");
+    }
+
+    #[test]
+    fn quantile_of_single_bucket_histogram_interpolates() {
+        let h = Histogram::new(&[8]);
+        h.record(1);
+        // One observation in [0, 8]: interpolation is linear in q.
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.5), 4.0);
+        assert_eq!(h.quantile(1.0), 8.0);
+        // Out-of-range q is clamped, not an error.
+        assert_eq!(h.quantile(2.0), 8.0);
+        assert_eq!(h.quantile(-1.0), 0.0);
+        // Observations past the last bound clamp to that bound.
+        h.record(1_000);
+        assert_eq!(h.quantile(1.0), 8.0);
+    }
+
+    #[test]
     fn registry_resolves_idempotently() {
         let r = Registry::new();
         let a = r.counter("x");

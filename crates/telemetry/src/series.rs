@@ -268,6 +268,70 @@ mod tests {
     }
 
     #[test]
+    fn drift_threshold_is_inclusive() {
+        // Growth of exactly `growth_pct` is flagged (the comparison is
+        // `>=`); growth just below it is not.
+        let cfg = DriftConfig {
+            growth_pct: 50.0,
+            min_points: 6,
+        };
+        let mut s = SeriesStore::new(16);
+        for i in 0..3u64 {
+            s.push(1, i, 100); // oldest-half mean 100
+        }
+        for i in 3..6u64 {
+            s.push(1, i, 150); // newest-half mean 150: exactly +50%
+        }
+        let findings = s.detect_drift(&cfg);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].growth_pct, 50.0);
+
+        let mut s = SeriesStore::new(16);
+        for i in 0..3u64 {
+            s.push(2, i, 100);
+        }
+        for i in 3..6u64 {
+            s.push(2, i, 149); // +49%: one unit under the threshold
+        }
+        assert!(s.detect_drift(&cfg).is_empty());
+    }
+
+    #[test]
+    fn single_point_series_is_never_flagged() {
+        // Even a permissive config cannot flag a 1-point series: there is
+        // no oldest/newest half to compare (the floor is `max(min_points,
+        // 2)`). Two points is the true minimum.
+        let cfg = DriftConfig {
+            growth_pct: 0.0,
+            min_points: 0,
+        };
+        let mut s = SeriesStore::new(4);
+        s.push(5, 0, 1_000_000);
+        assert!(s.detect_drift(&cfg).is_empty());
+        s.push(5, 1, 2_000_000);
+        assert_eq!(s.detect_drift(&cfg).len(), 1);
+    }
+
+    #[test]
+    fn drift_survives_downsampling() {
+        // 100 growing samples through a capacity-8 store force repeated
+        // 2:1 compaction; the trend must still be visible on the retained
+        // points.
+        let mut s = SeriesStore::new(8);
+        for i in 0..100u64 {
+            s.push(3, i, i * 10);
+        }
+        assert!(s.stride(3).unwrap() > 1, "downsampling must have kicked in");
+        let findings = s.detect_drift(&DriftConfig {
+            growth_pct: 50.0,
+            min_points: 2,
+        });
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].last_mean > findings[0].first_mean);
+        assert!(findings[0].growth_pct >= 50.0);
+    }
+
+    #[test]
     fn drift_respects_min_points_and_zero_baseline() {
         let mut s = SeriesStore::new(16);
         for i in 0..4u64 {

@@ -47,3 +47,58 @@ pub fn paper_benchmarks() -> Vec<Box<dyn Workload>> {
         Box::new(Tvla::default()),
     ]
 }
+
+/// Every name [`by_name`] accepts, in presentation order. The CLI and the
+/// evaluation matrix both enumerate workloads through this registry so a
+/// new workload added here is immediately addressable everywhere.
+pub const NAMES: [&str; 7] = [
+    "synthetic",
+    "bloat",
+    "fop",
+    "findbugs",
+    "pmd",
+    "soot",
+    "tvla",
+];
+
+/// Builds a workload by registry name (`"synthetic"` is the small-maps
+/// ablation generator at its CLI-default scale). Returns `None` for
+/// unknown names.
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    match name {
+        "synthetic" => Some(Box::new(Synthetic::small_maps(5))),
+        "bloat" => Some(Box::new(Bloat::default())),
+        "fop" => Some(Box::new(Fop::default())),
+        "findbugs" => Some(Box::new(Findbugs::default())),
+        "pmd" => Some(Box::new(Pmd::default())),
+        "soot" => Some(Box::new(Soot::default())),
+        "tvla" => Some(Box::new(Tvla::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds() {
+        for name in NAMES {
+            let w = by_name(name).expect("registered name must build");
+            assert_eq!(w.name(), name);
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn partitionable_workloads_declare_plans() {
+        // The eval matrix validates threads > 1 against this: exactly the
+        // workloads with partition plans accept parallel cells.
+        let partitionable: Vec<&str> = NAMES
+            .iter()
+            .copied()
+            .filter(|n| by_name(n).unwrap().partitions(2).is_some())
+            .collect();
+        assert_eq!(partitionable, ["synthetic", "tvla"]);
+    }
+}
