@@ -55,10 +55,16 @@ fn main() {
         let baseline = base_env.metrics().sim_time;
 
         // Online: capture every allocation, periodic rule evaluation.
+        // The paper's online mode applies a winning suggestion at the very
+        // next evaluation: confirm_evals 1 and no drift tracker keep this
+        // reproduction on those semantics (serve-mode hysteresis is opt-in).
         let cfg = OnlineConfig {
             env: EnvConfig::default(),
             eval_every_deaths: 256,
             shutoff_below_potential: None,
+            confirm_evals: 1,
+            min_potential_bytes: 0,
+            drift: None,
         };
         let result =
             run_online(w.as_ref(), Arc::new(RuleEngine::builtin()), &cfg).expect("online run");
@@ -104,6 +110,9 @@ fn main() {
         env: EnvConfig::default(),
         eval_every_deaths: 128,
         shutoff_below_potential: None,
+        confirm_evals: 1,
+        min_potential_bytes: 0,
+        drift: None,
     };
     let online = run_online(&w, Arc::new(RuleEngine::builtin()), &cfg).expect("online run");
     let online_min = min_heap_size(&w, &online.converged_policy, 128 * 1024);

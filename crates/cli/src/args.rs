@@ -27,6 +27,8 @@ const FLAGS: &[&str] = &[
     "gate",
     "report",
     "fresh",
+    // serve transport (`chameleon serve`)
+    "stdin",
 ];
 
 /// Option keys that take a value. Anything not listed here or in [`FLAGS`]
@@ -56,6 +58,11 @@ const VALUE_OPTIONS: &[&str] = &[
     "max-cells",
     "golden",
     "write-golden",
+    // serve transport and adaptation knobs (`chameleon serve`, also
+    // accepted by `chameleon online`)
+    "socket",
+    "confirm",
+    "min-potential",
 ];
 
 /// Parses raw arguments (without the binary name).
@@ -134,7 +141,13 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     },
     Subcommand {
         path: &["online"],
-        usage: "<workload> [--eval-every N] [--shutoff-below B]",
+        usage: "<workload> [--eval-every N] [--shutoff-below B] [--confirm K] \
+                [--min-potential B]",
+    },
+    Subcommand {
+        path: &["serve"],
+        usage: "(--stdin | --socket PATH) [--eval-every N] [--confirm K] \
+                [--min-potential B] [--shutoff-below B]",
     },
     Subcommand {
         path: &["trace"],

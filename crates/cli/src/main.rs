@@ -4,7 +4,8 @@
 //! chameleon list-workloads
 //! chameleon profile <workload> [--depth N] [--sample N] [--top K] [--throwable]
 //! chameleon optimize <workload> [--top K] [--manual-lazy]
-//! chameleon online <workload> [--eval-every N]
+//! chameleon online <workload> [--eval-every N] [--confirm K]
+//! chameleon serve (--stdin | --socket PATH) [--eval-every N] [--confirm K]
 //! chameleon trace <workload> [--telemetry] [--trace-out FILE]
 //! chameleon timeline <workload> [--threads N] [--out FILE]
 //! chameleon heapprof <workload> [--every N] [--out DIR]
@@ -22,8 +23,8 @@ mod args;
 use args::Invocation;
 use chameleon_collections::factory::{CaptureConfig, CaptureMethod};
 use chameleon_core::{
-    default_threads, run_online, Chameleon, Env, EnvConfig, OnlineConfig, ParallelConfig,
-    ParallelError, Workload,
+    default_threads, run_online, serve_stream, Chameleon, Env, EnvConfig, OnlineConfig,
+    ParallelConfig, ParallelError, ServeConfig, Server, Workload,
 };
 use chameleon_profiler::HeapProfile;
 use chameleon_rules::{analyze, parse_rules, RuleEngine, Severity, BUILTIN_RULES, DEFAULT_PARAMS};
@@ -53,16 +54,24 @@ fn usage() -> String {
 
 const OPTIONS_HELP: &str = "
 WORKLOADS:
-  tvla, bloat, fop, findbugs, pmd, soot, synthetic
+  tvla, bloat, fop, findbugs, pmd, soot, synthetic, phase-shift
 
 OPTIONS:
   --depth N       partial allocation-context depth (default 2)
   --sample N      capture one allocation context in every N (default 1)
   --throwable     use the expensive Throwable-based capture
   --top K         show/apply only the top-K suggestions
-  --eval-every N  online mode: re-evaluate rules every N deaths (default 64)
-  --shutoff-below B  online mode: stop capturing contexts for types whose
+  --eval-every N  online/serve: re-evaluate rules every N deaths (default 64)
+  --shutoff-below B  online/serve: stop capturing contexts for types whose
                   observed potential is below B bytes (§4.2)
+  --confirm K     online/serve: a policy change must win K consecutive
+                  evaluations before it is installed (default 2)
+  --min-potential B  online/serve: ignore suggestions whose potential is
+                  below B bytes (default 0)
+  --stdin         serve: read JSONL commands from stdin, one response
+                  line per command (replay-deterministic)
+  --socket PATH   serve: accept JSONL command streams on a Unix socket,
+                  one client at a time
   --manual-lazy   bloat only: include the paper's manual lazy-allocation fix
   --telemetry     enable the telemetry layer (metrics + JSONL events);
                   always on for `trace`, opt-in for `profile`
@@ -155,6 +164,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         ["profile"] => cmd_profile(&inv),
         ["optimize"] => cmd_optimize(&inv),
         ["online"] => cmd_online(&inv),
+        ["serve"] => cmd_serve(&inv),
         ["trace"] => cmd_trace(&inv),
         ["timeline"] => cmd_timeline(&inv),
         ["heapprof"] => cmd_heapprof(&inv),
@@ -447,11 +457,36 @@ fn cmd_heapprof(inv: &Invocation) -> Result<(), String> {
     }
     let env = profile_env_with_threads(&chameleon, w.as_ref(), &threads)?;
     let profile = HeapProfile::from_heap(&env.heap, SERIES_CAPACITY);
+    write_heapprof_artifacts(
+        w.as_ref(),
+        &env,
+        &profile,
+        every,
+        top,
+        &out,
+        tracer.as_ref(),
+    )
+}
+
+/// Reports a heap profile and writes its artifacts. A profile with no
+/// snapshots is a one-line report and a successful exit, not a failure
+/// (this used to panic on `peak_snapshot()` further down).
+fn write_heapprof_artifacts(
+    w: &dyn Workload,
+    env: &Env,
+    profile: &HeapProfile,
+    every: u64,
+    top: usize,
+    out: &str,
+    tracer: Option<&Tracer>,
+) -> Result<(), String> {
     if profile.snapshots.is_empty() {
-        return Err(format!(
-            "no snapshots captured: the run performed {} GC cycle(s) with --every {every}",
+        println!(
+            "{} — no snapshots captured: the run performed {} GC cycle(s) with --every {every}",
+            w.name(),
             env.heap.gc_count()
-        ));
+        );
+        return Ok(());
     }
 
     let jsonl = profile.snapshots_jsonl(&env.heap);
@@ -461,7 +496,7 @@ fn cmd_heapprof(inv: &Invocation) -> Result<(), String> {
     let summary = profile.summary_json(&env.heap, top, &drift_cfg);
     let flamegraph = profile.flamegraph(&env.heap);
 
-    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     let write = |name: &str, data: &str| {
         let path = format!("{out}/{name}");
         std::fs::write(&path, data).map_err(|e| format!("cannot write {path}: {e}"))
@@ -563,14 +598,18 @@ fn cmd_online(inv: &Invocation) -> Result<(), String> {
             .map(|v| v.parse::<u64>())
             .transpose()
             .map_err(|_| "bad --shutoff-below".to_owned())?,
+        confirm_evals: inv.num_at_least_one("confirm", 2)?,
+        min_potential_bytes: inv.num("min-potential", 0)?,
+        ..OnlineConfig::default()
     };
     let r =
         run_online(w.as_ref(), Arc::new(RuleEngine::builtin()), &cfg).map_err(|e| e.to_string())?;
     println!(
-        "{} — {} evaluations, {} replacement(s), {} context capture(s)",
+        "{} — {} evaluations, {} replacement(s), {} revert(s), {} context capture(s)",
         w.name(),
         r.evaluations,
         r.replacements,
+        r.reverts,
         r.metrics.capture_count
     );
     println!("simulated time: {} units", r.metrics.sim_time);
@@ -579,6 +618,48 @@ fn cmd_online(inv: &Invocation) -> Result<(), String> {
         println!("  {}:{} -> {:?}", u.src_type, u.frames.join(";"), u.kind);
     }
     Ok(())
+}
+
+/// `chameleon serve (--stdin | --socket PATH)`: host the multi-tenant
+/// online-adaptation server over a JSONL command stream (see DESIGN.md
+/// §17 for the command schema). The transport must be chosen explicitly —
+/// a bare `serve` would otherwise sit silently waiting on stdin.
+fn cmd_serve(inv: &Invocation) -> Result<(), String> {
+    if !inv.positional.is_empty() {
+        return Err(format!(
+            "serve takes no positional operands (got `{}`)",
+            inv.positional.join(" ")
+        ));
+    }
+    let stdin = inv.flag("stdin");
+    let socket = inv.options.get("socket").cloned();
+    if stdin == socket.is_some() {
+        return Err("serve requires exactly one transport: --stdin or --socket PATH".to_owned());
+    }
+    let cfg = ServeConfig {
+        env: env_from(inv)?,
+        eval_every_deaths: inv.num("eval-every", 64)?,
+        confirm_evals: inv.num_at_least_one("confirm", 2)?,
+        min_potential_bytes: inv.num("min-potential", 0)?,
+        shutoff_below_potential: inv
+            .options
+            .get("shutoff-below")
+            .map(|v| v.parse::<u64>())
+            .transpose()
+            .map_err(|_| "bad --shutoff-below".to_owned())?,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(RuleEngine::builtin(), &cfg, Box::new(workload));
+    if let Some(path) = socket {
+        chameleon_core::serve_socket(&mut server, std::path::Path::new(&path))
+            .map_err(|e| format!("serve --socket {path}: {e}"))
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        serve_stream(&mut server, stdin.lock(), stdout.lock())
+            .map(|_| ())
+            .map_err(|e| format!("serve --stdin: {e}"))
+    }
 }
 
 fn cmd_rules_check(inv: &Invocation) -> Result<(), String> {
@@ -962,5 +1043,97 @@ mod tests {
         assert!(err.contains("unbound parameter"), "{err}");
         std::fs::write(&path, r#"HashMap : maxSize < 8 -> ArrayMap "Space: ok""#).expect("write");
         run_str(&format!("rules check {}", path.display())).expect("valid");
+    }
+
+    #[test]
+    fn heapprof_zero_snapshots_is_a_report_not_a_panic() {
+        // Regression: a run that captured no snapshots used to reach
+        // `.expect("snapshots is non-empty")` and panic. Now it prints a
+        // one-line report, exits successfully, and writes no artifacts.
+        let dir = std::env::temp_dir().join("chameleon_cli_heapprof_empty_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = workload("synthetic").unwrap();
+        let env = Env::new(&EnvConfig::default()); // heap profiling off: no snapshots
+        let profile = HeapProfile::from_heap(&env.heap, SERIES_CAPACITY);
+        assert!(profile.snapshots.is_empty());
+        write_heapprof_artifacts(
+            w.as_ref(),
+            &env,
+            &profile,
+            1_000_000,
+            10,
+            dir.to_str().unwrap(),
+            None,
+        )
+        .expect("zero snapshots is a successful exit");
+        assert!(
+            !dir.exists(),
+            "no artifacts should be written without snapshots"
+        );
+    }
+
+    #[test]
+    fn serve_requires_exactly_one_transport() {
+        let err = run_str("serve").expect_err("bare serve must not block on stdin");
+        assert!(err.contains("--stdin or --socket"), "{err}");
+        assert!(!err.contains('\n'), "one-line error expected: {err}");
+        let err = run_str("serve --stdin --socket /tmp/x").expect_err("both transports");
+        assert!(err.contains("exactly one transport"), "{err}");
+        let err = run_str("serve extra --stdin").expect_err("no positionals");
+        assert!(err.contains("no positional operands"), "{err}");
+    }
+
+    /// Runs the recorded example session through a fresh in-process server,
+    /// exactly as `chameleon serve --stdin` would.
+    fn run_example_session() -> String {
+        let script_path = format!(
+            "{}/../../examples/serve_session.jsonl",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let script = std::fs::read_to_string(&script_path).expect("example script present");
+        let mut server = Server::new(
+            RuleEngine::builtin(),
+            &ServeConfig {
+                eval_every_deaths: 50,
+                ..ServeConfig::default()
+            },
+            Box::new(workload),
+        );
+        let mut out = Vec::new();
+        let ended = chameleon_core::serve_stream(&mut server, script.as_bytes(), &mut out)
+            .expect("in-memory stream");
+        assert!(ended, "the example script ends with shutdown");
+        String::from_utf8(out).expect("utf-8 responses")
+    }
+
+    #[test]
+    fn example_serve_session_adapts_without_flapping_and_replays_identically() {
+        let first = run_example_session();
+        assert_eq!(first, run_example_session(), "byte-identical replay");
+
+        use chameleon_telemetry::json::{parse, Value};
+        let fleet_line = first
+            .lines()
+            .find(|l| l.contains("\"cmd\":\"fleet_report\""))
+            .expect("fleet report present");
+        let fleet = parse(fleet_line).expect("fleet report parses");
+        let tenants = fleet.get("tenants").expect("tenants").as_obj().unwrap();
+        assert_eq!(tenants.len(), 3);
+        let field = |t: &Value, key: &str| t.get(key).and_then(Value::as_u64).expect(key);
+        // Only tenant a changed phase: only it re-profiles.
+        assert!(field(&tenants["a"], "drift_events") >= 1, "{first}");
+        assert_eq!(field(&tenants["b"], "drift_events"), 0, "{first}");
+        assert_eq!(field(&tenants["c"], "drift_events"), 0, "{first}");
+        // Every tenant adapted, and no slot switched more than once per
+        // phase (tenant a saw two phases, b and c one each).
+        for (name, t) in tenants {
+            assert!(field(t, "replacements") >= 1, "tenant {name}: {first}");
+            let max = field(t, "max_switches");
+            let phases = if name == "a" { 2 } else { 1 };
+            assert!(
+                max <= phases,
+                "tenant {name} flapped: {max} switches over {phases} phase(s): {first}"
+            );
+        }
     }
 }

@@ -142,6 +142,22 @@ impl SelectionPolicy {
         self.maps.insert(ctx, sel);
     }
 
+    /// Removes the list override for `ctx` (the context reverts to the
+    /// requested default). Returns the override that was installed.
+    pub fn clear_list(&mut self, ctx: ContextId) -> Option<Selection<ListChoice>> {
+        self.lists.remove(&ctx)
+    }
+
+    /// Removes the set override for `ctx`.
+    pub fn clear_set(&mut self, ctx: ContextId) -> Option<Selection<SetChoice>> {
+        self.sets.remove(&ctx)
+    }
+
+    /// Removes the map override for `ctx`.
+    pub fn clear_map(&mut self, ctx: ContextId) -> Option<Selection<MapChoice>> {
+        self.maps.remove(&ctx)
+    }
+
     /// Number of overrides installed.
     pub fn len(&self) -> usize {
         self.lists.len() + self.sets.len() + self.maps.len()
@@ -176,6 +192,15 @@ impl CaptureController {
             .lock()
             .disabled_types
             .insert(requested_type.to_owned());
+    }
+
+    /// Re-enables context tracking for a previously shut-off type: the
+    /// inverse of [`disable_tracking_for`](Self::disable_tracking_for),
+    /// used by the drift trigger so a type that was quiet early can still
+    /// be profiled once it turns hot. Returns whether the type had been
+    /// disabled.
+    pub fn enable_tracking_for(&self, requested_type: &str) -> bool {
+        self.capture.lock().disabled_types.remove(requested_type)
     }
 
     /// Types whose tracking has been switched off.
@@ -660,6 +685,55 @@ mod tests {
         assert!(l.ctx().is_none());
         let m = f.new_map::<i64, i64>(None);
         assert!(m.ctx().is_some());
+    }
+
+    #[test]
+    fn per_type_shutoff_is_reversible() {
+        let f = factory();
+        let ctl = f.capture_controller();
+        ctl.disable_tracking_for("ArrayList");
+        assert_eq!(ctl.disabled_types(), ["ArrayList"]);
+        assert!(f.new_list::<i64>(None).ctx().is_none());
+        assert!(ctl.enable_tracking_for("ArrayList"));
+        assert!(ctl.disabled_types().is_empty());
+        assert!(f.new_list::<i64>(None).ctx().is_some());
+        // Re-enabling an already-enabled type reports false and stays safe.
+        assert!(!ctl.enable_tracking_for("ArrayList"));
+    }
+
+    #[test]
+    fn policy_overrides_can_be_cleared() {
+        let f = factory();
+        let ctx = {
+            let _g = f.enter("Site.alloc:2");
+            f.new_map::<i64, i64>(None).ctx().expect("captured")
+        };
+        let policy = f.policy();
+        policy.lock().set_map(
+            ctx,
+            Selection {
+                choice: MapChoice::ArrayMap,
+                capacity: None,
+            },
+        );
+        {
+            let _g = f.enter("Site.alloc:2");
+            assert_eq!(f.new_map::<i64, i64>(None).impl_name(), "ArrayMap");
+        }
+        let removed = policy.lock().clear_map(ctx);
+        assert_eq!(
+            removed,
+            Some(Selection {
+                choice: MapChoice::ArrayMap,
+                capacity: None
+            })
+        );
+        assert!(policy.lock().is_empty());
+        let _g = f.enter("Site.alloc:2");
+        assert_eq!(f.new_map::<i64, i64>(None).impl_name(), "HashMap");
+        // Clearing keys that were never set is a no-op returning None.
+        assert!(policy.lock().clear_list(ctx).is_none());
+        assert!(policy.lock().clear_set(ctx).is_none());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod minheap;
 pub mod online;
 pub mod parallel;
+pub mod serve;
 /// Public only under `--features model` so `tests/model_steal.rs` can
 /// model-check the queues; an internal scheduling detail otherwise.
 #[cfg(feature = "model")]
@@ -58,8 +59,11 @@ pub use metrics::{Improvement, RunMetrics};
 pub use minheap::{
     completes_under, completes_under_with, min_heap_size, min_heap_size_with, silence_oom_panics,
 };
-pub use online::{run_online, OnlineConfig, OnlineError, OnlineResult};
+pub use online::{run_online, OnlineConfig, OnlineDriftConfig, OnlineError, OnlineResult};
 pub use parallel::{default_threads, ParallelConfig, ParallelError, ParallelStats};
+#[cfg(unix)]
+pub use serve::serve_socket;
+pub use serve::{serve_stream, Reply, ServeConfig, Server, WorkloadResolver};
 pub use workload::{PartitionTask, Workload};
 
 use chameleon_profiler::ProfileReport;

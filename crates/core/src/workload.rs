@@ -74,6 +74,17 @@ pub trait Workload {
         let _ = parts;
         None
     }
+
+    /// Splits the workload into named sequential phases for the serving
+    /// runtime, or `None` (the default) when the workload is monolithic.
+    /// Unlike [`Workload::partitions`], phases are not independent slices
+    /// of the same work: they are distinct behaviours (e.g. a map-heavy
+    /// warm-up followed by a list-heavy steady state) that a `tenant_step`
+    /// command can drive one at a time. Running every phase in plan order
+    /// must perform exactly the operations of [`Workload::run`].
+    fn phases(&self) -> Option<Vec<PartitionTask>> {
+        None
+    }
 }
 
 impl<F> Workload for (&'static str, F)

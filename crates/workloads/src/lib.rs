@@ -19,6 +19,7 @@
 pub mod bloat;
 pub mod findbugs;
 pub mod fop;
+pub mod phaseshift;
 pub mod pmd;
 pub mod soot;
 pub mod synthetic;
@@ -28,6 +29,7 @@ pub mod util;
 pub use bloat::Bloat;
 pub use findbugs::Findbugs;
 pub use fop::Fop;
+pub use phaseshift::PhaseShift;
 pub use pmd::Pmd;
 pub use soot::Soot;
 pub use synthetic::{SizeDist, Synthetic, SyntheticSite};
@@ -51,7 +53,7 @@ pub fn paper_benchmarks() -> Vec<Box<dyn Workload>> {
 /// Every name [`by_name`] accepts, in presentation order. The CLI and the
 /// evaluation matrix both enumerate workloads through this registry so a
 /// new workload added here is immediately addressable everywhere.
-pub const NAMES: [&str; 7] = [
+pub const NAMES: [&str; 8] = [
     "synthetic",
     "bloat",
     "fop",
@@ -59,6 +61,7 @@ pub const NAMES: [&str; 7] = [
     "pmd",
     "soot",
     "tvla",
+    "phase-shift",
 ];
 
 /// Builds a workload by registry name (`"synthetic"` is the small-maps
@@ -73,6 +76,7 @@ pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
         "pmd" => Some(Box::new(Pmd::default())),
         "soot" => Some(Box::new(Soot::default())),
         "tvla" => Some(Box::new(Tvla::default())),
+        "phase-shift" => Some(Box::new(PhaseShift::default())),
         _ => None,
     }
 }

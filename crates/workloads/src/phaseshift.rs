@@ -1,0 +1,140 @@
+//! Phase-change synthetic workload for the online-adaptation server.
+//!
+//! Two phases with opposite collection behaviour, exactly the scenario
+//! that used to make the fully-automatic mode (§3.3.2) flap and that the
+//! drift trigger is built for:
+//!
+//! 1. **map-heavy** — waves of small, short-lived `HashMap`s (4 entries
+//!    each), the paper's canonical ArrayMap-replacement profile.
+//! 2. **list-heavy** — waves of `LinkedList`s hammered with positional
+//!    `get(int)` calls, the canonical LinkedList→ArrayList profile.
+//!
+//! [`Workload::run`] executes both phases back to back; the serving
+//! runtime instead drives them one at a time via [`Workload::phases`], so
+//! a tenant can sit in the map-heavy phase for several steps and then
+//! shift — which is what `SeriesStore::detect_drift` must catch.
+
+use chameleon_collections::CollectionFactory;
+use chameleon_core::{PartitionTask, Workload};
+
+/// The phase-shift stress scenario (map-heavy → list-heavy).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseShift {
+    /// Short-lived maps allocated per map-heavy step.
+    pub maps: usize,
+    /// Entries put into each map (small: below the ArrayMap threshold).
+    pub map_entries: usize,
+    /// Short-lived linked lists allocated per list-heavy step.
+    pub lists: usize,
+    /// Elements added to each list.
+    pub list_len: usize,
+    /// Positional `get(int)` calls per list (above the X_GETS threshold,
+    /// so the traversal rule fires).
+    pub gets_per_list: usize,
+}
+
+impl Default for PhaseShift {
+    fn default() -> Self {
+        PhaseShift {
+            maps: 120,
+            map_entries: 4,
+            lists: 120,
+            list_len: 8,
+            gets_per_list: 96,
+        }
+    }
+}
+
+fn map_heavy(p: PhaseShift, f: &CollectionFactory) {
+    let _g = f.enter("phase.MapHeavy:1");
+    for i in 0..p.maps {
+        let mut m = f.new_map::<i64, i64>(None);
+        for k in 0..p.map_entries {
+            m.put(k as i64, (i + k) as i64);
+        }
+        let _ = m.get(&0);
+    }
+}
+
+fn list_heavy(p: PhaseShift, f: &CollectionFactory) {
+    let _g = f.enter("phase.ListHeavy:2");
+    for i in 0..p.lists {
+        let mut l = f.new_linked_list::<i64>();
+        for k in 0..p.list_len {
+            l.add((i + k) as i64);
+        }
+        for g in 0..p.gets_per_list {
+            let _ = l.get(g % p.list_len);
+        }
+    }
+}
+
+impl Workload for PhaseShift {
+    fn name(&self) -> &'static str {
+        "phase-shift"
+    }
+
+    fn run(&self, f: &CollectionFactory) {
+        map_heavy(*self, f);
+        list_heavy(*self, f);
+    }
+
+    fn phases(&self) -> Option<Vec<PartitionTask>> {
+        let p = *self;
+        Some(vec![
+            PartitionTask::new("map-heavy", move |f: &CollectionFactory| map_heavy(p, f)),
+            PartitionTask::new("list-heavy", move |f: &CollectionFactory| list_heavy(p, f)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chameleon_core::Chameleon;
+
+    #[test]
+    fn each_phase_triggers_its_own_rule() {
+        let chameleon = Chameleon::new();
+        let report = chameleon.profile(&PhaseShift::default());
+        let suggestions = chameleon.engine().evaluate(&report);
+        assert!(
+            suggestions
+                .iter()
+                .any(|s| s.label.contains("MapHeavy") && s.rule_text.contains("ArrayMap")),
+            "map-heavy phase must suggest ArrayMap: {suggestions:#?}"
+        );
+        assert!(
+            suggestions
+                .iter()
+                .any(|s| s.label.contains("ListHeavy") && s.rule_text.contains("ArrayList")),
+            "list-heavy phase must suggest ArrayList: {suggestions:#?}"
+        );
+    }
+
+    #[test]
+    fn phases_cover_exactly_the_full_run() {
+        use chameleon_core::{Env, EnvConfig};
+
+        let w = PhaseShift::default();
+        let whole = Env::new(&EnvConfig::default());
+        whole.run(&w);
+
+        let stepped = Env::new(&EnvConfig::default());
+        let phases = w.phases().expect("phase-shift declares phases");
+        assert_eq!(
+            phases.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            ["map-heavy", "list-heavy"]
+        );
+        stepped.run(&("phase-shift", |f: &CollectionFactory| {
+            for phase in &phases {
+                phase.run(f);
+            }
+        }));
+
+        let a = whole.metrics();
+        let b = stepped.metrics();
+        assert_eq!(a.total_allocated_objects, b.total_allocated_objects);
+        assert_eq!(a.total_allocated_bytes, b.total_allocated_bytes);
+    }
+}

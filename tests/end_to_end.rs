@@ -131,6 +131,7 @@ fn online_mode_converges_to_offline_quality() {
             env: small_env(),
             eval_every_deaths: 64,
             shutoff_below_potential: None,
+            ..OnlineConfig::default()
         },
     )
     .expect("online run");
